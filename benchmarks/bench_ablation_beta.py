@@ -1,0 +1,54 @@
+"""Ablation — GFK batch-threshold schedule: doubling beta vs incrementing it.
+
+The paper doubles beta every round (Algorithm 2, line 10) "to ensure that
+there are a logarithmic number of rounds and hence better depth", in contrast
+to Chatterjee et al.'s sequential schedule that increases beta by 1.  This
+driver compares the two schedules on round counts (the depth proxy) and
+verifies both produce the same tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_table, measure
+from repro.emst import emst_gfk
+
+from _common import dataset
+
+DATASETS = {"2D-UniformFill": 800, "3D-SS-varden": 700}
+
+
+def test_ablation_beta_schedule(benchmark):
+    """Rounds and time: beta doubling (parallel) vs beta increment (sequential)."""
+    rows = []
+    for name, size in DATASETS.items():
+        points = dataset(name, size)
+        doubling, doubling_time = measure(emst_gfk, points, beta_growth="double")
+        incrementing, incrementing_time = measure(emst_gfk, points, beta_growth="increment")
+        assert abs(doubling.total_weight - incrementing.total_weight) < 1e-6
+        assert doubling.stats["rounds"] <= incrementing.stats["rounds"]
+        assert doubling.stats["rounds"] <= 2 * int(np.log2(points.shape[0])) + 2
+        rows.append(
+            [
+                f"{name}-{points.shape[0]}",
+                doubling.stats["rounds"],
+                f"{doubling_time:.3f}",
+                incrementing.stats["rounds"],
+                f"{incrementing_time:.3f}",
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["dataset", "rounds (double)", "time (s)", "rounds (increment)", "time (s)"],
+            rows,
+            title="Ablation: GFK beta schedule (doubling vs +1)",
+        )
+    )
+
+    points = dataset("2D-UniformFill", DATASETS["2D-UniformFill"])
+    benchmark.pedantic(
+        emst_gfk, args=(points,), kwargs={"beta_growth": "double"}, rounds=1, iterations=1
+    )

@@ -1,0 +1,54 @@
+"""Ablation — heavy-edge fraction of the top-down dendrogram construction.
+
+The paper sets the number of heavy edges to n/10 and notes this "works
+reasonably well in all cases" even though the optimum depends on minPts.
+This driver sweeps the fraction, confirming (a) the result is identical for
+every fraction and (b) the fraction trades off the number of recursion levels
+(depth) against per-level work, with n/10 a reasonable middle point.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, run_with_tracker
+from repro.dendrogram import dendrogram_topdown, reachability_from_dendrogram
+from repro.emst import emst_memogfk
+
+from _common import dataset
+
+FRACTIONS = (0.02, 0.1, 0.3, 0.5)
+
+
+def test_ablation_heavy_edge_fraction(benchmark):
+    """Dendrogram construction cost as the heavy-edge fraction varies."""
+    points = dataset("2D-SS-varden", 1000)
+    n = points.shape[0]
+    edges = list(emst_memogfk(points).edges)
+
+    rows = []
+    reference_order = None
+    for fraction in FRACTIONS:
+        dendrogram, tracker, elapsed = run_with_tracker(
+            dendrogram_topdown, edges, n, heavy_fraction=fraction
+        )
+        assert dendrogram.is_valid()
+        order, _ = reachability_from_dendrogram(dendrogram)
+        if reference_order is None:
+            reference_order = order.tolist()
+        else:
+            assert order.tolist() == reference_order
+        rows.append(
+            [fraction, f"{elapsed:.3f}", f"{tracker.work:.3g}", f"{tracker.depth:.3g}"]
+        )
+
+    print()
+    print(
+        format_table(
+            ["heavy fraction", "time (s)", "work", "depth"],
+            rows,
+            title="Ablation: top-down dendrogram heavy-edge fraction (2D-SS-varden)",
+        )
+    )
+
+    benchmark.pedantic(
+        dendrogram_topdown, args=(edges, n), kwargs={"heavy_fraction": 0.1}, rounds=1, iterations=1
+    )

@@ -1,0 +1,45 @@
+"""Ablation — sensitivity of HDBSCAN* running time to minPts.
+
+Section 5 notes: "We tried varying minPts over a range from 10 to 50 for our
+HDBSCAN* implementations and found just a moderate increase in the running
+time for increasing minPts."  This driver sweeps minPts and checks the
+increase stays moderate (well below linear in minPts).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, measure
+from repro.hdbscan import hdbscan_mst_memogfk
+
+from _common import dataset
+
+MIN_PTS_VALUES = (10, 20, 30, 40, 50)
+
+
+def test_ablation_minpts_sweep(benchmark):
+    """Running time of HDBSCAN*-MemoGFK for minPts = 10..50."""
+    points = dataset("3D-SS-varden", 800)
+    rows = []
+    times = {}
+    for min_pts in MIN_PTS_VALUES:
+        result, elapsed = measure(hdbscan_mst_memogfk, points, min_pts)
+        assert result.is_spanning_tree()
+        times[min_pts] = elapsed
+        rows.append([min_pts, f"{elapsed:.3f}", result.stats["bccp_calls"]])
+
+    print()
+    print(
+        format_table(
+            ["minPts", "time (s)", "BCCP calls"],
+            rows,
+            title="Ablation: HDBSCAN*-MemoGFK running time vs minPts (3D-SS-varden)",
+        )
+    )
+
+    # "Moderate increase": going from minPts=10 to minPts=50 should cost far
+    # less than the 5x a linear dependence would give.
+    assert times[50] <= 3.0 * times[10]
+
+    benchmark.pedantic(
+        hdbscan_mst_memogfk, args=(points, 10), rounds=1, iterations=1
+    )

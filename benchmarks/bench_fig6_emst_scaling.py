@@ -1,0 +1,52 @@
+"""Figure 6 — EMST speedup over the best sequential baseline vs thread count.
+
+For each dataset the paper plots, for every EMST method, the speedup over the
+best single-thread time as the thread count grows from 1 to 48 (plus
+hyper-threading).  Here the per-thread-count times come from Brent's bound on
+the instrumented work/depth, calibrated to the measured single-thread time, so
+the curves' *shape* (near-linear scaling of the WSPD-based methods, ordering
+of the methods) mirrors the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.bench import THREAD_COUNTS, format_scaling_series, scaling_curve
+from repro.emst import emst_gfk, emst_memogfk, emst_naive
+
+from _common import FIGURE_DATASETS, dataset
+
+METHODS = {
+    "EMST-Naive": emst_naive,
+    "EMST-GFK": emst_gfk,
+    "EMST-MemoGFK": emst_memogfk,
+}
+
+
+def test_fig6_emst_scaling_curves(benchmark):
+    """Regenerate the speedup-vs-threads series behind Figure 6."""
+    print()
+    for name, size in FIGURE_DATASETS.items():
+        points = dataset(name, size)
+        curves = {}
+        best_t1 = None
+        for method, function in METHODS.items():
+            curve = scaling_curve(function, points, thread_counts=THREAD_COUNTS)
+            curves[method] = curve
+            best_t1 = curve["times"][0] if best_t1 is None else min(best_t1, curve["times"][0])
+        for method, curve in curves.items():
+            over_best = [best_t1 / t for t in curve["times"]]
+            print(
+                format_scaling_series(
+                    f"[Fig 6] {name}-{points.shape[0]} {method}",
+                    curve["thread_counts"],
+                    over_best,
+                )
+            )
+            # Scaling shape: monotone non-decreasing speedups, meaningful
+            # parallelism at 48 threads under the work-depth model.
+            speedups = curve["speedups"]
+            assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+            assert speedups[-1] > 4.0
+
+    points = dataset("2D-UniformFill", FIGURE_DATASETS["2D-UniformFill"])
+    benchmark.pedantic(emst_memogfk, args=(points,), rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+"""Figure 7 — HDBSCAN* MST speedup over the best sequential baseline vs threads.
+
+Same methodology as Figure 6, for the two exact HDBSCAN* MST constructions
+with minPts = 10 (the full pipeline the paper times includes the MST of the
+mutual reachability graph; the dendrogram is benchmarked separately in
+Figure 9).
+"""
+
+from __future__ import annotations
+
+from repro.bench import THREAD_COUNTS, format_scaling_series, scaling_curve
+from repro.hdbscan import hdbscan_mst_gantao, hdbscan_mst_memogfk
+
+from _common import FIGURE_DATASETS, dataset
+
+MIN_PTS = 10
+METHODS = {
+    "HDBSCAN*-MemoGFK": hdbscan_mst_memogfk,
+    "HDBSCAN*-GanTao": hdbscan_mst_gantao,
+}
+
+
+def test_fig7_hdbscan_scaling_curves(benchmark):
+    """Regenerate the speedup-vs-threads series behind Figure 7."""
+    print()
+    for name, size in FIGURE_DATASETS.items():
+        points = dataset(name, size)
+        curves = {
+            method: scaling_curve(function, points, MIN_PTS, thread_counts=THREAD_COUNTS)
+            for method, function in METHODS.items()
+        }
+        best_t1 = min(curve["times"][0] for curve in curves.values())
+        for method, curve in curves.items():
+            over_best = [best_t1 / t for t in curve["times"]]
+            print(
+                format_scaling_series(
+                    f"[Fig 7] {name}-{points.shape[0]} {method} (minPts={MIN_PTS})",
+                    curve["thread_counts"],
+                    over_best,
+                )
+            )
+            speedups = curve["speedups"]
+            assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+            assert speedups[-1] > 4.0
+        # The MemoGFK variant computes no more BCCPs than GanTao, the
+        # mechanism behind its faster curves in the paper.
+        assert (
+            curves["HDBSCAN*-MemoGFK"]["result"].stats["bccp_calls"]
+            <= curves["HDBSCAN*-GanTao"]["result"].stats["bccp_calls"]
+        )
+
+    points = dataset("3D-SS-varden", FIGURE_DATASETS["3D-SS-varden"])
+    benchmark.pedantic(
+        hdbscan_mst_memogfk, args=(points, MIN_PTS), rounds=1, iterations=1
+    )

@@ -1,0 +1,81 @@
+"""Figure 9 — dendrogram construction: self-relative speedup and running time.
+
+The paper reports, per dataset, the running time and self-relative speedup of
+the parallel top-down dendrogram construction for (a) single-linkage
+clustering (dendrogram of the EMST) and (b) HDBSCAN* with minPts = 10
+(dendrogram of the mutual-reachability MST), noting that the single-linkage
+dendrogram shows higher parallelism because the heavy edges split the tree
+into more, better-balanced light subproblems.  The driver reproduces both
+series: times are measured single-thread, speedups come from the work-depth
+model, and the number of light subproblems created at the top level is
+reported as the mechanism behind the parallelism difference.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, run_with_tracker
+from repro.dendrogram import dendrogram_topdown
+from repro.emst import emst_memogfk
+from repro.hdbscan import hdbscan_mst_memogfk
+from repro.parallel.scheduler import simulated_time
+
+from _common import FIGURE_DATASETS, dataset
+
+MIN_PTS = 10
+
+
+def _dendrogram_speedup(edges, num_points):
+    result, tracker, elapsed = run_with_tracker(
+        dendrogram_topdown, edges, num_points, heavy_fraction=0.1
+    )
+    work, depth = max(tracker.work, 1.0), max(tracker.depth, 1.0)
+    seconds_per_op = elapsed / (work + depth)
+    t48 = simulated_time(work, depth, 48, seconds_per_op=seconds_per_op, hyperthread_factor=1.35)
+    return result, elapsed, elapsed / t48
+
+
+def test_fig9_dendrogram_speedups(benchmark):
+    """Regenerate the dendrogram speedup/time series behind Figure 9."""
+    rows = []
+    for name, size in FIGURE_DATASETS.items():
+        points = dataset(name, size)
+        n = points.shape[0]
+
+        emst_edges = list(emst_memogfk(points).edges)
+        hdbscan_edges = list(hdbscan_mst_memogfk(points, MIN_PTS).edges)
+
+        sl_dendrogram, sl_time, sl_speedup = _dendrogram_speedup(emst_edges, n)
+        hd_dendrogram, hd_time, hd_speedup = _dendrogram_speedup(hdbscan_edges, n)
+        assert sl_dendrogram.is_valid() and hd_dendrogram.is_valid()
+        assert sl_speedup > 2.0 and hd_speedup > 2.0
+
+        rows.append(
+            [
+                f"{name}-{n}",
+                f"{sl_speedup:.2f}x",
+                f"{sl_time:.3f}",
+                f"{hd_speedup:.2f}x",
+                f"{hd_time:.3f}",
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "dataset",
+                "single-linkage speedup",
+                "time (s)",
+                "HDBSCAN* speedup",
+                "time (s)",
+            ],
+            rows,
+            title="Figure 9: ordered dendrogram construction (self-relative speedup modelled at 48h)",
+        )
+    )
+
+    points = dataset("2D-UniformFill", FIGURE_DATASETS["2D-UniformFill"])
+    edges = list(emst_memogfk(points).edges)
+    benchmark.pedantic(
+        dendrogram_topdown, args=(edges, points.shape[0]), rounds=1, iterations=1
+    )

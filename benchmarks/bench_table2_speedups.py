@@ -1,0 +1,89 @@
+"""Table 2 — speedups over the best sequential method and self-relative speedups.
+
+The paper's Table 2 summarizes, per method, the range/average of (a) the
+48-core speedup over the best sequential implementation and (b) the
+self-relative speedup (T1 of the method / T48 of the method).  Here the
+48-core times are modelled from the instrumented work/depth (Brent's bound
+calibrated to the measured single-thread time), so the self-relative column
+reproduces the paper's qualitative finding: the WSPD-based methods have
+abundant parallelism (large self-relative speedups), while their ranking
+against the best sequential time follows the single-thread ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_table, run_with_tracker
+from repro.emst import emst_gfk, emst_memogfk, emst_naive
+from repro.hdbscan import hdbscan_mst_gantao, hdbscan_mst_memogfk
+from repro.parallel.scheduler import simulated_time
+
+from _common import FIGURE_DATASETS, dataset
+
+EMST_METHODS = {
+    "EMST-Naive": emst_naive,
+    "EMST-GFK": emst_gfk,
+    "EMST-MemoGFK": emst_memogfk,
+}
+HDBSCAN_METHODS = {
+    "HDBSCAN*-MemoGFK": lambda points: hdbscan_mst_memogfk(points, 10),
+    "HDBSCAN*-GanTao": lambda points: hdbscan_mst_gantao(points, 10),
+}
+
+
+def _measure(function, points):
+    result, tracker, elapsed = run_with_tracker(function, points)
+    work, depth = max(tracker.work, 1.0), max(tracker.depth, 1.0)
+    seconds_per_op = elapsed / (work + depth)
+    t48 = simulated_time(work, depth, 48, seconds_per_op=seconds_per_op)
+    return elapsed, t48
+
+
+def test_table2_speedup_summary(benchmark):
+    """Regenerate Table 2's two speedup columns per method."""
+    per_method_best = {}
+    per_method_self = {}
+
+    for name, size in FIGURE_DATASETS.items():
+        points = dataset(name, size)
+        emst_times = {m: _measure(fn, points) for m, fn in EMST_METHODS.items()}
+        hdbscan_times = {m: _measure(fn, points) for m, fn in HDBSCAN_METHODS.items()}
+        best_sequential_emst = min(t1 for t1, _ in emst_times.values())
+        best_sequential_hdbscan = min(t1 for t1, _ in hdbscan_times.values())
+        for method, (t1, t48) in emst_times.items():
+            per_method_best.setdefault(method, []).append(best_sequential_emst / t48)
+            per_method_self.setdefault(method, []).append(t1 / t48)
+        for method, (t1, t48) in hdbscan_times.items():
+            per_method_best.setdefault(method, []).append(best_sequential_hdbscan / t48)
+            per_method_self.setdefault(method, []).append(t1 / t48)
+
+    rows = []
+    for method in list(EMST_METHODS) + list(HDBSCAN_METHODS):
+        over_best = per_method_best[method]
+        self_relative = per_method_self[method]
+        rows.append(
+            [
+                method,
+                f"{min(over_best):.2f}-{max(over_best):.2f}x",
+                f"{np.mean(over_best):.2f}x",
+                f"{min(self_relative):.2f}-{max(self_relative):.2f}x",
+                f"{np.mean(self_relative):.2f}x",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["method", "over best seq (range)", "avg", "self-relative (range)", "avg"],
+            rows,
+            title="Table 2: modelled 48-core speedups",
+        )
+    )
+
+    # Qualitative shape: every method shows substantial self-relative
+    # parallelism under the work-depth model (the paper reports 8x-56x).
+    for method, values in per_method_self.items():
+        assert min(values) > 4.0, method
+
+    points = dataset("2D-UniformFill", FIGURE_DATASETS["2D-UniformFill"])
+    benchmark.pedantic(emst_memogfk, args=(points,), rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+"""Table 3 — sequential external-baseline comparison (mlpack Dual-Tree Borůvka).
+
+The paper's Table 3 lists mlpack's sequential Dual-Tree Borůvka EMST times and
+reports that the paper's sequential EMST-MemoGFK is 0.89-4.17x faster (2.44x
+on average).  mlpack is not available offline, so the in-repo
+``emst_dualtree_boruvka`` (kd-tree Borůvka with component pruning) plays its
+role; the driver reports the per-dataset time of both methods and the ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_table, measure
+from repro.emst import emst_dualtree_boruvka, emst_memogfk
+
+from _common import dataset
+
+DATASETS = {
+    "2D-UniformFill": 800,
+    "2D-SS-varden": 800,
+    "3D-GeoLife": 700,
+    "7D-Household": 500,
+    "10D-HT": 400,
+}
+
+
+def test_table3_sequential_baseline_comparison(benchmark):
+    """Regenerate Table 3: dual-tree Borůvka baseline vs sequential MemoGFK."""
+    rows = []
+    ratios = []
+    for name, size in DATASETS.items():
+        points = dataset(name, size)
+        baseline, baseline_time = measure(emst_dualtree_boruvka, points)
+        ours, ours_time = measure(emst_memogfk, points)
+        assert baseline.is_spanning_tree() and ours.is_spanning_tree()
+        assert abs(baseline.total_weight - ours.total_weight) < 1e-6 * max(
+            1.0, ours.total_weight
+        )
+        ratio = baseline_time / ours_time
+        ratios.append(ratio)
+        rows.append(
+            [f"{name}-{points.shape[0]}", f"{baseline_time:.3f}", f"{ours_time:.3f}", f"{ratio:.2f}x"]
+        )
+    print()
+    print(
+        format_table(
+            ["dataset", "DualTreeBoruvka (s)", "EMST-MemoGFK 1T (s)", "baseline / ours"],
+            rows,
+            title="Table 3: sequential baseline comparison (mlpack substitute)",
+        )
+    )
+    print(f"average ratio: {np.mean(ratios):.2f}x (paper reports 2.44x on average vs mlpack)")
+
+    # Shape check: our sequential WSPD-based method should not lose to the
+    # point-by-point Borůvka baseline on any dataset at this scale.
+    assert min(ratios) >= 0.8
+
+    points = dataset("2D-UniformFill", DATASETS["2D-UniformFill"])
+    benchmark.pedantic(emst_dualtree_boruvka, args=(points,), rounds=1, iterations=1)

@@ -1,0 +1,22 @@
+"""Pytest fixtures for the benchmark drivers (shared helpers live in _common)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from _common import FIGURE_DATASETS, TABLE_DATASETS, dataset
+
+
+@pytest.fixture(scope="session")
+def table_datasets() -> Dict[str, np.ndarray]:
+    """All datasets used by the table benchmarks."""
+    return {name: dataset(name, n) for name, n in TABLE_DATASETS.items()}
+
+
+@pytest.fixture(scope="session")
+def figure_datasets() -> Dict[str, np.ndarray]:
+    """The smaller dataset selection used by the scaling-figure benchmarks."""
+    return {name: dataset(name, n) for name, n in FIGURE_DATASETS.items()}

@@ -1,0 +1,69 @@
+"""Single-linkage hierarchical clustering of correlated feature vectors.
+
+EMST-based single-linkage clustering is the classic tool for grouping
+high-dimensional measurement vectors (the paper cites gene-expression
+clustering as an application).  This example clusters a synthetic
+"expression-profile" data set -- groups of correlated 16-dimensional vectors,
+mimicking co-regulated genes -- and walks down the dendrogram to show how the
+hierarchy exposes structure at several scales.
+
+Run with::
+
+    python examples/single_linkage_gene_expression.py
+"""
+
+import numpy as np
+
+from repro import single_linkage
+from repro.datasets import chem_proxy, gaussian_blobs
+
+
+def main() -> None:
+    # "Expression profiles": 5 groups of correlated vectors plus background.
+    profiles, truth = gaussian_blobs(
+        800, 16, num_clusters=5, cluster_std=0.03, seed=11, return_labels=True
+    )
+    print(f"data: {profiles.shape[0]} profiles, {profiles.shape[1]} conditions each")
+
+    result = single_linkage(profiles)
+    print(
+        f"EMST built with {result.emst.method}: weight {result.emst.total_weight:.3f}, "
+        f"{result.emst.stats['rounds']} MemoGFK rounds"
+    )
+
+    # Walk down the hierarchy: how many clusters exist at each merge scale?
+    heights = np.sort(result.dendrogram.heights())
+    print("\nclusters at a range of dendrogram cut heights:")
+    for quantile in (99.9, 99.5, 99.0, 95.0, 50.0):
+        cut = float(np.percentile(heights, quantile))
+        labels = result.labels_at(cut)
+        print(f"  cut height {cut:8.4f} -> {len(set(labels.tolist())):4d} clusters")
+
+    # Flat clustering with the known number of groups.
+    labels = result.labels_k(5)
+    sizes = np.bincount(labels)
+    print(f"\nk=5 cut cluster sizes: {sorted(sizes.tolist(), reverse=True)}")
+    purity = _purity(labels, truth)
+    print(f"cluster purity vs ground truth: {purity:.1%}")
+
+    # The same machinery applies to any vector data, e.g. the chemical-sensor
+    # proxy data set used in the benchmarks.
+    sensors = chem_proxy(600, seed=2)
+    sensor_clustering = single_linkage(sensors)
+    print(
+        f"\nchemical-sensor proxy ({sensors.shape[0]} x {sensors.shape[1]}): "
+        f"{len(set(sensor_clustering.labels_k(10).tolist()))} clusters at k=10"
+    )
+
+
+def _purity(labels: np.ndarray, truth: np.ndarray) -> float:
+    correct = 0
+    for label in set(labels.tolist()):
+        members = truth[labels == label]
+        _, counts = np.unique(members, return_counts=True)
+        correct += int(counts.max())
+    return correct / len(labels)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Parallel EMST and hierarchical spatial clustering (HDBSCAN*).
+
+A from-scratch Python reproduction of *"Fast Parallel Algorithms for Euclidean
+Minimum Spanning Tree and Hierarchical Spatial Clustering"* (Wang, Yu, Gu &
+Shun, SIGMOD 2021).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import emst, hdbscan, single_linkage
+>>> points = np.random.default_rng(0).random((1000, 3))
+>>> tree = emst(points)                      # Euclidean MST (MemoGFK)
+>>> clustering = hdbscan(points, min_pts=10)  # HDBSCAN* hierarchy
+>>> labels = clustering.dbscan_labels(0.1)    # flat DBSCAN* cut
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.core import PointSet, as_points
+from repro.core.errors import (
+    InvalidParameterError,
+    InvalidPointSetError,
+    NotComputedError,
+    ReproError,
+)
+from repro.emst import (
+    EMSTResult,
+    emst,
+    emst_bruteforce,
+    emst_delaunay,
+    emst_dualtree_boruvka,
+    emst_gfk,
+    emst_memogfk,
+    emst_naive,
+)
+from repro.hdbscan import (
+    HDBSCANResult,
+    core_distances,
+    hdbscan,
+    hdbscan_mst_gantao,
+    hdbscan_mst_memogfk,
+    optics_approx_mst,
+)
+from repro.dendrogram import (
+    Dendrogram,
+    clusters_at_height,
+    cut_num_clusters,
+    dbscan_star_labels,
+    dendrogram_sequential,
+    dendrogram_topdown,
+    reachability_plot,
+    single_linkage,
+    SingleLinkageResult,
+)
+from repro.spatial import KDTree
+from repro.parallel import WorkDepthTracker, use_tracker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PointSet",
+    "as_points",
+    "ReproError",
+    "InvalidParameterError",
+    "InvalidPointSetError",
+    "NotComputedError",
+    "EMSTResult",
+    "emst",
+    "emst_bruteforce",
+    "emst_delaunay",
+    "emst_dualtree_boruvka",
+    "emst_gfk",
+    "emst_memogfk",
+    "emst_naive",
+    "HDBSCANResult",
+    "core_distances",
+    "hdbscan",
+    "hdbscan_mst_gantao",
+    "hdbscan_mst_memogfk",
+    "optics_approx_mst",
+    "Dendrogram",
+    "clusters_at_height",
+    "cut_num_clusters",
+    "dbscan_star_labels",
+    "dendrogram_sequential",
+    "dendrogram_topdown",
+    "reachability_plot",
+    "single_linkage",
+    "SingleLinkageResult",
+    "KDTree",
+    "WorkDepthTracker",
+    "use_tracker",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Shared benchmark harness.
+
+The modules under ``benchmarks/`` (one per paper table/figure) are thin
+drivers; the measurement, work–depth calibration, scaling simulation, and
+table formatting they share live here so they can also be reused
+programmatically (e.g. from the examples or notebooks).
+"""
+
+from repro.bench.harness import (
+    measure,
+    run_with_tracker,
+    scaling_curve,
+    phase_breakdown,
+    THREAD_COUNTS,
+)
+from repro.bench.tables import format_table, format_scaling_series
+
+__all__ = [
+    "measure",
+    "run_with_tracker",
+    "scaling_curve",
+    "phase_breakdown",
+    "THREAD_COUNTS",
+    "format_table",
+    "format_scaling_series",
+]

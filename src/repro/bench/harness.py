@@ -1,0 +1,101 @@
+"""Measurement and scaling-simulation helpers for the benchmark drivers.
+
+Absolute running times are measured directly (single-threaded wall clock).
+Multi-thread scaling curves — the paper's Figures 6, 7, 9 and 10 and the
+"48 cores" columns of its tables — are produced by instrumenting a run with a
+:class:`~repro.parallel.scheduler.WorkDepthTracker` and evaluating Brent's
+bound ``T_p = W/p + D`` for each thread count, calibrated so that ``T_1``
+equals the measured single-thread time (see DESIGN.md, "Parallelism model").
+The paper's "48h" configuration (48 cores with hyper-threading) is modelled as
+48 physical cores with a 1.35x effective-parallelism bonus.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.parallel.scheduler import WorkDepthTracker, simulated_time, use_tracker
+
+#: Thread counts reported in the paper's scaling figures; the final entry is
+#: the hyper-threaded configuration ("48h").
+THREAD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 24, 36, 48, 96)
+
+
+def measure(function: Callable, *args, **kwargs) -> Tuple[object, float]:
+    """Run ``function`` once and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def run_with_tracker(function: Callable, *args, **kwargs) -> Tuple[object, WorkDepthTracker, float]:
+    """Run ``function`` under a fresh work–depth tracker.
+
+    Returns ``(result, tracker, elapsed_seconds)``.
+    """
+    tracker = WorkDepthTracker()
+    start = time.perf_counter()
+    with use_tracker(tracker):
+        result = function(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    return result, tracker, elapsed
+
+
+def scaling_curve(
+    function: Callable,
+    *args,
+    thread_counts: Sequence[int] = THREAD_COUNTS,
+    hyperthread_last: bool = True,
+    **kwargs,
+) -> Dict[str, object]:
+    """Measured T_1 plus simulated T_p / speedup for each thread count.
+
+    The run is instrumented once; the simulated times are Brent's bound
+    calibrated so the single-thread prediction matches the measured wall
+    clock.  Returns a dict with keys ``result``, ``t1_seconds``,
+    ``thread_counts``, ``times`` and ``speedups``.
+    """
+    result, tracker, elapsed = run_with_tracker(function, *args, **kwargs)
+    work = max(tracker.work, 1.0)
+    depth = max(tracker.depth, 1.0)
+    seconds_per_op = elapsed / (work + depth)
+
+    times: List[float] = []
+    for index, processors in enumerate(thread_counts):
+        is_last = index == len(thread_counts) - 1
+        factor = 1.35 if (hyperthread_last and is_last) else 1.0
+        # The hyper-threaded entry is expressed as physical cores * bonus.
+        physical = processors if not (hyperthread_last and is_last) else max(
+            processors // 2, 1
+        )
+        times.append(
+            simulated_time(
+                work,
+                depth,
+                physical,
+                seconds_per_op=seconds_per_op,
+                hyperthread_factor=factor,
+            )
+        )
+    t1 = times[0]
+    speedups = [t1 / t for t in times]
+    return {
+        "result": result,
+        "t1_seconds": elapsed,
+        "work": work,
+        "depth": depth,
+        "thread_counts": list(thread_counts),
+        "times": times,
+        "speedups": speedups,
+    }
+
+
+def phase_breakdown(stats: Dict[str, float]) -> Dict[str, float]:
+    """Extract the ``time_<phase>`` entries of a result's stats dict."""
+    breakdown = {}
+    for key, value in stats.items():
+        if key.startswith("time_"):
+            breakdown[key[len("time_"):]] = value
+    return breakdown

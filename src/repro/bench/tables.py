@@ -1,0 +1,46 @@
+"""Plain-text table / series formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = "") -> str:
+    """Render a fixed-width text table (markdown-ish, readable in a terminal)."""
+    string_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def format_scaling_series(
+    label: str, thread_counts: Sequence[int], speedups: Sequence[float]
+) -> str:
+    """One line per thread count: the series behind a speedup-vs-threads plot."""
+    parts = [label]
+    for threads, speedup in zip(thread_counts, speedups):
+        name = f"{threads}" if threads != thread_counts[-1] else f"{threads // 2}h"
+        parts.append(f"  p={name:>4}: {speedup:6.2f}x")
+    return "\n".join(parts)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)

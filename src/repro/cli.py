@@ -1,0 +1,147 @@
+"""Command-line interface.
+
+Exposes the three public pipelines on files of points so the library can be
+used without writing Python::
+
+    python -m repro emst points.csv --method memogfk --output tree.csv
+    python -m repro hdbscan points.csv --min-pts 10 --epsilon 0.5
+    python -m repro single-linkage points.csv --num-clusters 8
+
+Input files may be ``.csv`` / ``.txt`` (one point per row, comma or whitespace
+separated, optional header) or ``.npy``.  Outputs are written as CSV: MST
+edges as ``u,v,weight`` rows, cluster labels as one integer per row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.dendrogram.single_linkage import single_linkage
+from repro.emst.api import EMST_METHODS, emst
+from repro.hdbscan.api import HDBSCAN_METHODS, hdbscan
+
+
+def load_points(path: str) -> np.ndarray:
+    """Load an ``(n, d)`` point array from a .npy, .csv or whitespace text file."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ReproError(f"input file not found: {path}")
+    if file_path.suffix == ".npy":
+        return np.load(file_path)
+    text = file_path.read_text().strip()
+    delimiter = "," if "," in text.splitlines()[0] else None
+    skip = 0
+    first_line = text.splitlines()[0]
+    tokens = first_line.replace(",", " ").split()
+    try:
+        [float(token) for token in tokens]
+    except ValueError:
+        skip = 1  # header row
+    return np.loadtxt(file_path, delimiter=delimiter, skiprows=skip, ndmin=2)
+
+
+def _write_edges(result, destination: Optional[str]) -> None:
+    lines = [f"{u},{v},{w:.17g}" for u, v, w in result.edges]
+    _emit("\n".join(["u,v,weight"] + lines), destination)
+
+
+def _write_labels(labels: np.ndarray, destination: Optional[str]) -> None:
+    _emit("\n".join(["label"] + [str(int(label)) for label in labels]), destination)
+
+
+def _emit(text: str, destination: Optional[str]) -> None:
+    if destination:
+        Path(destination).write_text(text + "\n")
+    else:
+        print(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel EMST and hierarchical spatial clustering (SIGMOD 2021 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    emst_parser = subparsers.add_parser("emst", help="Euclidean minimum spanning tree")
+    emst_parser.add_argument("input", help="points file (.csv/.txt/.npy)")
+    emst_parser.add_argument("--method", default="memogfk", choices=sorted(EMST_METHODS))
+    emst_parser.add_argument("--output", help="write edges as CSV to this path")
+
+    hdbscan_parser = subparsers.add_parser("hdbscan", help="HDBSCAN* clustering")
+    hdbscan_parser.add_argument("input", help="points file (.csv/.txt/.npy)")
+    hdbscan_parser.add_argument("--min-pts", type=int, default=10)
+    hdbscan_parser.add_argument(
+        "--method", default="memogfk", choices=sorted(HDBSCAN_METHODS)
+    )
+    hdbscan_parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="cut the hierarchy at this epsilon (DBSCAN* labels); "
+        "without it, excess-of-mass flat clusters are returned",
+    )
+    hdbscan_parser.add_argument("--min-cluster-size", type=int, default=5)
+    hdbscan_parser.add_argument("--output", help="write labels as CSV to this path")
+    hdbscan_parser.add_argument(
+        "--mst-output", help="also write the mutual-reachability MST edges here"
+    )
+
+    linkage_parser = subparsers.add_parser(
+        "single-linkage", help="single-linkage clustering via the EMST"
+    )
+    linkage_parser.add_argument("input", help="points file (.csv/.txt/.npy)")
+    linkage_parser.add_argument("--num-clusters", type=int, default=2)
+    linkage_parser.add_argument("--method", default="memogfk", choices=sorted(EMST_METHODS))
+    linkage_parser.add_argument("--output", help="write labels as CSV to this path")
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        points = load_points(args.input)
+        if args.command == "emst":
+            result = emst(points, method=args.method)
+            _write_edges(result, args.output)
+            print(
+                f"# EMST: {result.num_edges} edges, total weight {result.total_weight:.6g}",
+                file=sys.stderr,
+            )
+        elif args.command == "hdbscan":
+            result = hdbscan(points, min_pts=args.min_pts, method=args.method)
+            if args.mst_output:
+                _write_edges(result.mst, args.mst_output)
+            if args.epsilon is not None:
+                labels = result.dbscan_labels(
+                    args.epsilon, min_cluster_size=args.min_cluster_size
+                )
+            else:
+                labels = result.eom_labels(min_cluster_size=args.min_cluster_size)
+            _write_labels(labels, args.output)
+            clusters = len(set(labels[labels >= 0].tolist()))
+            noise = int(np.sum(labels == -1))
+            print(f"# HDBSCAN*: {clusters} clusters, {noise} noise points", file=sys.stderr)
+        else:  # single-linkage
+            result = single_linkage(points, method=args.method)
+            labels = result.labels_k(args.num_clusters)
+            _write_labels(labels, args.output)
+            print(
+                f"# single-linkage: {len(set(labels.tolist()))} clusters", file=sys.stderr
+            )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

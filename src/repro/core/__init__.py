@@ -1,0 +1,39 @@
+"""Core geometric utilities shared by every subsystem.
+
+This subpackage holds the small, dependency-free building blocks the rest of
+the library is written against: point-set validation, Euclidean distance
+kernels, bounding boxes and bounding spheres, and the library's exception
+hierarchy.
+"""
+
+from repro.core.errors import (
+    ReproError,
+    InvalidParameterError,
+    InvalidPointSetError,
+    NotComputedError,
+)
+from repro.core.points import PointSet, as_points
+from repro.core.distance import (
+    euclidean,
+    pairwise_distances,
+    cross_distances,
+    closest_pair_bruteforce,
+    squared_distances_to_point,
+)
+from repro.core.bounding import BoundingBox, BoundingSphere
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "InvalidPointSetError",
+    "NotComputedError",
+    "PointSet",
+    "as_points",
+    "euclidean",
+    "pairwise_distances",
+    "cross_distances",
+    "closest_pair_bruteforce",
+    "squared_distances_to_point",
+    "BoundingBox",
+    "BoundingSphere",
+]

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the library.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses distinguish the three
+failure modes a user can hit: bad parameters, a malformed input point set, and
+asking for a result that has not been computed yet.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter is outside its documented domain (e.g. ``minPts < 1``)."""
+
+
+class InvalidPointSetError(ReproError, ValueError):
+    """The input point set is malformed (wrong shape, NaN values, empty)."""
+
+
+class NotComputedError(ReproError, RuntimeError):
+    """A derived result was requested before the producing step has run."""

@@ -1,0 +1,113 @@
+"""Point-set container and validation.
+
+Every algorithm in the library takes an ``(n, d)`` float64 array of points.
+:func:`as_points` is the single entry point that normalizes user input into
+that canonical form, and :class:`PointSet` is a light wrapper that carries the
+array together with a few cached summary statistics (bounding box, number of
+points, dimensionality) that several algorithms need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidPointSetError
+
+
+def as_points(points, *, copy: bool = False, min_points: int = 1) -> np.ndarray:
+    """Validate and normalize ``points`` into an ``(n, d)`` float64 array.
+
+    Parameters
+    ----------
+    points:
+        Anything ``np.asarray`` accepts: a list of coordinate tuples, an
+        existing NumPy array, a :class:`PointSet`, etc.
+    copy:
+        If true, always return a fresh array even when the input is already in
+        canonical form.
+    min_points:
+        Minimum number of rows required; most algorithms need at least one
+        point and MST-style algorithms need at least two.
+
+    Raises
+    ------
+    InvalidPointSetError
+        If the array is not two-dimensional, has zero columns, has fewer than
+        ``min_points`` rows, or contains non-finite values.
+    """
+    if isinstance(points, PointSet):
+        array = points.coordinates
+    else:
+        array = np.asarray(points, dtype=np.float64)
+    if array.ndim == 1 and array.size > 0:
+        # A flat list of scalars is ambiguous; treat it as n one-dimensional
+        # points, which is the only meaningful interpretation.
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise InvalidPointSetError(
+            f"points must be a 2-d array of shape (n, d); got ndim={array.ndim}"
+        )
+    n, d = array.shape
+    if d == 0:
+        raise InvalidPointSetError("points must have at least one coordinate dimension")
+    if n < min_points:
+        raise InvalidPointSetError(
+            f"at least {min_points} point(s) required; got {n}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise InvalidPointSetError("points must not contain NaN or infinite values")
+    if copy:
+        array = np.array(array, dtype=np.float64, order="C", copy=True)
+    elif array.dtype != np.float64 or not array.flags["C_CONTIGUOUS"]:
+        array = np.ascontiguousarray(array, dtype=np.float64)
+    return array
+
+
+class PointSet:
+    """An immutable set of points in d-dimensional Euclidean space.
+
+    The class is a thin convenience wrapper: algorithms accept raw arrays just
+    as happily, but a ``PointSet`` caches the global bounding box and exposes
+    named accessors which keep example and benchmark code readable.
+    """
+
+    def __init__(self, points):
+        self._coords = as_points(points, copy=True)
+        self._coords.setflags(write=False)
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        """The underlying ``(n, d)`` read-only coordinate array."""
+        return self._coords
+
+    @property
+    def size(self) -> int:
+        """Number of points."""
+        return self._coords.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        """Number of coordinate dimensions."""
+        return self._coords.shape[1]
+
+    @property
+    def lower_bound(self) -> np.ndarray:
+        """Coordinate-wise minimum over all points."""
+        return self._coords.min(axis=0)
+
+    @property
+    def upper_bound(self) -> np.ndarray:
+        """Coordinate-wise maximum over all points."""
+        return self._coords.max(axis=0)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index):
+        return self._coords[index]
+
+    def __iter__(self):
+        return iter(self._coords)
+
+    def __repr__(self) -> str:
+        return f"PointSet(n={self.size}, d={self.dimension})"

@@ -1,0 +1,127 @@
+"""Synthetic dataset generators.
+
+* :func:`uniform_fill` — points uniformly distributed in a hypergrid of side
+  length ``sqrt(n)``, exactly the paper's "UniformFill" generator.
+* :func:`seed_spreader` — the seed-spreader generator of Gan & Tao used for
+  the paper's "SS-varden" data sets: a random walk drops local clusters of
+  points ("spreads") and occasionally restarts at a random location, which
+  produces clusters of varying density plus scattered noise.
+* :func:`gaussian_blobs` — isotropic Gaussian clusters, used by the examples
+  and tests for data with known ground-truth structure.
+* :func:`paper_example_points` — the 9-point 2D configuration of the paper's
+  Figure 1 (vertices a..i), used by the worked-example tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+
+def uniform_fill(
+    n: int,
+    dimensions: int,
+    *,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Points uniformly at random in a hypergrid with side length ``sqrt(n)``."""
+    if n < 1 or dimensions < 1:
+        raise InvalidParameterError("n and dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    side = math.sqrt(n)
+    return rng.uniform(0.0, side, size=(n, dimensions))
+
+
+def seed_spreader(
+    n: int,
+    dimensions: int,
+    *,
+    seed: Optional[int] = None,
+    restart_probability: float = 0.01,
+    local_radius: float = 1.0,
+    step_scale: float = 0.5,
+    noise_fraction: float = 0.02,
+    domain_side: Optional[float] = None,
+) -> np.ndarray:
+    """Seed-spreader data ("SS-varden"): clusters of varying density.
+
+    A "spreader" performs a random walk; at every step it drops one point
+    uniformly inside a ball of radius ``local_radius`` around its current
+    position, then moves by a random offset of scale ``step_scale``.  With
+    probability ``restart_probability`` the spreader teleports to a uniformly
+    random location, starting a new cluster.  A ``noise_fraction`` of the
+    points is replaced by uniform noise over the whole domain.
+    """
+    if n < 1 or dimensions < 1:
+        raise InvalidParameterError("n and dimensions must be positive")
+    if not 0.0 <= noise_fraction <= 1.0:
+        raise InvalidParameterError("noise_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    side = domain_side if domain_side is not None else math.sqrt(n)
+
+    points = np.empty((n, dimensions), dtype=np.float64)
+    position = rng.uniform(0.0, side, size=dimensions)
+    for index in range(n):
+        offset = rng.normal(0.0, local_radius, size=dimensions)
+        points[index] = position + offset
+        position = position + rng.normal(0.0, step_scale, size=dimensions)
+        if rng.random() < restart_probability:
+            position = rng.uniform(0.0, side, size=dimensions)
+
+    num_noise = int(round(noise_fraction * n))
+    if num_noise > 0:
+        noise_indices = rng.choice(n, size=num_noise, replace=False)
+        points[noise_indices] = rng.uniform(0.0, side, size=(num_noise, dimensions))
+    return points
+
+
+def gaussian_blobs(
+    n: int,
+    dimensions: int,
+    *,
+    num_clusters: int = 5,
+    cluster_std: float = 0.05,
+    seed: Optional[int] = None,
+    return_labels: bool = False,
+) -> Tuple[np.ndarray, np.ndarray] | np.ndarray:
+    """Isotropic Gaussian clusters with centres uniform in the unit cube."""
+    if num_clusters < 1:
+        raise InvalidParameterError("num_clusters must be >= 1")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 1.0, size=(num_clusters, dimensions))
+    labels = rng.integers(0, num_clusters, size=n)
+    points = centers[labels] + rng.normal(0.0, cluster_std, size=(n, dimensions))
+    if return_labels:
+        return points, labels
+    return points
+
+
+def paper_example_points() -> Tuple[np.ndarray, dict]:
+    """The 9-point example of the paper's Figure 1.
+
+    The exact coordinates are not given in the paper, so this reconstruction
+    places the points so that the *distances used in the figure* hold:
+    ``d(a, b) = 4``, ``d(a, d) = sqrt(2)``, ``d(b, d) = sqrt(10)``,
+    ``d(d, e) = 6``, ``d(e, g) = sqrt(5)``, ``d(f, g) = 1``,
+    ``d(f, h) = sqrt(5)``, ``d(b, c) = 2*sqrt(2)``, ``d(h, i) = sqrt(346)``.
+    Returns the ``(9, 2)`` array and a name-to-index mapping.
+    """
+    names = ["a", "b", "c", "d", "e", "f", "g", "h", "i"]
+    coordinates = np.array(
+        [
+            [0.0, 0.0],    # a
+            [4.0, 0.0],    # b
+            [6.0, -2.0],   # c
+            [1.0, 1.0],    # d
+            [1.0, 7.0],    # e
+            [3.0, 9.0],    # f
+            [2.0, 9.0],    # g
+            [4.0, 11.0],   # h
+            [19.0, 22.0],  # i
+        ]
+    )
+    return coordinates, {name: index for index, name in enumerate(names)}

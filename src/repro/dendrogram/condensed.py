@@ -1,0 +1,248 @@
+"""Condensed tree and excess-of-mass (EOM) cluster extraction.
+
+The paper produces the HDBSCAN* *dendrogram*; turning the dendrogram into a
+flat clustering without choosing a single epsilon is done, in Campello et
+al.'s original HDBSCAN* formulation, by (1) *condensing* the dendrogram —
+ignoring splits that only shave off fewer than ``min_cluster_size`` points —
+and (2) selecting the set of condensed clusters with maximum total
+*stability* ("excess of mass").  This module implements both steps on top of
+:class:`repro.dendrogram.structure.Dendrogram`, so the full
+``hdbscan()`` → dendrogram → flat clusters pipeline is available end to end.
+
+Density here is expressed as ``lambda = 1 / height`` (height being the mutual
+reachability distance at which a split happens), following the standard
+formulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.dendrogram.structure import Dendrogram
+
+
+@dataclass(frozen=True)
+class CondensedEdge:
+    """One record of the condensed tree.
+
+    ``child`` is a point id when ``child_size == 1`` and ``child_is_cluster``
+    is False; otherwise it is the id of a child cluster.  ``lambda_value`` is
+    the density level (1 / height) at which the child separated from
+    ``parent_cluster``.
+    """
+
+    parent_cluster: int
+    child: int
+    lambda_value: float
+    child_size: int
+    child_is_cluster: bool
+
+
+@dataclass
+class CondensedTree:
+    """Condensed dendrogram plus per-cluster bookkeeping."""
+
+    num_points: int
+    min_cluster_size: int
+    edges: List[CondensedEdge] = field(default_factory=list)
+    birth_lambda: Dict[int, float] = field(default_factory=dict)
+    parent_of_cluster: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.birth_lambda)
+
+    def cluster_ids(self) -> List[int]:
+        return sorted(self.birth_lambda)
+
+    def children_clusters(self, cluster: int) -> List[int]:
+        return [
+            edge.child
+            for edge in self.edges
+            if edge.parent_cluster == cluster and edge.child_is_cluster
+        ]
+
+    def stability(self, cluster: int) -> float:
+        """Excess-of-mass stability: sum over members of (lambda_leave - lambda_birth)."""
+        birth = self.birth_lambda[cluster]
+        total = 0.0
+        for edge in self.edges:
+            if edge.parent_cluster != cluster:
+                continue
+            leave = edge.lambda_value
+            if math.isinf(leave):
+                # Points that never separate before the densest level: cap at
+                # the largest finite lambda seen in the cluster (standard
+                # practice; an all-duplicate cluster has unbounded density).
+                leave = birth
+            total += (leave - birth) * edge.child_size
+        return total
+
+
+def _lambda_of_height(height: float) -> float:
+    return math.inf if height <= 0.0 else 1.0 / height
+
+
+def condense_dendrogram(
+    dendrogram: Dendrogram, min_cluster_size: int = 5
+) -> CondensedTree:
+    """Condense a dendrogram, ignoring splits smaller than ``min_cluster_size``.
+
+    Walking from the root down, a split into two children both of size at
+    least ``min_cluster_size`` creates two new clusters; otherwise the large
+    side keeps the parent's cluster identity and the points of the small side
+    "fall out" of the cluster at the split's density level.
+    """
+    if min_cluster_size < 1:
+        raise InvalidParameterError("min_cluster_size must be >= 1")
+    n = dendrogram.num_points
+    tree = CondensedTree(num_points=n, min_cluster_size=min_cluster_size)
+    if n == 1:
+        tree.birth_lambda[0] = 0.0
+        tree.edges.append(CondensedEdge(0, 0, math.inf, 1, False))
+        return tree
+    if dendrogram.root is None:
+        raise InvalidParameterError("dendrogram has no root; construction incomplete")
+
+    root_cluster = 0
+    tree.birth_lambda[root_cluster] = 0.0
+    next_cluster_id = 1
+
+    def leaves_under(node_id: int) -> List[int]:
+        stack, members = [node_id], []
+        while stack:
+            current = stack.pop()
+            if dendrogram.is_leaf(current):
+                members.append(current)
+            else:
+                left, right = dendrogram.children(current)
+                stack.extend((left, right))
+        return members
+
+    # Each stack entry: (dendrogram node, condensed cluster it belongs to).
+    stack: List[Tuple[int, int]] = [(dendrogram.root, root_cluster)]
+    while stack:
+        node_id, cluster = stack.pop()
+        if dendrogram.is_leaf(node_id):
+            # A singleton that reached the bottom of its cluster: it stays
+            # until the maximum density, i.e. it leaves at lambda = infinity
+            # (capped later during stability computation).
+            tree.edges.append(CondensedEdge(cluster, node_id, math.inf, 1, False))
+            continue
+        left, right = dendrogram.children(node_id)
+        lambda_value = _lambda_of_height(dendrogram.height(node_id))
+        left_size = dendrogram.node_size(left)
+        right_size = dendrogram.node_size(right)
+        big_left = left_size >= min_cluster_size
+        big_right = right_size >= min_cluster_size
+
+        if big_left and big_right:
+            for child in (left, right):
+                child_cluster = next_cluster_id
+                next_cluster_id += 1
+                tree.birth_lambda[child_cluster] = lambda_value
+                tree.parent_of_cluster[child_cluster] = cluster
+                tree.edges.append(
+                    CondensedEdge(
+                        cluster,
+                        child_cluster,
+                        lambda_value,
+                        dendrogram.node_size(child),
+                        True,
+                    )
+                )
+                stack.append((child, child_cluster))
+        elif big_left or big_right:
+            survivor, shed = (left, right) if big_left else (right, left)
+            for point in leaves_under(shed):
+                tree.edges.append(CondensedEdge(cluster, point, lambda_value, 1, False))
+            stack.append((survivor, cluster))
+        else:
+            for point in leaves_under(node_id):
+                tree.edges.append(CondensedEdge(cluster, point, lambda_value, 1, False))
+    return tree
+
+
+def extract_eom_clusters(
+    condensed: CondensedTree, *, allow_single_cluster: bool = False
+) -> Tuple[np.ndarray, Dict[int, float]]:
+    """Excess-of-mass cluster selection.
+
+    Processes clusters bottom-up: a cluster is selected when its own stability
+    exceeds the summed stability of its selected descendants (which are then
+    deselected).  The root cluster is only eligible when
+    ``allow_single_cluster`` is true, as in the reference formulation.
+
+    Returns ``(labels, stabilities)`` where ``labels[p]`` is the selected
+    cluster's consecutive label for point ``p`` (or ``-1`` for noise) and
+    ``stabilities`` maps each selected condensed-cluster id to its stability.
+    """
+    cluster_ids = condensed.cluster_ids()
+    if not cluster_ids:
+        return np.full(condensed.num_points, -1, dtype=np.int64), {}
+
+    # Process deepest clusters first: children have larger ids than parents by
+    # construction, so reverse id order is a valid bottom-up order.
+    stability = {cluster: condensed.stability(cluster) for cluster in cluster_ids}
+    subtree_score: Dict[int, float] = {}
+    selected: Dict[int, bool] = {}
+    for cluster in sorted(cluster_ids, reverse=True):
+        children = condensed.children_clusters(cluster)
+        child_score = sum(subtree_score[child] for child in children)
+        is_root = cluster == 0
+        if (stability[cluster] >= child_score and not is_root) or (
+            is_root and allow_single_cluster and stability[cluster] >= child_score
+        ):
+            selected[cluster] = True
+            subtree_score[cluster] = stability[cluster]
+            # Deselect every descendant.
+            descendants = list(children)
+            while descendants:
+                descendant = descendants.pop()
+                selected[descendant] = False
+                descendants.extend(condensed.children_clusters(descendant))
+        else:
+            selected[cluster] = False
+            subtree_score[cluster] = max(child_score, stability[cluster]) if is_root else child_score
+
+    chosen = [cluster for cluster in cluster_ids if selected.get(cluster)]
+    label_of_cluster = {cluster: label for label, cluster in enumerate(sorted(chosen))}
+
+    # A point belongs to the selected ancestor (if any) of the cluster it fell
+    # out of.
+    def selected_ancestor(cluster: int) -> Optional[int]:
+        current: Optional[int] = cluster
+        while current is not None:
+            if selected.get(current):
+                return current
+            current = condensed.parent_of_cluster.get(current)
+        return None
+
+    labels = np.full(condensed.num_points, -1, dtype=np.int64)
+    for edge in condensed.edges:
+        if edge.child_is_cluster:
+            continue
+        home = selected_ancestor(edge.parent_cluster)
+        if home is not None:
+            labels[edge.child] = label_of_cluster[home]
+    stabilities = {cluster: stability[cluster] for cluster in chosen}
+    return labels, stabilities
+
+
+def hdbscan_flat_labels(
+    dendrogram: Dendrogram,
+    *,
+    min_cluster_size: int = 5,
+    allow_single_cluster: bool = False,
+) -> np.ndarray:
+    """Convenience wrapper: condense the dendrogram and run EOM selection."""
+    condensed = condense_dendrogram(dendrogram, min_cluster_size)
+    labels, _ = extract_eom_clusters(
+        condensed, allow_single_cluster=allow_single_cluster
+    )
+    return labels

@@ -1,0 +1,149 @@
+"""Extracting flat clusterings from dendrograms and HDBSCAN* MSTs.
+
+* :func:`clusters_at_height` cuts a dendrogram horizontally at a height
+  ``epsilon``: the resulting clusters are the maximal subtrees entirely below
+  the cut (single-linkage clusters when the dendrogram came from the EMST).
+* :func:`dbscan_star_labels` reproduces the DBSCAN* clustering for a given
+  ``epsilon`` directly from the HDBSCAN* MST plus core distances: a point is
+  noise if its core distance exceeds ``epsilon`` (its self-edge is removed),
+  and the clusters are the connected components of the remaining points under
+  MST edges of weight at most ``epsilon``.
+* :func:`cut_num_clusters` extracts exactly ``k`` clusters by splitting the
+  ``k - 1`` highest dendrogram nodes (classic single-linkage flat clustering).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.dendrogram.structure import Dendrogram
+from repro.parallel.unionfind import UnionFind
+
+
+def _label_subtree(dendrogram: Dendrogram, node_id: int, label: int, labels: np.ndarray) -> None:
+    stack = [node_id]
+    while stack:
+        current = stack.pop()
+        if dendrogram.is_leaf(current):
+            labels[current] = label
+            continue
+        left, right = dendrogram.children(current)
+        stack.append(left)
+        stack.append(right)
+
+
+def clusters_at_height(dendrogram: Dendrogram, epsilon: float) -> np.ndarray:
+    """Cluster labels after cutting the dendrogram at height ``epsilon``.
+
+    Every maximal subtree whose root height is at most ``epsilon`` becomes one
+    cluster; leaves split off above the cut become singleton clusters.  Labels
+    are consecutive integers starting at 0, ordered by the dendrogram's
+    left-to-right leaf order.
+    """
+    n = dendrogram.num_points
+    labels = np.full(n, -1, dtype=np.int64)
+    if n == 1:
+        labels[0] = 0
+        return labels
+    if dendrogram.root is None:
+        raise InvalidParameterError("dendrogram has no root; construction incomplete")
+
+    next_label = 0
+    stack = [dendrogram.root]
+    while stack:
+        node_id = stack.pop(0)
+        if dendrogram.is_leaf(node_id) or dendrogram.height(node_id) <= epsilon:
+            _label_subtree(dendrogram, node_id, next_label, labels)
+            next_label += 1
+            continue
+        left, right = dendrogram.children(node_id)
+        stack.append(left)
+        stack.append(right)
+    return labels
+
+
+def cut_num_clusters(dendrogram: Dendrogram, num_clusters: int) -> np.ndarray:
+    """Cluster labels for exactly ``num_clusters`` clusters.
+
+    Splits the dendrogram greedily at its highest internal nodes, the
+    classic way a single-linkage dendrogram is flattened to ``k`` clusters.
+    ``num_clusters`` is clamped to the number of points.
+    """
+    n = dendrogram.num_points
+    if num_clusters < 1:
+        raise InvalidParameterError("num_clusters must be >= 1")
+    num_clusters = min(num_clusters, n)
+    labels = np.full(n, -1, dtype=np.int64)
+    if n == 1 or num_clusters == 1:
+        labels[:] = 0
+        return labels
+
+    # Max-heap of candidate cluster roots keyed by height (leaves height 0).
+    def height_of(node_id: int) -> float:
+        return 0.0 if dendrogram.is_leaf(node_id) else dendrogram.height(node_id)
+
+    heap = [(-height_of(dendrogram.root), dendrogram.root)]
+    clusters = []
+    while heap and len(heap) + len(clusters) < num_clusters:
+        negative_height, node_id = heapq.heappop(heap)
+        if dendrogram.is_leaf(node_id):
+            clusters.append(node_id)
+            continue
+        left, right = dendrogram.children(node_id)
+        heapq.heappush(heap, (-height_of(left), left))
+        heapq.heappush(heap, (-height_of(right), right))
+    clusters.extend(node_id for _, node_id in heap)
+
+    for label, node_id in enumerate(clusters):
+        _label_subtree(dendrogram, node_id, label, labels)
+    return labels
+
+
+def dbscan_star_labels(
+    mst_edges: Iterable[Tuple[int, int, float]],
+    core_distances: np.ndarray,
+    epsilon: float,
+    *,
+    min_cluster_size: int = 1,
+) -> np.ndarray:
+    """DBSCAN* labels for one value of ``epsilon`` from the HDBSCAN* MST.
+
+    A point whose core distance exceeds ``epsilon`` is noise (label ``-1``).
+    The remaining (core) points are clustered by the connected components of
+    the MST edges with weight at most ``epsilon`` restricted to core points.
+    Components smaller than ``min_cluster_size`` are also labelled noise.
+    """
+    core_distances = np.asarray(core_distances, dtype=np.float64)
+    n = core_distances.shape[0]
+    is_core = core_distances <= epsilon
+    union_find = UnionFind(n)
+    for u, v, weight in mst_edges:
+        u, v = int(u), int(v)
+        if weight <= epsilon and is_core[u] and is_core[v]:
+            union_find.union(u, v)
+
+    labels = np.full(n, -1, dtype=np.int64)
+    component_label = {}
+    component_size = {}
+    for index in range(n):
+        if not is_core[index]:
+            continue
+        root = union_find.find(index)
+        component_size[root] = component_size.get(root, 0) + 1
+    next_label = 0
+    for index in range(n):
+        if not is_core[index]:
+            continue
+        root = union_find.find(index)
+        if component_size[root] < min_cluster_size:
+            continue
+        if root not in component_label:
+            component_label[root] = next_label
+            next_label += 1
+        labels[index] = component_label[root]
+    return labels

@@ -1,0 +1,80 @@
+"""Reachability plots (OPTICS sequences).
+
+The reachability plot for a starting point ``s`` lists the points in the
+order Prim's algorithm visits them on the (mutual-reachability or Euclidean)
+MST starting from ``s``; each point's bar height is the weight of the edge
+that attached it to the already-visited set (``inf`` for ``s`` itself).
+
+Two routes produce it:
+
+* :func:`reachability_plot` — run Prim directly on the tree edges (the
+  sequential reference, Section 4 "Sequentially ...").
+* :func:`reachability_from_dendrogram` — read it off an *ordered* dendrogram:
+  the leaf order is the in-order traversal, and a leaf's bar height is the
+  height of its nearest ancestor of which it is in the right subtree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.dendrogram.structure import Dendrogram
+from repro.mst.prim import prim_order
+from repro.parallel.scheduler import current_tracker
+
+
+def reachability_plot(
+    tree_edges: Iterable[Tuple[int, int, float]],
+    num_points: int,
+    *,
+    start: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reachability plot by running Prim's algorithm on the tree edges.
+
+    Returns ``(order, distances)``: the point ids in visit order and the bar
+    height of each (``inf`` for the first).
+    """
+    order, distances = prim_order(tree_edges, num_points, start=start)
+    if len(order) != num_points:
+        raise InvalidParameterError(
+            "tree_edges do not span all points; cannot build a reachability plot"
+        )
+    return np.asarray(order, dtype=np.int64), np.asarray(distances, dtype=np.float64)
+
+
+def reachability_from_dendrogram(dendrogram: Dendrogram) -> Tuple[np.ndarray, np.ndarray]:
+    """Reachability plot read off an ordered dendrogram.
+
+    The in-order traversal of the leaves gives the point order; each leaf's
+    bar height is the height of the nearest ancestor whose *right* subtree
+    contains the leaf (``inf`` for the leftmost leaf).
+    """
+    n = dendrogram.num_points
+    tracker = current_tracker()
+    tracker.add(n, max(math.log2(n + 1), 1.0), phase="dendrogram")
+    if n == 1:
+        return np.zeros(1, dtype=np.int64), np.array([math.inf])
+    if dendrogram.root is None:
+        raise InvalidParameterError("dendrogram has no root; construction incomplete")
+
+    order: List[int] = []
+    heights: List[float] = []
+    # Each stack entry carries the height "pending" for the first leaf of the
+    # subtree: the height of the nearest ancestor that placed this subtree on
+    # its right side.
+    stack: List[Tuple[int, float]] = [(dendrogram.root, math.inf)]
+    while stack:
+        node_id, pending = stack.pop()
+        if dendrogram.is_leaf(node_id):
+            order.append(node_id)
+            heights.append(pending)
+            continue
+        left, right = dendrogram.children(node_id)
+        height = dendrogram.height(node_id)
+        stack.append((right, height))
+        stack.append((left, pending))
+    return np.asarray(order, dtype=np.int64), np.asarray(heights, dtype=np.float64)

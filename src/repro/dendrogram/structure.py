@@ -1,0 +1,177 @@
+"""The dendrogram data structure.
+
+A dendrogram over ``n`` points is a full binary tree with ``n`` leaves (the
+points, ids ``0 .. n-1``) and ``n - 1`` internal nodes (ids ``n .. 2n-2``).
+Each internal node corresponds to one spanning-tree edge: removing that edge
+splits the node's cluster into its two children, and the node's *height* is
+the weight of the removed edge.
+
+Ordered dendrograms additionally fix the left/right order of every node's
+children so that the in-order traversal of the leaves equals the Prim-order
+traversal of the underlying tree from a chosen starting vertex (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+
+class Dendrogram:
+    """Binary merge tree over ``num_points`` leaves.
+
+    Internal node ``k`` (0-based) has node id ``num_points + k``; its children
+    may be leaves (ids below ``num_points``) or other internal nodes.
+    """
+
+    def __init__(self, num_points: int) -> None:
+        if num_points < 1:
+            raise InvalidParameterError("a dendrogram needs at least one point")
+        self.num_points = num_points
+        self._left: List[int] = []
+        self._right: List[int] = []
+        self._height: List[float] = []
+        self._size: List[int] = []
+        self._edge: List[Tuple[int, int]] = []
+        self.root: Optional[int] = 0 if num_points == 1 else None
+
+    # -- construction ---------------------------------------------------------
+
+    def add_internal(
+        self,
+        left: int,
+        right: int,
+        height: float,
+        edge: Tuple[int, int],
+    ) -> int:
+        """Add an internal node merging ``left`` and ``right``; return its id."""
+        node_id = self.num_points + len(self._left)
+        self._left.append(int(left))
+        self._right.append(int(right))
+        self._height.append(float(height))
+        self._size.append(self.node_size(left) + self.node_size(right))
+        self._edge.append((int(edge[0]), int(edge[1])))
+        return node_id
+
+    def set_root(self, node_id: int) -> None:
+        self.root = int(node_id)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def num_internal(self) -> int:
+        return len(self._left)
+
+    def is_leaf(self, node_id: int) -> bool:
+        return node_id < self.num_points
+
+    def children(self, node_id: int) -> Tuple[int, int]:
+        """(left, right) child ids of an internal node."""
+        index = self._internal_index(node_id)
+        return self._left[index], self._right[index]
+
+    def height(self, node_id: int) -> float:
+        """Height (weight of the removed edge) of an internal node."""
+        return self._height[self._internal_index(node_id)]
+
+    def edge(self, node_id: int) -> Tuple[int, int]:
+        """The spanning-tree edge whose removal created this internal node."""
+        return self._edge[self._internal_index(node_id)]
+
+    def node_size(self, node_id: int) -> int:
+        """Number of leaves under ``node_id``."""
+        if self.is_leaf(node_id):
+            return 1
+        return self._size[self._internal_index(node_id)]
+
+    def heights(self) -> np.ndarray:
+        """Heights of all internal nodes (construction order)."""
+        return np.asarray(self._height, dtype=np.float64)
+
+    def _internal_index(self, node_id: int) -> int:
+        index = node_id - self.num_points
+        if index < 0 or index >= len(self._left):
+            raise InvalidParameterError(f"node {node_id} is not an internal node")
+        return index
+
+    # -- traversals -----------------------------------------------------------
+
+    def leaves_in_order(self) -> List[int]:
+        """Leaf ids in dendrogram (in-order / left-to-right) order."""
+        if self.root is None:
+            raise InvalidParameterError("dendrogram has no root; construction incomplete")
+        order: List[int] = []
+        stack: List[Tuple[int, bool]] = [(self.root, False)]
+        while stack:
+            node_id, expanded = stack.pop()
+            if self.is_leaf(node_id):
+                order.append(node_id)
+                continue
+            left, right = self.children(node_id)
+            # In-order on a full binary tree: everything in the left subtree,
+            # then everything in the right subtree (the internal node itself
+            # carries no leaf).
+            stack.append((right, False))
+            stack.append((left, False))
+        return order
+
+    def parent_array(self) -> np.ndarray:
+        """Parent id of every node (-1 for the root)."""
+        total = self.num_points + self.num_internal
+        parents = np.full(total, -1, dtype=np.int64)
+        for index in range(self.num_internal):
+            node_id = self.num_points + index
+            parents[self._left[index]] = node_id
+            parents[self._right[index]] = node_id
+        return parents
+
+    def iter_internal(self) -> Iterator[int]:
+        """Iterate over internal node ids in construction order."""
+        for index in range(self.num_internal):
+            yield self.num_points + index
+
+    # -- validation and comparison --------------------------------------------
+
+    def is_valid(self) -> bool:
+        """Structural sanity: every node has one parent, heights are monotone.
+
+        Monotonicity here means every internal node is at least as high as its
+        internal children, which holds for dendrograms produced by removing
+        edges in decreasing weight order.
+        """
+        if self.num_points == 1:
+            return self.num_internal == 0
+        if self.num_internal != self.num_points - 1 or self.root is None:
+            return False
+        parents = self.parent_array()
+        root_count = int(np.sum(parents == -1))
+        if root_count != 1 or parents[self.root] != -1:
+            return False
+        for node_id in self.iter_internal():
+            for child in self.children(node_id):
+                if not self.is_leaf(child) and self.height(child) > self.height(node_id) + 1e-12:
+                    return False
+        return True
+
+    def to_linkage_matrix(self) -> np.ndarray:
+        """SciPy-style ``(n-1, 4)`` linkage matrix (cluster1, cluster2, height, size).
+
+        Internal nodes must have been added in non-decreasing height order for
+        the result to be a valid SciPy linkage; the bottom-up construction
+        guarantees that, the top-down ones do not (use
+        :func:`repro.dendrogram.sequential.dendrogram_sequential` when a SciPy
+        compatible matrix is required).
+        """
+        matrix = np.empty((self.num_internal, 4), dtype=np.float64)
+        for index in range(self.num_internal):
+            matrix[index, 0] = self._left[index]
+            matrix[index, 1] = self._right[index]
+            matrix[index, 2] = self._height[index]
+            matrix[index, 3] = self._size[index]
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dendrogram(n={self.num_points}, internal={self.num_internal})"

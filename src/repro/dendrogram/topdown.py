@@ -1,0 +1,283 @@
+"""Top-down dendrogram construction (Section 4.2 of the paper).
+
+Two variants are provided:
+
+* :func:`dendrogram_topdown_simple` — the paper's warm-up algorithm: remove
+  the heaviest edge (it becomes the root), recurse on the two resulting
+  subtrees.  Worst-case quadratic, but simple; it doubles as the base case and
+  as an independent reference in the tests.
+
+* :func:`dendrogram_topdown` — the divide-and-conquer algorithm with heavy and
+  light edges.  Each level takes the heaviest ``heavy_fraction`` of the edges
+  (the paper uses 1/10) as the *heavy* subproblem, which forms the top part of
+  the dendrogram; the connected components induced by the remaining *light*
+  edges form independent light subproblems whose dendrogram roots are spliced
+  into the corresponding positions of the heavy-edge dendrogram.  Because the
+  light components are contracted into supernodes for the heavy subproblem,
+  the splice is represented directly: the supernode's dendrogram id *is* the
+  light component's dendrogram root.
+
+Both constructions honour the ordered-dendrogram rule (the child cluster
+attached to the endpoint closer to the starting vertex goes left), so their
+in-order leaf traversal equals Prim's visiting order from that vertex.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.dendrogram.sequential import (
+    _ordered_children,
+    tree_vertex_distances,
+)
+from repro.dendrogram.structure import Dendrogram
+from repro.parallel.scheduler import current_tracker
+from repro.parallel.semisort import semisort
+from repro.parallel.unionfind import UnionFind
+
+Edge = Tuple[int, int, float]
+
+
+def _bottom_up_merge(
+    edges: Sequence[Edge],
+    representative: Dict[int, int],
+    dendrogram: Dendrogram,
+    vertex_distance: np.ndarray,
+) -> int:
+    """Merge the clusters spanned by ``edges`` bottom-up; return the root id.
+
+    ``representative`` maps every vertex appearing in ``edges`` to the
+    dendrogram node currently representing its cluster (a leaf id for a bare
+    vertex, or the root of an already-built light-subproblem dendrogram).
+    Distinct vertices sharing a representative belong to the same contracted
+    supernode, so the union-find operates over representative ids.
+    """
+    supernodes = {representative[u] for u, _, _ in edges} | {
+        representative[v] for _, v, _ in edges
+    }
+    local_index = {supernode: index for index, supernode in enumerate(supernodes)}
+    union_find = UnionFind(len(local_index))
+    cluster_node: Dict[int, int] = {}
+
+    last_node = -1
+    for u, v, weight in sorted(edges, key=lambda edge: edge[2]):
+        root_u = union_find.find(local_index[representative[u]])
+        root_v = union_find.find(local_index[representative[v]])
+        if root_u == root_v:
+            # Cannot happen for a valid tree unless two supernodes were
+            # already merged through another edge of equal weight touching
+            # the same contracted component; skip defensively.
+            continue
+        node_u = cluster_node.get(root_u, representative[u])
+        node_v = cluster_node.get(root_v, representative[v])
+        left, right = _ordered_children(node_u, node_v, u, v, vertex_distance)
+        new_node = dendrogram.add_internal(left, right, weight, (u, v))
+        union_find.union(local_index[representative[u]], local_index[representative[v]])
+        cluster_node[union_find.find(local_index[representative[u]])] = new_node
+        last_node = new_node
+    return last_node
+
+
+def _build_recursive(
+    edges: List[Edge],
+    representative: Dict[int, int],
+    dendrogram: Dendrogram,
+    vertex_distance: np.ndarray,
+    heavy_fraction: float,
+    base_size: int,
+    depth: int,
+) -> int:
+    """Heavy/light recursion; returns the dendrogram root of this subproblem."""
+    tracker = current_tracker()
+    m = len(edges)
+    tracker.add(m, max(math.log2(m + 1), 1.0), phase="dendrogram")
+
+    if m <= base_size:
+        return _bottom_up_merge(edges, representative, dendrogram, vertex_distance)
+
+    # Heavy edges: the heaviest ``heavy_fraction`` of this subproblem's edges
+    # (at least one).  Parallel selection in the paper; a partial sort here.
+    num_heavy = max(1, int(m * heavy_fraction))
+    weights = np.array([w for _, _, w in edges])
+    threshold_index = m - num_heavy
+    if threshold_index <= 0:
+        # Every edge would be "heavy"; recursing would not shrink the problem.
+        return _bottom_up_merge(edges, representative, dendrogram, vertex_distance)
+    order = np.argpartition(weights, threshold_index - 1)
+    light_indices = order[:threshold_index]
+    heavy_indices = order[threshold_index:]
+    light_edges = [edges[i] for i in light_indices]
+    heavy_edges = [edges[i] for i in heavy_indices]
+
+    # Light components: connected components induced by the light edges over
+    # the contracted supernodes (vertices sharing a representative are one
+    # supernode already).
+    supernodes = {representative[u] for u, _, _ in edges} | {
+        representative[v] for _, v, _ in edges
+    }
+    local_index = {supernode: index for index, supernode in enumerate(supernodes)}
+    union_find = UnionFind(len(local_index))
+    for u, v, _ in light_edges:
+        union_find.union(local_index[representative[u]], local_index[representative[v]])
+
+    grouped = semisort(
+        light_edges,
+        key=lambda edge: union_find.find(local_index[representative[edge[0]]]),
+        phase="dendrogram",
+    )
+
+    # Recursively build every light subproblem; its root becomes the
+    # representative of every supernode the component absorbed.  The remap is
+    # applied at the supernode level: a vertex that only touches heavy edges
+    # may share its supernode with vertices inside a light component, and it
+    # must follow that supernode into the component's new root.
+    supernode_remap: Dict[int, int] = {}
+    for component_edges in grouped.values():
+        root = _build_recursive(
+            list(component_edges),
+            representative,
+            dendrogram,
+            vertex_distance,
+            heavy_fraction,
+            base_size,
+            depth + 1,
+        )
+        for u, v, _ in component_edges:
+            supernode_remap[representative[u]] = root
+            supernode_remap[representative[v]] = root
+    updated_representative = {
+        vertex: supernode_remap.get(supernode, supernode)
+        for vertex, supernode in representative.items()
+    }
+
+    # The heavy subproblem operates on the contracted vertices.
+    return _build_recursive(
+        heavy_edges,
+        updated_representative,
+        dendrogram,
+        vertex_distance,
+        heavy_fraction,
+        base_size,
+        depth + 1,
+    )
+
+
+def dendrogram_topdown(
+    edges: Iterable[Edge],
+    num_points: int,
+    *,
+    start: int = 0,
+    heavy_fraction: float = 0.1,
+    base_size: int = 32,
+    vertex_distance: Optional[np.ndarray] = None,
+) -> Dendrogram:
+    """Ordered dendrogram via the heavy/light divide-and-conquer algorithm.
+
+    Parameters
+    ----------
+    edges:
+        The ``num_points - 1`` spanning-tree edges.
+    num_points:
+        Number of points/leaves.
+    start:
+        Starting vertex for the ordered dendrogram / reachability plot.
+    heavy_fraction:
+        Fraction of the edges treated as heavy at each level (paper: 1/10).
+    base_size:
+        Subproblems with at most this many edges switch to the sequential
+        bottom-up construction (the paper similarly switches to the sequential
+        algorithm below a size threshold).
+    vertex_distance:
+        Precomputed hop distances from ``start``.
+    """
+    edge_list = [(int(u), int(v), float(w)) for u, v, w in edges]
+    if num_points < 1:
+        raise InvalidParameterError("num_points must be >= 1")
+    dendrogram = Dendrogram(num_points)
+    if num_points == 1:
+        return dendrogram
+    if len(edge_list) != num_points - 1:
+        raise InvalidParameterError(
+            f"a spanning tree over {num_points} points needs {num_points - 1} edges, "
+            f"got {len(edge_list)}"
+        )
+    if not 0.0 < heavy_fraction <= 1.0:
+        raise InvalidParameterError("heavy_fraction must be in (0, 1]")
+    if vertex_distance is None:
+        vertex_distance = tree_vertex_distances(edge_list, num_points, start)
+
+    representative = {}
+    for u, v, _ in edge_list:
+        representative[u] = u
+        representative[v] = v
+
+    root = _build_recursive(
+        edge_list,
+        representative,
+        dendrogram,
+        vertex_distance,
+        heavy_fraction,
+        max(base_size, 1),
+        0,
+    )
+    dendrogram.set_root(root)
+    return dendrogram
+
+
+def dendrogram_topdown_simple(
+    edges: Iterable[Edge],
+    num_points: int,
+    *,
+    start: int = 0,
+    vertex_distance: Optional[np.ndarray] = None,
+) -> Dendrogram:
+    """Ordered dendrogram via the warm-up algorithm (remove the heaviest edge).
+
+    Worst-case O(n^2); used as an independent reference implementation and for
+    small inputs.
+    """
+    edge_list = [(int(u), int(v), float(w)) for u, v, w in edges]
+    if num_points < 1:
+        raise InvalidParameterError("num_points must be >= 1")
+    dendrogram = Dendrogram(num_points)
+    if num_points == 1:
+        return dendrogram
+    if len(edge_list) != num_points - 1:
+        raise InvalidParameterError(
+            f"a spanning tree over {num_points} points needs {num_points - 1} edges, "
+            f"got {len(edge_list)}"
+        )
+    if vertex_distance is None:
+        vertex_distance = tree_vertex_distances(edge_list, num_points, start)
+    tracker = current_tracker()
+
+    def build(sub_edges: List[Edge]) -> int:
+        tracker.add(len(sub_edges), 1.0, phase="dendrogram")
+        if len(sub_edges) == 1:
+            u, v, weight = sub_edges[0]
+            left, right = _ordered_children(u, v, u, v, vertex_distance)
+            return dendrogram.add_internal(left, right, weight, (u, v))
+        heaviest_index = max(range(len(sub_edges)), key=lambda i: sub_edges[i][2])
+        u, v, weight = sub_edges[heaviest_index]
+        remaining = [edge for i, edge in enumerate(sub_edges) if i != heaviest_index]
+        # Split the remaining edges by which side of the removed edge they lie on.
+        vertices = {a for a, _, _ in sub_edges} | {b for _, b, _ in sub_edges}
+        local_index = {vertex: index for index, vertex in enumerate(vertices)}
+        union_find = UnionFind(len(local_index))
+        for a, b, _ in remaining:
+            union_find.union(local_index[a], local_index[b])
+        root_u = union_find.find(local_index[u])
+        side_u = [e for e in remaining if union_find.find(local_index[e[0]]) == root_u]
+        side_v = [e for e in remaining if union_find.find(local_index[e[0]]) != root_u]
+        node_u = build(side_u) if side_u else u
+        node_v = build(side_v) if side_v else v
+        left, right = _ordered_children(node_u, node_v, u, v, vertex_distance)
+        return dendrogram.add_internal(left, right, weight, (u, v))
+
+    root = build(edge_list)
+    dendrogram.set_root(root)
+    return dendrogram

@@ -1,0 +1,42 @@
+"""Euclidean minimum spanning tree algorithms.
+
+The variants evaluated in Section 5 of the paper, plus two reference
+baselines:
+
+* :func:`~repro.emst.naive.emst_naive` — EMST-Naive: compute the BCCP edge of
+  every WSPD pair, then run one MST pass over all of them.
+* :func:`~repro.emst.gfk.emst_gfk` — EMST-GFK (Algorithm 2): parallel
+  GeoFilterKruskal over a materialized WSPD.
+* :func:`~repro.emst.memogfk.emst_memogfk` — EMST-MemoGFK (Algorithm 3): the
+  memory-optimized variant that retrieves only the pairs needed each round via
+  pruned kd-tree traversals.
+* :func:`~repro.emst.delaunay_emst.emst_delaunay` — 2D-only EMST via the
+  Delaunay triangulation (Appendix A.1).
+* :func:`~repro.emst.dualtree_boruvka.emst_dualtree_boruvka` — kd-tree Borůvka
+  baseline standing in for mlpack's Dual-Tree Borůvka (Table 3).
+* :func:`~repro.emst.brute.emst_bruteforce` — O(n^2) complete-graph Kruskal,
+  the ground truth the test suite compares everything against.
+
+:func:`~repro.emst.api.emst` is the public front door that picks a method.
+"""
+
+from repro.emst.result import EMSTResult
+from repro.emst.brute import emst_bruteforce
+from repro.emst.naive import emst_naive
+from repro.emst.gfk import emst_gfk
+from repro.emst.memogfk import emst_memogfk
+from repro.emst.delaunay_emst import emst_delaunay
+from repro.emst.dualtree_boruvka import emst_dualtree_boruvka
+from repro.emst.api import emst, EMST_METHODS
+
+__all__ = [
+    "EMSTResult",
+    "emst_bruteforce",
+    "emst_naive",
+    "emst_gfk",
+    "emst_memogfk",
+    "emst_delaunay",
+    "emst_dualtree_boruvka",
+    "emst",
+    "EMST_METHODS",
+]

@@ -1,0 +1,56 @@
+"""Public EMST entry point.
+
+``emst(points, method=...)`` dispatches to one of the implementations; the
+default is MemoGFK, the paper's fastest method.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.errors import InvalidParameterError
+from repro.emst.brute import emst_bruteforce
+from repro.emst.delaunay_emst import emst_delaunay
+from repro.emst.dualtree_boruvka import emst_dualtree_boruvka
+from repro.emst.gfk import emst_gfk
+from repro.emst.memogfk import emst_memogfk
+from repro.emst.naive import emst_naive
+from repro.emst.result import EMSTResult
+
+EMST_METHODS: Dict[str, Callable[..., EMSTResult]] = {
+    "memogfk": emst_memogfk,
+    "gfk": emst_gfk,
+    "naive": emst_naive,
+    "delaunay": emst_delaunay,
+    "dualtree-boruvka": emst_dualtree_boruvka,
+    "bruteforce": emst_bruteforce,
+}
+
+
+def emst(points, *, method: str = "memogfk", **kwargs) -> EMSTResult:
+    """Compute the Euclidean minimum spanning tree of a point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array-like of points.
+    method:
+        One of ``"memogfk"`` (default, Algorithm 3), ``"gfk"`` (Algorithm 2),
+        ``"naive"``, ``"delaunay"`` (2D only), ``"dualtree-boruvka"`` or
+        ``"bruteforce"``.
+    kwargs:
+        Forwarded to the selected implementation (e.g. ``leaf_size``,
+        ``num_threads``).
+
+    Returns
+    -------
+    EMSTResult
+        The spanning tree edges plus per-method statistics.
+    """
+    try:
+        implementation = EMST_METHODS[method]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown EMST method {method!r}; choose from {sorted(EMST_METHODS)}"
+        ) from None
+    return implementation(points, **kwargs)

@@ -1,0 +1,36 @@
+"""Brute-force EMST: Kruskal over the complete Euclidean graph.
+
+This is the ground truth used by the test suite (every other EMST variant must
+produce a tree of identical total weight) and the "naive O(n^2) space"
+comparison point the paper contrasts its memory usage against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import pairwise_distances
+from repro.core.points import as_points
+from repro.emst.result import EMSTResult
+from repro.mst.edges import EdgeList
+from repro.mst.kruskal import kruskal
+from repro.parallel.scheduler import current_tracker
+
+
+def emst_bruteforce(points) -> EMSTResult:
+    """Exact EMST by sorting all ``n (n - 1) / 2`` pairwise distances.
+
+    Memory use is Θ(n^2); intended for reference/testing on small inputs.
+    """
+    data = as_points(points, min_points=1)
+    n = data.shape[0]
+    if n == 1:
+        return EMSTResult(EdgeList(), 1, "bruteforce")
+    current_tracker().add(float(n) * n, 1.0, phase="bruteforce")
+    distances = pairwise_distances(data)
+    upper_i, upper_j = np.triu_indices(n, k=1)
+    weights = distances[upper_i, upper_j]
+    order = np.argsort(weights, kind="stable")
+    edges = zip(upper_i[order], upper_j[order], weights[order])
+    tree_edges = kruskal(edges, n)
+    return EMSTResult(tree_edges, n, "bruteforce", stats={"distance_evaluations": n * n})

@@ -1,0 +1,40 @@
+"""EMST-Delaunay: 2D EMST as the MST of the Delaunay triangulation.
+
+Appendix A.1 of the paper: in two dimensions the EMST is a subgraph of the
+Delaunay triangulation (Shamos & Hoey), which has O(n) edges, so computing the
+triangulation followed by any MST algorithm gives the EMST in O(n log n) work.
+Only valid for d = 2.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.points import as_points
+from repro.emst.result import EMSTResult
+from repro.mst.edges import EdgeList
+from repro.mst.kruskal import kruskal
+from repro.spatial.delaunay import delaunay_edges
+
+
+def emst_delaunay(points) -> EMSTResult:
+    """Exact EMST of a 2D point set via its Delaunay triangulation."""
+    data = as_points(points, min_points=1)
+    n = data.shape[0]
+    if n == 1:
+        return EMSTResult(EdgeList(), 1, "delaunay")
+
+    timings = {}
+    start = time.perf_counter()
+    endpoints, weights = delaunay_edges(data)
+    timings["delaunay"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    order = weights.argsort(kind="stable")
+    edges = ((int(endpoints[i, 0]), int(endpoints[i, 1]), float(weights[i])) for i in order)
+    tree_edges = kruskal(edges, n)
+    timings["kruskal"] = time.perf_counter() - start
+
+    stats = {"delaunay_edges": int(endpoints.shape[0])}
+    stats.update({f"time_{name}": value for name, value in timings.items()})
+    return EMSTResult(tree_edges, n, "delaunay", stats=stats)

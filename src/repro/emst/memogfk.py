@@ -1,0 +1,321 @@
+"""EMST-MemoGFK: memory-optimized GeoFilterKruskal (Algorithm 3).
+
+MemoGFK never materializes the WSPD.  Each round performs two pruned kd-tree
+traversals:
+
+* ``GETRHO`` computes ``rho_hi``, the minimum bounding-sphere distance over
+  the not-yet-connected well-separated pairs with cardinality greater than
+  ``beta`` (a lower bound on every edge such a pair can produce);
+* ``GETPAIRS`` retrieves only the pairs whose BCCP weight lies in the window
+  ``[rho_lo, rho_hi)``, pruning subtrees whose bounding-sphere bounds place
+  every descendant pair outside the window or whose points are already in one
+  connected component.
+
+The retrieved edges form one Kruskal batch; ``beta`` doubles and
+``rho_lo = rho_hi`` for the next round.  The same engine, parameterized by the
+separation predicate and the BCCP cache, also powers the HDBSCAN*-MemoGFK
+algorithm (geometric-or-mutually-unreachable separation, BCCP* distances).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.points import as_points
+from repro.emst.gfk import nodes_fully_connected
+from repro.emst.result import EMSTResult
+from repro.mst.edges import EdgeList
+from repro.mst.kruskal import kruskal_batch
+from repro.parallel.primitives import WriteMinCell
+from repro.parallel.scheduler import current_tracker
+from repro.parallel.unionfind import UnionFind
+from repro.spatial.kdtree import KDNode, KDTree
+from repro.wspd.bccp import BCCPCache
+from repro.wspd.separation import (
+    hdbscan_well_separated,
+    node_distance,
+    node_max_distance,
+    well_separated,
+)
+
+SeparationPredicate = Callable[[KDNode, KDNode], bool]
+BoundFunction = Callable[[KDNode, KDNode], float]
+
+
+def _euclidean_bounds() -> Tuple[BoundFunction, BoundFunction]:
+    """Lower/upper bounds on the BCCP of a node pair (Euclidean weights)."""
+    return node_distance, node_max_distance
+
+
+def _mutual_reachability_bounds() -> Tuple[BoundFunction, BoundFunction]:
+    """Lower/upper bounds on the BCCP* of a node pair.
+
+    The mutual reachability distance of any pair of points drawn from nodes
+    ``A`` and ``B`` is at least ``max(d(A, B), cd_min(A), cd_min(B))`` and at
+    most ``max(d_max(A, B), cd_max(A), cd_max(B))``; the geometric bounds
+    alone would under/over-estimate it and break the window pruning.
+    """
+
+    def lower(a: KDNode, b: KDNode) -> float:
+        return max(node_distance(a, b), a.cd_min, b.cd_min)
+
+    def upper(a: KDNode, b: KDNode) -> float:
+        return max(node_max_distance(a, b), a.cd_max, b.cd_max)
+
+    return lower, upper
+
+
+def _get_rho(
+    tree: KDTree,
+    beta: int,
+    union_find: UnionFind,
+    predicate: SeparationPredicate,
+    lower_bound: BoundFunction,
+) -> float:
+    """GETRHO: lower bound on edges produced by pairs with cardinality > beta.
+
+    Traverses the kd-tree the same way the WSPD construction does, pruning
+    subtrees whose pairs cannot matter: pairs with cardinality at most beta,
+    pairs that are already fully connected, and pairs whose bounding-sphere
+    distance already exceeds the best bound found so far.
+    """
+    tracker = current_tracker()
+    rho = WriteMinCell(math.inf)
+
+    def find_pair(p: KDNode, q: KDNode) -> None:
+        stack: List[Tuple[KDNode, KDNode]] = [(p, q)]
+        while stack:
+            a, b = stack.pop()
+            tracker.add(1, 0, phase="wspd")
+            if a.size + b.size <= beta:
+                continue
+            if lower_bound(a, b) >= rho.value:
+                continue
+            if nodes_fully_connected(union_find, a, b):
+                continue
+            if a.sphere.diameter < b.sphere.diameter:
+                a, b = b, a
+            if predicate(a, b):
+                rho.write(lower_bound(a, b), (a, b))
+                continue
+            if a.is_leaf:
+                a, b = b, a
+            if a.is_leaf:
+                continue
+            stack.append((a.left, b))
+            stack.append((a.right, b))
+
+    def visit(node: KDNode) -> None:
+        if node.is_leaf or node.size <= beta:
+            return
+        if nodes_fully_connected(union_find, node, node):
+            return
+        find_pair(node.left, node.right)
+        visit(node.left)
+        visit(node.right)
+
+    visit(tree.root)
+    return rho.value
+
+
+def _get_pairs(
+    tree: KDTree,
+    rho_lo: float,
+    rho_hi: float,
+    union_find: UnionFind,
+    predicate: SeparationPredicate,
+    cache: BCCPCache,
+    lower_bound: BoundFunction,
+    upper_bound: BoundFunction,
+) -> List[Tuple[int, int, float]]:
+    """GETPAIRS: edges of the not-yet-connected pairs with BCCP in the window.
+
+    Only the pairs whose BCCP weight lies in ``[rho_lo, rho_hi)`` are
+    materialized (as point-index edges); everything else is pruned using the
+    bounding-sphere lower/upper bounds of Figure 3.
+
+    The window tests are guarded against floating-point disagreement between
+    the sphere-based bounds and the vectorized BCCP kernel: the upper-bound
+    prune carries a small relative slack, and a pair whose BCCP falls
+    marginally *below* ``rho_lo`` (i.e. it straddled the previous window's
+    boundary) is still retrieved when its endpoints are not yet connected, so
+    no edge can be lost to rounding at a window boundary.
+    """
+    tracker = current_tracker()
+    edges: List[Tuple[int, int, float]] = []
+    rho_lo_slack = rho_lo - 1e-9 * rho_lo - 1e-12
+
+    def in_window(result) -> bool:
+        if result.distance >= rho_hi:
+            return False
+        if result.distance >= rho_lo:
+            return True
+        return not union_find.connected(result.point_a, result.point_b)
+
+    def find_pair(p: KDNode, q: KDNode) -> None:
+        stack: List[Tuple[KDNode, KDNode]] = [(p, q)]
+        while stack:
+            a, b = stack.pop()
+            tracker.add(1, 0, phase="wspd")
+            if lower_bound(a, b) >= rho_hi:
+                continue
+            if upper_bound(a, b) < rho_lo_slack:
+                continue
+            if nodes_fully_connected(union_find, a, b):
+                continue
+            if a.sphere.diameter < b.sphere.diameter:
+                a, b = b, a
+            if predicate(a, b):
+                result = cache.get(a, b)
+                if in_window(result):
+                    edges.append(result.as_edge())
+                continue
+            if a.is_leaf:
+                a, b = b, a
+            if a.is_leaf:
+                # Duplicate points: both singletons, zero-diameter, not
+                # separated only in pathological floating-point cases.
+                result = cache.get(a, b)
+                if in_window(result):
+                    edges.append(result.as_edge())
+                continue
+            stack.append((a.left, b))
+            stack.append((a.right, b))
+
+    def visit(node: KDNode) -> None:
+        if node.is_leaf:
+            return
+        if nodes_fully_connected(union_find, node, node):
+            return
+        find_pair(node.left, node.right)
+        visit(node.left)
+        visit(node.right)
+
+    visit(tree.root)
+    return edges
+
+
+def memogfk_mst(
+    tree: KDTree,
+    *,
+    separation: str = "geometric",
+    s: float = 2.0,
+    core_distances: Optional[np.ndarray] = None,
+    initial_beta: int = 2,
+) -> Tuple[EdgeList, dict]:
+    """Run the MemoGFK engine over an existing kd-tree.
+
+    Parameters
+    ----------
+    tree:
+        kd-tree over the input points (annotated with core distances when
+        ``separation='hdbscan'``).
+    separation:
+        ``'geometric'`` (EMST) or ``'hdbscan'`` (new disjunctive separation).
+    s:
+        Separation constant for the geometric predicate.
+    core_distances:
+        When given, BCCP* (mutual reachability) distances are used for edge
+        weights; required for HDBSCAN*.
+    initial_beta:
+        Starting batch-cardinality threshold (the paper uses 2).
+
+    Returns
+    -------
+    (edges, stats):
+        The MST edge list and a statistics dictionary (rounds, BCCP calls,
+        distance evaluations, maximum number of edges materialized in any
+        round).
+    """
+    if separation == "geometric":
+        predicate: SeparationPredicate = lambda a, b: well_separated(a, b, s)
+    elif separation == "hdbscan":
+        predicate = hdbscan_well_separated
+    else:
+        raise ValueError("separation must be 'geometric' or 'hdbscan'")
+    if tree.leaf_size != 1 and any(leaf.size > 1 for leaf in tree.leaves()):
+        raise ValueError(
+            "MemoGFK requires a kd-tree built with leaf_size=1 (pairs inside a "
+            "multi-point leaf would never be enumerated)"
+        )
+
+    n = tree.size
+    cache = BCCPCache(tree, core_distances=core_distances)
+    union_find = UnionFind(n)
+    output = EdgeList()
+    if core_distances is None:
+        lower_bound, upper_bound = _euclidean_bounds()
+    else:
+        if not tree.has_core_distances:
+            tree.annotate_core_distances(np.asarray(core_distances, dtype=np.float64))
+        lower_bound, upper_bound = _mutual_reachability_bounds()
+
+    beta = initial_beta
+    rho_lo = 0.0
+    rounds = 0
+    max_materialized = 0
+    total_materialized = 0
+    tracker = current_tracker()
+    log_n = max(math.log2(n), 1.0)
+    while len(output) < n - 1:
+        rounds += 1
+        # One round costs O(log n) depth: the two pruned traversals recurse to
+        # tree depth and the Kruskal batch contributes another log factor.
+        tracker.add(0.0, 2.0 * log_n, phase="wspd")
+        rho_hi = _get_rho(tree, beta, union_find, predicate, lower_bound)
+        batch = _get_pairs(
+            tree, rho_lo, rho_hi, union_find, predicate, cache, lower_bound, upper_bound
+        )
+        max_materialized = max(max_materialized, len(batch))
+        total_materialized += len(batch)
+        kruskal_batch(batch, output, union_find)
+        beta *= 2
+        rho_lo = rho_hi
+        if math.isinf(rho_hi) and len(output) < n - 1:
+            # Final window covered every remaining pair; if the tree is still
+            # incomplete the input must contain exact duplicates that the
+            # predicate classified as separated with zero distance, which the
+            # final batch has already handled.  Guard against an infinite
+            # loop regardless.
+            break
+
+    stats = {
+        "rounds": rounds,
+        "bccp_calls": cache.num_bccp_calls,
+        "distance_evaluations": cache.num_distance_evaluations,
+        "max_pairs_materialized": max_materialized,
+        "pairs_materialized": total_materialized,
+    }
+    return output, stats
+
+
+def emst_memogfk(
+    points,
+    *,
+    leaf_size: int = 1,
+    s: float = 2.0,
+    initial_beta: int = 2,
+) -> EMSTResult:
+    """Exact EMST via the memory-optimized GeoFilterKruskal (Algorithm 3)."""
+    data = as_points(points, min_points=1)
+    n = data.shape[0]
+    if n == 1:
+        return EMSTResult(EdgeList(), 1, "memogfk")
+
+    timings = {}
+    start = time.perf_counter()
+    tree = KDTree(data, leaf_size=leaf_size)
+    timings["build-tree"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    edges, stats = memogfk_mst(
+        tree, separation="geometric", s=s, initial_beta=initial_beta
+    )
+    timings["wspd+kruskal"] = time.perf_counter() - start
+
+    stats.update({f"time_{name}": value for name, value in timings.items()})
+    return EMSTResult(edges, n, "memogfk", stats=stats)

@@ -1,0 +1,61 @@
+"""Result container shared by every EMST / HDBSCAN* MST algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.mst.edges import EdgeList, total_weight
+from repro.mst.validation import is_spanning_tree
+
+
+@dataclass
+class EMSTResult:
+    """A spanning tree over ``num_points`` points plus bookkeeping statistics.
+
+    Attributes
+    ----------
+    edges:
+        The ``n - 1`` tree edges (point-index endpoints, Euclidean or mutual
+        reachability weights depending on the producing algorithm).
+    num_points:
+        Number of input points.
+    method:
+        Name of the algorithm that produced the tree.
+    stats:
+        Free-form counters exposed for benchmarks: WSPD pairs generated, pairs
+        materialized, BCCP calls, distance evaluations, number of GFK rounds,
+        per-phase timings, etc.
+    """
+
+    edges: EdgeList
+    num_points: int
+    method: str
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of the tree's edge weights."""
+        return total_weight(self.edges)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def is_spanning_tree(self) -> bool:
+        """Whether the edges form a spanning tree over all points."""
+        if self.num_points == 1:
+            return len(self.edges) == 0
+        return is_spanning_tree(self.edges, self.num_points)
+
+    def edge_arrays(self):
+        """``(endpoints, weights)`` NumPy views of the tree edges."""
+        return self.edges.to_arrays()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EMSTResult(method={self.method!r}, n={self.num_points}, "
+            f"edges={self.num_edges}, weight={self.total_weight:.6g})"
+        )

@@ -1,0 +1,115 @@
+"""Public HDBSCAN* entry point.
+
+``hdbscan(points, min_pts=10)`` runs the full pipeline the paper's experiments
+time: core distances, MST of the mutual reachability graph, and the ordered
+dendrogram (from which the reachability plot and flat DBSCAN* clusterings are
+derived).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.core.points import as_points
+from repro.dendrogram.topdown import dendrogram_topdown
+from repro.hdbscan.bruteforce import hdbscan_mst_bruteforce
+from repro.hdbscan.core_distance import core_distances as compute_core_distances
+from repro.hdbscan.gantao import hdbscan_mst_gantao
+from repro.hdbscan.memogfk import hdbscan_mst_memogfk
+from repro.hdbscan.optics_approx import optics_approx_mst
+from repro.hdbscan.result import HDBSCANResult
+
+HDBSCAN_METHODS: Dict[str, Callable] = {
+    "memogfk": hdbscan_mst_memogfk,
+    "gantao": hdbscan_mst_gantao,
+    "optics-approx": optics_approx_mst,
+    "bruteforce": hdbscan_mst_bruteforce,
+}
+
+
+def hdbscan(
+    points,
+    min_pts: int = 10,
+    *,
+    method: str = "memogfk",
+    compute_dendrogram: bool = True,
+    start: int = 0,
+    heavy_fraction: float = 0.1,
+    num_threads: Optional[int] = None,
+    **method_kwargs,
+) -> HDBSCANResult:
+    """Compute the HDBSCAN* hierarchy of a point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array-like of points.
+    min_pts:
+        The ``minPts`` density parameter (the paper's default is 10).
+    method:
+        MST construction: ``"memogfk"`` (default, the paper's space-efficient
+        algorithm), ``"gantao"`` (exact baseline), ``"optics-approx"``
+        (Appendix C approximation; accepts ``rho``) or ``"bruteforce"``.
+    compute_dendrogram:
+        Whether to build the ordered dendrogram (needed for the reachability
+        plot; the MST alone suffices for :meth:`HDBSCANResult.dbscan_labels`).
+    start:
+        Starting vertex for the ordered dendrogram / reachability plot.
+    heavy_fraction:
+        Heavy-edge fraction of the top-down dendrogram construction.
+    num_threads:
+        Thread count forwarded to the k-NN / BCCP batches.
+    method_kwargs:
+        Additional arguments forwarded to the MST implementation.
+
+    Returns
+    -------
+    HDBSCANResult
+    """
+    data = as_points(points, min_points=1)
+    n = data.shape[0]
+    if not 1 <= min_pts <= n:
+        raise InvalidParameterError(f"minPts must be in [1, {n}], got {min_pts}")
+    try:
+        mst_function = HDBSCAN_METHODS[method]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown HDBSCAN* method {method!r}; choose from {sorted(HDBSCAN_METHODS)}"
+        ) from None
+
+    timings = {}
+    start_time = time.perf_counter()
+    core_dists = compute_core_distances(data, min_pts, num_threads=num_threads)
+    timings["core-dist"] = time.perf_counter() - start_time
+
+    start_time = time.perf_counter()
+    if method == "bruteforce":
+        mst = mst_function(data, min_pts, core_dists=core_dists)
+    else:
+        mst = mst_function(
+            data, min_pts, core_dists=core_dists, num_threads=num_threads, **method_kwargs
+        )
+    timings["mst"] = time.perf_counter() - start_time
+
+    dendrogram = None
+    if compute_dendrogram and n > 1:
+        start_time = time.perf_counter()
+        dendrogram = dendrogram_topdown(
+            mst.edges, n, start=start, heavy_fraction=heavy_fraction
+        )
+        timings["dendrogram"] = time.perf_counter() - start_time
+
+    stats = dict(mst.stats)
+    stats.update({f"time_{name}": value for name, value in timings.items()})
+    return HDBSCANResult(
+        mst=mst,
+        core_distances=core_dists,
+        min_pts=min_pts,
+        dendrogram=dendrogram,
+        method=method,
+        stats=stats,
+    )

@@ -1,0 +1,37 @@
+"""Mutual reachability distances.
+
+``d_m(p, q) = max(cd(p), cd(q), d(p, q))`` — the edge weights of the mutual
+reachability graph G_MR whose MST defines the HDBSCAN* hierarchy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import euclidean, pairwise_distances
+from repro.core.points import as_points
+
+
+def mutual_reachability(
+    p, q, core_distance_p: float, core_distance_q: float
+) -> float:
+    """Mutual reachability distance between two individual points."""
+    return max(core_distance_p, core_distance_q, euclidean(p, q))
+
+
+def mutual_reachability_matrix(points, core_distances: np.ndarray) -> np.ndarray:
+    """Full ``(n, n)`` mutual reachability distance matrix.
+
+    Θ(n^2) memory; used by the brute-force baseline and the test suite only.
+    The diagonal is set to 0 (a point's distance to itself), matching the
+    convention that self-edges in the HDBSCAN* MST are handled separately via
+    the core distances.
+    """
+    data = as_points(points)
+    core = np.asarray(core_distances, dtype=np.float64)
+    if core.shape[0] != data.shape[0]:
+        raise ValueError("core_distances must have one entry per point")
+    distances = pairwise_distances(data)
+    matrix = np.maximum(distances, np.maximum(core[:, None], core[None, :]))
+    np.fill_diagonal(matrix, 0.0)
+    return matrix

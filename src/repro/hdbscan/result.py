@@ -1,0 +1,90 @@
+"""Result object returned by the public :func:`repro.hdbscan.api.hdbscan`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import NotComputedError
+from repro.dendrogram.extract import dbscan_star_labels
+from repro.dendrogram.reachability import reachability_from_dendrogram
+from repro.dendrogram.structure import Dendrogram
+from repro.emst.result import EMSTResult
+
+
+@dataclass
+class HDBSCANResult:
+    """The HDBSCAN* hierarchy for one point set.
+
+    Attributes
+    ----------
+    mst:
+        MST of the mutual reachability graph (edge weights are mutual
+        reachability distances).
+    core_distances:
+        Core distance of every point for the chosen ``minPts``.
+    min_pts:
+        The ``minPts`` parameter used.
+    dendrogram:
+        Ordered dendrogram of the MST (``None`` when dendrogram construction
+        was skipped).
+    method:
+        Name of the MST algorithm used.
+    stats:
+        Per-phase timings and counters collected along the way.
+    """
+
+    mst: EMSTResult
+    core_distances: np.ndarray
+    min_pts: int
+    dendrogram: Optional[Dendrogram]
+    method: str
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_points(self) -> int:
+        return self.mst.num_points
+
+    def _require_dendrogram(self) -> Dendrogram:
+        if self.dendrogram is None:
+            raise NotComputedError(
+                "dendrogram was not computed; call hdbscan(..., compute_dendrogram=True)"
+            )
+        return self.dendrogram
+
+    def reachability_plot(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(order, distances)`` of the reachability plot (OPTICS sequence)."""
+        return reachability_from_dendrogram(self._require_dendrogram())
+
+    def dbscan_labels(self, epsilon: float, *, min_cluster_size: int = 1) -> np.ndarray:
+        """DBSCAN* labels for a single ``epsilon`` (noise points get ``-1``)."""
+        return dbscan_star_labels(
+            self.mst.edges,
+            self.core_distances,
+            epsilon,
+            min_cluster_size=min_cluster_size,
+        )
+
+    def eom_labels(
+        self, *, min_cluster_size: int = 5, allow_single_cluster: bool = False
+    ) -> np.ndarray:
+        """Flat HDBSCAN* clusters via excess-of-mass selection (no epsilon).
+
+        Condenses the dendrogram with the given ``min_cluster_size`` and picks
+        the most stable set of clusters; noise points get label ``-1``.
+        """
+        from repro.dendrogram.condensed import hdbscan_flat_labels
+
+        return hdbscan_flat_labels(
+            self._require_dendrogram(),
+            min_cluster_size=min_cluster_size,
+            allow_single_cluster=allow_single_cluster,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HDBSCANResult(method={self.method!r}, n={self.num_points}, "
+            f"minPts={self.min_pts})"
+        )

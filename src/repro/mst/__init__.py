@@ -1,0 +1,26 @@
+"""Minimum-spanning-tree substrate.
+
+The EMST and HDBSCAN* algorithms all reduce, eventually, to running an MST
+computation over a (usually small) explicit edge list: batched Kruskal with a
+shared union-find (the subroutine of GFK / MemoGFK), plus Borůvka and Prim
+implementations used as independent references and by the baselines.
+"""
+
+from repro.mst.edges import Edge, EdgeList, edges_from_arrays, total_weight
+from repro.mst.kruskal import kruskal, kruskal_batch
+from repro.mst.boruvka import boruvka
+from repro.mst.prim import prim, prim_order
+from repro.mst.validation import is_spanning_tree
+
+__all__ = [
+    "Edge",
+    "EdgeList",
+    "edges_from_arrays",
+    "total_weight",
+    "kruskal",
+    "kruskal_batch",
+    "boruvka",
+    "prim",
+    "prim_order",
+    "is_spanning_tree",
+]

@@ -1,0 +1,61 @@
+"""Borůvka's minimum-spanning-tree algorithm on an explicit edge list.
+
+Each round finds, for every component, its lightest outgoing edge (a
+WRITE_MIN-style reduction) and contracts all of them at once; the number of
+components at least halves every round, so there are O(log n) rounds.  This is
+the MST engine behind the dual-tree Borůvka EMST baseline and also serves as
+an independent cross-check of Kruskal in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.mst.edges import EdgeList
+from repro.parallel.scheduler import current_tracker
+from repro.parallel.unionfind import UnionFind
+
+
+def boruvka(edges: Iterable[Tuple[int, int, float]], num_vertices: int) -> EdgeList:
+    """Minimum spanning forest of the given edge list via Borůvka rounds.
+
+    Ties are broken by edge index so the result is deterministic even when
+    several edges share a weight (any tie-break yields *an* MST; determinism
+    keeps tests simple).
+    """
+    edge_array = [(int(u), int(v), float(w)) for u, v, w in edges]
+    m = len(edge_array)
+    union_find = UnionFind(num_vertices)
+    output = EdgeList()
+    if m == 0:
+        return output
+
+    tracker = current_tracker()
+    while union_find.num_components > 1:
+        tracker.add(m, max(math.log2(max(m, 2)), 1.0), phase="boruvka")
+        # Lightest outgoing edge per component: (weight, edge index).
+        best = {}
+        for index, (u, v, w) in enumerate(edge_array):
+            root_u = union_find.find(u)
+            root_v = union_find.find(v)
+            if root_u == root_v:
+                continue
+            key = (w, index)
+            if root_u not in best or key < best[root_u]:
+                best[root_u] = key
+            if root_v not in best or key < best[root_v]:
+                best[root_v] = key
+        if not best:
+            break  # remaining components are disconnected from each other
+        merged_any = False
+        for _, index in best.values():
+            u, v, w = edge_array[index]
+            if union_find.union(u, v):
+                output.append(u, v, w)
+                merged_any = True
+        if not merged_any:
+            break
+    return output

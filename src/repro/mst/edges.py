@@ -1,0 +1,91 @@
+"""Edge containers shared by the MST code and the clustering layers.
+
+Edges are stored in structure-of-arrays form (:class:`EdgeList`) because the
+downstream consumers (Kruskal batches, dendrogram construction, reachability
+plots) all want NumPy-sortable weight arrays; a scalar :class:`Edge` named
+tuple is provided for readability at API boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, NamedTuple, Tuple
+
+import numpy as np
+
+
+class Edge(NamedTuple):
+    """An undirected weighted edge between two point indices."""
+
+    u: int
+    v: int
+    weight: float
+
+
+class EdgeList:
+    """A growable structure-of-arrays edge container."""
+
+    def __init__(self, edges: Iterable[Tuple[int, int, float]] = ()) -> None:
+        self._u: List[int] = []
+        self._v: List[int] = []
+        self._w: List[float] = []
+        for u, v, w in edges:
+            self.append(u, v, w)
+
+    def append(self, u: int, v: int, weight: float) -> None:
+        self._u.append(int(u))
+        self._v.append(int(v))
+        self._w.append(float(weight))
+
+    def extend(self, edges: Iterable[Tuple[int, int, float]]) -> None:
+        for u, v, w in edges:
+            self.append(u, v, w)
+
+    def __len__(self) -> int:
+        return len(self._w)
+
+    def __iter__(self) -> Iterator[Edge]:
+        for u, v, w in zip(self._u, self._v, self._w):
+            yield Edge(u, v, w)
+
+    def __getitem__(self, index: int) -> Edge:
+        return Edge(self._u[index], self._v[index], self._w[index])
+
+    @property
+    def endpoints(self) -> np.ndarray:
+        """``(m, 2)`` integer array of endpoints."""
+        return np.column_stack(
+            [np.asarray(self._u, dtype=np.int64), np.asarray(self._v, dtype=np.int64)]
+        ) if self._u else np.empty((0, 2), dtype=np.int64)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """``(m,)`` float array of weights."""
+        return np.asarray(self._w, dtype=np.float64)
+
+    def sorted_by_weight(self) -> "EdgeList":
+        """A new edge list sorted by non-decreasing weight (stable)."""
+        order = np.argsort(self.weights, kind="stable")
+        result = EdgeList()
+        for index in order:
+            result.append(self._u[index], self._v[index], self._w[index])
+        return result
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.endpoints, self.weights
+
+
+def edges_from_arrays(endpoints: np.ndarray, weights: np.ndarray) -> EdgeList:
+    """Build an :class:`EdgeList` from an ``(m, 2)`` index array and weights."""
+    endpoints = np.asarray(endpoints, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if endpoints.shape[0] != weights.shape[0]:
+        raise ValueError("endpoints and weights must have the same length")
+    edge_list = EdgeList()
+    for (u, v), w in zip(endpoints, weights):
+        edge_list.append(int(u), int(v), float(w))
+    return edge_list
+
+
+def total_weight(edges: Iterable[Edge]) -> float:
+    """Sum of edge weights (the quantity MSTs of the same graph share)."""
+    return float(sum(edge.weight for edge in edges))

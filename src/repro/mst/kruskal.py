@@ -1,0 +1,63 @@
+"""Kruskal's minimum-spanning-tree algorithm (plain and batched).
+
+``kruskal_batch`` is the PARALLEL_KRUSKAL subroutine of Algorithms 2 and 3:
+it receives one batch of edges whose weights are no smaller than those of any
+previously processed batch, sorts the batch, and unions across a *shared*
+union-find structure, appending accepted edges to a shared output list.
+``kruskal`` is the classic single-shot version used by the naive EMST, the
+Delaunay EMST, and various baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.mst.edges import EdgeList
+from repro.parallel.scheduler import current_tracker
+from repro.parallel.unionfind import UnionFind
+
+
+def kruskal_batch(
+    edges: Iterable[Tuple[int, int, float]],
+    output: EdgeList,
+    union_find: UnionFind,
+) -> int:
+    """Process one batch of edges with a shared union-find.
+
+    Returns the number of edges accepted into ``output``.  The caller is
+    responsible for only passing batches in non-decreasing weight order across
+    calls (GFK/MemoGFK guarantee this by construction).
+    """
+    batch = list(edges)
+    m = len(batch)
+    if m == 0:
+        return 0
+    tracker = current_tracker()
+    tracker.add(m * max(math.log2(m), 1.0), max(math.log2(m), 1.0), phase="kruskal")
+    batch.sort(key=lambda edge: edge[2])
+    accepted = 0
+    for u, v, weight in batch:
+        if union_find.union(int(u), int(v)):
+            output.append(int(u), int(v), float(weight))
+            accepted += 1
+    return accepted
+
+
+def kruskal(
+    edges: Iterable[Tuple[int, int, float]],
+    num_vertices: int,
+    *,
+    union_find: Optional[UnionFind] = None,
+) -> EdgeList:
+    """Minimum spanning forest of an explicit edge list.
+
+    Returns the accepted edges (``num_vertices - 1`` of them when the input
+    graph is connected).
+    """
+    union_find = union_find if union_find is not None else UnionFind(num_vertices)
+    output = EdgeList()
+    kruskal_batch(edges, output, union_find)
+    return output

@@ -1,0 +1,99 @@
+"""Prim's algorithm on an explicit (sparse) graph.
+
+The paper uses Prim's traversal order of the HDBSCAN* MST to *define* the
+reachability plot, and the sequential reference for dendrogram/reachability
+construction runs Prim on the n-1 tree edges.  ``prim`` computes an MST of an
+arbitrary edge list; ``prim_order`` runs Prim restricted to a tree and returns
+the visit order together with the attachment weights, i.e. exactly the
+reachability plot of Section 2.1.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.mst.edges import Edge, EdgeList
+from repro.parallel.scheduler import current_tracker
+
+
+def _adjacency(edges: Iterable[Tuple[int, int, float]]) -> Dict[int, List[Tuple[int, float]]]:
+    adjacency: Dict[int, List[Tuple[int, float]]] = {}
+    for u, v, w in edges:
+        adjacency.setdefault(int(u), []).append((int(v), float(w)))
+        adjacency.setdefault(int(v), []).append((int(u), float(w)))
+    return adjacency
+
+
+def prim(edges: Iterable[Tuple[int, int, float]], num_vertices: int, *, start: int = 0) -> EdgeList:
+    """Minimum spanning forest by Prim's algorithm with a binary heap.
+
+    Vertices unreachable from ``start`` are seeded as new roots so the result
+    is a spanning forest of the whole vertex set.
+    """
+    adjacency = _adjacency(edges)
+    tracker = current_tracker()
+    visited = np.zeros(num_vertices, dtype=bool)
+    output = EdgeList()
+
+    def grow(root: int) -> None:
+        visited[root] = True
+        heap: List[Tuple[float, int, int]] = []
+        for neighbor, weight in adjacency.get(root, []):
+            heapq.heappush(heap, (weight, root, neighbor))
+        while heap:
+            weight, origin, target = heapq.heappop(heap)
+            tracker.add(math.log2(len(heap) + 2), 1.0, phase="prim")
+            if visited[target]:
+                continue
+            visited[target] = True
+            output.append(origin, target, weight)
+            for neighbor, next_weight in adjacency.get(target, []):
+                if not visited[neighbor]:
+                    heapq.heappush(heap, (next_weight, target, neighbor))
+
+    grow(start)
+    for vertex in range(num_vertices):
+        if not visited[vertex]:
+            grow(vertex)
+    return output
+
+
+def prim_order(
+    tree_edges: Iterable[Tuple[int, int, float]],
+    num_vertices: int,
+    *,
+    start: int = 0,
+) -> Tuple[List[int], List[float]]:
+    """Prim's visit order over a tree, with attachment weights.
+
+    Returns ``(order, reachability)`` where ``order[0] == start`` and
+    ``reachability[i]`` is the weight of the edge that attached ``order[i]``
+    to the already-visited set (``inf`` for the starting point), which is the
+    reachability-plot bar height of that point.
+    """
+    adjacency = _adjacency(tree_edges)
+    visited = set()
+    order: List[int] = []
+    reachability: List[float] = []
+    heap: List[Tuple[float, int]] = [(float("inf"), start)]
+    best: Dict[int, float] = {start: float("inf")}
+    tracker = current_tracker()
+    while heap:
+        weight, vertex = heapq.heappop(heap)
+        tracker.add(math.log2(len(heap) + 2), 1.0, phase="prim")
+        if vertex in visited:
+            continue
+        visited.add(vertex)
+        order.append(vertex)
+        reachability.append(weight)
+        for neighbor, edge_weight in adjacency.get(vertex, []):
+            if neighbor in visited:
+                continue
+            if edge_weight < best.get(neighbor, float("inf")):
+                best[neighbor] = edge_weight
+                heapq.heappush(heap, (edge_weight, neighbor))
+    return order, reachability

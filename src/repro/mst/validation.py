@@ -1,0 +1,22 @@
+"""Spanning-tree validation helpers used by tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.parallel.unionfind import UnionFind
+
+
+def is_spanning_tree(edges: Iterable[Tuple[int, int, float]], num_vertices: int) -> bool:
+    """True when ``edges`` form a spanning tree of ``num_vertices`` vertices.
+
+    Checks the two defining properties: exactly ``n - 1`` edges and no cycles
+    (equivalently, a single connected component).
+    """
+    union_find = UnionFind(num_vertices)
+    count = 0
+    for u, v, _ in edges:
+        count += 1
+        if not union_find.union(int(u), int(v)):
+            return False
+    return count == num_vertices - 1 and union_find.num_components == 1

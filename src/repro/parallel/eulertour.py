@@ -1,0 +1,198 @@
+"""Euler tours of trees.
+
+An Euler tour replaces every undirected tree edge {u, v} with the two directed
+arcs (u, v) and (v, u) and links the arcs into a single circuit that traverses
+each arc exactly once.  The paper uses Euler tours to root trees, compute
+unweighted vertex distances from the starting vertex (label downward arcs +1
+and upward arcs -1 and list-rank), and to split trees into subproblems during
+dendrogram construction.
+
+``build_euler_tour`` constructs the successor representation in O(n) time from
+an edge list; :class:`EulerTour` exposes the derived quantities the dendrogram
+algorithm needs (rooting, parent edges, vertex distances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.scheduler import current_tracker
+from repro.parallel.listrank import list_rank
+
+
+@dataclass
+class EulerTour:
+    """Euler tour of an undirected tree.
+
+    Attributes
+    ----------
+    arcs:
+        ``(2m, 2)`` array; arc ``2k`` is ``(u, v)`` and arc ``2k + 1`` is
+        ``(v, u)`` for input edge ``k``.
+    successor:
+        Successor arc index of every arc along the circuit.
+    first_arc:
+        For every vertex, one arc leaving it (used as the tour entry point).
+    """
+
+    arcs: np.ndarray
+    successor: np.ndarray
+    first_arc: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.first_arc.shape[0])
+
+    @property
+    def num_arcs(self) -> int:
+        return int(self.arcs.shape[0])
+
+    def rooted_at(self, root: int) -> "RootedTour":
+        """Break the circuit at ``root`` and derive parent/depth information."""
+        return RootedTour(self, root)
+
+
+def build_euler_tour(num_vertices: int, edges: Sequence[Tuple[int, int]]) -> EulerTour:
+    """Build an Euler tour for the tree given by ``edges``.
+
+    ``edges`` must form a forest; vertices with no incident edge are allowed
+    (they simply have no arcs).  Work O(n), depth O(log n) (sorting arcs by
+    endpoint is charged as the dominant step).
+    """
+    edges = list(edges)
+    m = len(edges)
+    arcs = np.empty((2 * m, 2), dtype=np.int64)
+    for k, (u, v) in enumerate(edges):
+        arcs[2 * k] = (u, v)
+        arcs[2 * k + 1] = (v, u)
+
+    current_tracker().add(max(2 * m, 1), np.log2(max(m, 2)), phase="eulertour")
+
+    # Group outgoing arcs by source vertex, preserving a stable order.
+    outgoing: List[List[int]] = [[] for _ in range(num_vertices)]
+    for arc_index in range(2 * m):
+        outgoing[arcs[arc_index, 0]].append(arc_index)
+
+    # The successor of arc (u, v) is the next outgoing arc of v after (v, u)
+    # in v's outgoing list (cyclically).  This is the standard O(1)-per-arc
+    # construction once per-vertex arc lists are available.
+    position_in_list: Dict[int, int] = {}
+    for vertex_arcs in outgoing:
+        for position, arc_index in enumerate(vertex_arcs):
+            position_in_list[arc_index] = position
+
+    successor = np.full(2 * m, -1, dtype=np.int64)
+    for arc_index in range(2 * m):
+        u, v = arcs[arc_index]
+        reverse_index = arc_index ^ 1  # (v, u)
+        v_list = outgoing[v]
+        next_position = (position_in_list[reverse_index] + 1) % len(v_list)
+        successor[arc_index] = v_list[next_position]
+
+    first_arc = np.full(num_vertices, -1, dtype=np.int64)
+    for vertex, vertex_arcs in enumerate(outgoing):
+        if vertex_arcs:
+            first_arc[vertex] = vertex_arcs[0]
+
+    return EulerTour(arcs=arcs, successor=successor, first_arc=first_arc)
+
+
+class RootedTour:
+    """An Euler tour broken at a chosen root, yielding rooted-tree structure."""
+
+    def __init__(self, tour: EulerTour, root: int) -> None:
+        self._tour = tour
+        self.root = root
+        self._order: List[int] = []
+        self._parent = np.full(tour.num_vertices, -1, dtype=np.int64)
+        self._vertex_distance = np.full(tour.num_vertices, -1, dtype=np.int64)
+        self._traverse()
+
+    def _traverse(self) -> None:
+        tour = self._tour
+        n = tour.num_vertices
+        start_arc = int(tour.first_arc[self.root])
+        self._vertex_distance[self.root] = 0
+        self._order = [int(a) for a in self._arc_sequence(start_arc)]
+        current_tracker().add(max(len(self._order), 1), np.log2(max(n, 2)), phase="eulertour")
+        for arc_index in self._order:
+            u, v = tour.arcs[arc_index]
+            if self._vertex_distance[v] < 0:
+                self._vertex_distance[v] = self._vertex_distance[u] + 1
+                self._parent[v] = u
+
+    def _arc_sequence(self, start_arc: int) -> List[int]:
+        if start_arc < 0:
+            return []
+        sequence = [start_arc]
+        tour = self._tour
+        arc = int(tour.successor[start_arc])
+        while arc != start_arc:
+            sequence.append(arc)
+            arc = int(tour.successor[arc])
+        return sequence
+
+    @property
+    def parent(self) -> np.ndarray:
+        """Parent vertex of every vertex (-1 for the root and isolated vertices)."""
+        return self._parent
+
+    @property
+    def vertex_distance(self) -> np.ndarray:
+        """Unweighted hop distance from the root (the paper's "vertex distance")."""
+        return self._vertex_distance
+
+    @property
+    def arc_order(self) -> List[int]:
+        """Arcs in the order the tour visits them, starting at the root."""
+        return list(self._order)
+
+
+def vertex_distances_via_listrank(
+    num_vertices: int, edges: Sequence[Tuple[int, int]], root: int
+) -> np.ndarray:
+    """Vertex distances from ``root`` computed the way the paper describes.
+
+    Each downward arc gets the value +1 and each upward arc -1; list ranking
+    over the Euler tour then yields, for every vertex, its unweighted distance
+    from the root.  This function exists mainly to validate (in tests) that
+    the list-ranking machinery reproduces the straightforward BFS distances
+    used by :class:`RootedTour`.
+    """
+    tour = build_euler_tour(num_vertices, edges)
+    rooted = tour.rooted_at(root)
+    order = rooted.arc_order
+    if not order:
+        distances = np.zeros(num_vertices, dtype=np.int64)
+        return distances
+
+    # Successor along the tour order (a simple path, so list ranking applies).
+    k = len(order)
+    successor = np.arange(1, k + 1, dtype=np.int64)
+    successor[-1] = -1
+    # Value of an arc: +1 if it goes downward (child discovered), else -1.
+    values = np.empty(k, dtype=np.float64)
+    parent = rooted.parent
+    for position, arc_index in enumerate(order):
+        u, v = tour.arcs[arc_index]
+        values[position] = 1.0 if parent[v] == u else -1.0
+    suffix = list_rank(successor, values)
+    # suffix[position] = sum of values from position..end. Distance of the
+    # vertex entered by arc at ``position`` equals total_downs_before+1 ... we
+    # recover it as (total sum over the whole tour) - (suffix after position).
+    distances = np.zeros(num_vertices, dtype=np.int64)
+    seen = np.zeros(num_vertices, dtype=bool)
+    seen[root] = True
+    total = suffix[0]
+    for position, arc_index in enumerate(order):
+        _, v = tour.arcs[arc_index]
+        if not seen[v]:
+            remaining_after = suffix[position + 1] if position + 1 < k else 0.0
+            # Prefix sum up to and including this arc.
+            prefix_inclusive = total - remaining_after
+            distances[v] = int(round(prefix_inclusive))
+            seen[v] = True
+    return distances

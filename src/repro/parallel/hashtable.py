@@ -1,0 +1,46 @@
+"""Parallel hash table shim.
+
+The paper assumes a hash table supporting n inserts/finds/deletes in O(n) work
+and O(log n) depth w.h.p.  In this sequential reproduction a Python dict
+already provides the semantics; this wrapper exists so algorithm code reads
+like the paper's pseudocode and so the hash-table operations are charged to
+the work–depth tracker at the stated cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Optional, Tuple
+
+from repro.parallel.scheduler import current_tracker
+
+
+class ParallelHashTable:
+    """Hash map with insert/find/delete plus cost accounting."""
+
+    def __init__(self) -> None:
+        self._table: Dict[Hashable, object] = {}
+
+    def insert(self, key: Hashable, value) -> None:
+        current_tracker().add(1, 1)
+        self._table[key] = value
+
+    def find(self, key: Hashable, default=None):
+        current_tracker().add(1, 1)
+        return self._table.get(key, default)
+
+    def delete(self, key: Hashable) -> bool:
+        current_tracker().add(1, 1)
+        return self._table.pop(key, _MISSING) is not _MISSING
+
+    def __contains__(self, key: Hashable) -> bool:
+        current_tracker().add(1, 1)
+        return key in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def items(self) -> Iterator[Tuple[Hashable, object]]:
+        return iter(self._table.items())
+
+
+_MISSING = object()

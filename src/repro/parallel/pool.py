@@ -1,0 +1,40 @@
+"""Real (thread-based) coarse-grained parallelism helpers.
+
+NumPy releases the GIL inside its C kernels, so embarrassingly parallel
+batches of NumPy-heavy tasks (BCCP evaluations, k-NN chunks) can get a real —
+if modest — speedup from a thread pool even in pure Python.  The benchmark
+harness uses :func:`parallel_map` for those stages when the caller requests
+``num_threads > 1``; everything else in the library is agnostic to whether it
+runs inside a pool worker.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(
+    function: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    num_threads: Optional[int] = None,
+    chunk_threshold: int = 2,
+) -> List[R]:
+    """Apply ``function`` to every item, optionally using a thread pool.
+
+    With ``num_threads`` of ``None``, ``0`` or ``1`` — or with fewer items
+    than ``chunk_threshold`` — this degrades to a plain list comprehension so
+    there is no pool overhead on tiny inputs.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if not num_threads or num_threads <= 1 or len(items) < chunk_threshold:
+        return [function(item) for item in items]
+    workers = min(num_threads, len(items))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(function, items))

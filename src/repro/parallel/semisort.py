@@ -1,0 +1,32 @@
+"""Semisort: group items by key without ordering the groups.
+
+The paper uses semisort to group the edges of each dendrogram subproblem by
+subproblem label in O(n) expected work and O(log n) depth.  A Python dict
+gives exactly the grouping semantics; the standard costs are charged to the
+work–depth tracker so the dendrogram analysis stays honest.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, Iterable, List, TypeVar
+
+from repro.parallel.scheduler import current_tracker
+
+T = TypeVar("T")
+
+
+def semisort(items: Iterable[T], key: Callable[[T], Hashable], *, phase: str = "semisort") -> Dict[Hashable, List[T]]:
+    """Group ``items`` by ``key(item)``.
+
+    Returns a dict mapping each key to the list of its items in input order
+    (the paper's semisort guarantees nothing about the ordering of different
+    keys, and neither should callers of this function).
+    """
+    groups: Dict[Hashable, List[T]] = {}
+    count = 0
+    for item in items:
+        count += 1
+        groups.setdefault(key(item), []).append(item)
+    current_tracker().add(max(count, 1), math.log2(count) if count > 1 else 1.0, phase=phase)
+    return groups

@@ -1,0 +1,20 @@
+"""Spatial data structures: kd-tree, k-nearest-neighbour queries, Delaunay.
+
+The paper's algorithms are all driven by a spatial-median kd-tree (Section 2.3)
+whose nodes carry bounding-sphere information (and, for HDBSCAN*, minimum and
+maximum core distances).  The same tree is used for WSPD construction, for the
+pruned traversals of MemoGFK, and for k-NN / core-distance queries.
+"""
+
+from repro.spatial.kdtree import KDTree, KDNode
+from repro.spatial.knn import knn, knn_bruteforce, knn_distances
+from repro.spatial.delaunay import delaunay_edges
+
+__all__ = [
+    "KDTree",
+    "KDNode",
+    "knn",
+    "knn_bruteforce",
+    "knn_distances",
+    "delaunay_edges",
+]

@@ -1,0 +1,227 @@
+"""Spatial-median kd-tree with per-node bounding statistics.
+
+This is the tree described in Section 2.3 / 3.1.1 of the paper: it is built by
+recursively splitting the widest dimension of a node's bounding box at its
+midpoint ("spatial median").  Every node stores
+
+* the indices of the points it contains,
+* its axis-aligned bounding box and the circumscribing bounding sphere,
+* its diameter (the sphere diameter, ``A_diam`` in the paper), and
+* once :meth:`KDTree.annotate_core_distances` has been called, the minimum and
+  maximum core distance of its points (``cd_min(A)`` / ``cd_max(A)``), which
+  the HDBSCAN* notion of well-separation needs.
+
+The construction is written as the parallel algorithm (children built
+independently) but executes sequentially; the work–depth tracker is charged
+O(n log n) work and O(log^2 n) depth for the build.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.bounding import BoundingBox, BoundingSphere
+from repro.core.errors import InvalidParameterError, NotComputedError
+from repro.core.points import as_points
+from repro.parallel.scheduler import current_tracker
+
+
+class KDNode:
+    """One node of the kd-tree; a leaf when it has no children."""
+
+    __slots__ = (
+        "node_id",
+        "indices",
+        "box",
+        "sphere",
+        "left",
+        "right",
+        "cd_min",
+        "cd_max",
+    )
+
+    def __init__(self, node_id: int, indices: np.ndarray, box: BoundingBox) -> None:
+        self.node_id = node_id
+        self.indices = indices
+        self.box = box
+        self.sphere: BoundingSphere = box.to_sphere()
+        self.left: Optional[KDNode] = None
+        self.right: Optional[KDNode] = None
+        self.cd_min: Optional[float] = None
+        self.cd_max: Optional[float] = None
+
+    @property
+    def size(self) -> int:
+        """Number of points contained in this node."""
+        return int(self.indices.shape[0])
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def diameter(self) -> float:
+        """Diameter of the node's bounding sphere (``A_diam`` in the paper)."""
+        return self.sphere.diameter
+
+    def children(self) -> List["KDNode"]:
+        if self.is_leaf:
+            return []
+        return [self.left, self.right]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"KDNode(id={self.node_id}, {kind}, size={self.size})"
+
+
+class KDTree:
+    """Spatial-median kd-tree over an ``(n, d)`` point array.
+
+    Parameters
+    ----------
+    points:
+        The point set (validated through :func:`repro.core.points.as_points`).
+    leaf_size:
+        Maximum number of points in a leaf.  The paper builds WSPD trees with
+        one point per leaf; k-NN queries are usually faster with slightly
+        larger leaves, so the default is configurable.
+    """
+
+    def __init__(self, points, *, leaf_size: int = 1) -> None:
+        if leaf_size < 1:
+            raise InvalidParameterError("leaf_size must be >= 1")
+        self.points = as_points(points)
+        self.leaf_size = leaf_size
+        self._nodes: List[KDNode] = []
+        self._core_distances: Optional[np.ndarray] = None
+        n = self.points.shape[0]
+        tracker = current_tracker()
+        tracker.add(n * max(math.log2(n), 1.0), max(math.log2(n), 1.0) ** 2, phase="build-tree")
+        self.root = self._build(np.arange(n, dtype=np.int64))
+
+    # -- construction --------------------------------------------------------
+
+    def _new_node(self, indices: np.ndarray) -> KDNode:
+        box = BoundingBox.of_points(self.points[indices])
+        node = KDNode(len(self._nodes), indices, box)
+        self._nodes.append(node)
+        return node
+
+    def _build(self, indices: np.ndarray) -> KDNode:
+        node = self._new_node(indices)
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.size <= self.leaf_size:
+                continue
+            left_idx, right_idx = self._split(current)
+            if left_idx is None:
+                continue
+            current.left = self._new_node(left_idx)
+            current.right = self._new_node(right_idx)
+            stack.append(current.left)
+            stack.append(current.right)
+        return node
+
+    def _split(self, node: KDNode):
+        """Split ``node`` along the widest dimension at the spatial median."""
+        coords = self.points[node.indices]
+        extent = node.box.extent
+        dimension = int(np.argmax(extent))
+        if extent[dimension] <= 0.0:
+            # All points identical: split the index array in half so duplicate
+            # points still terminate at singleton leaves.
+            if node.size <= self.leaf_size:
+                return None, None
+            half = node.size // 2
+            return node.indices[:half], node.indices[half:]
+        midpoint = (node.box.lower[dimension] + node.box.upper[dimension]) * 0.5
+        mask = coords[:, dimension] < midpoint
+        left = node.indices[mask]
+        right = node.indices[~mask]
+        if left.size == 0 or right.size == 0:
+            # Degenerate spatial median (e.g. many duplicates at the midpoint):
+            # fall back to an object median so progress is guaranteed.
+            order = np.argsort(coords[:, dimension], kind="stable")
+            half = node.size // 2
+            left = node.indices[order[:half]]
+            right = node.indices[order[half:]]
+        return left, right
+
+    # -- structural accessors -------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def size(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        return int(self.points.shape[1])
+
+    def nodes(self) -> Iterator[KDNode]:
+        """Iterate over all nodes (construction order: parent before children)."""
+        return iter(self._nodes)
+
+    def leaves(self) -> Iterator[KDNode]:
+        return (node for node in self._nodes if node.is_leaf)
+
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (root alone has height 0)."""
+
+        def walk(node: KDNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)
+
+    def node_points(self, node: KDNode) -> np.ndarray:
+        """Coordinate array of the points contained in ``node``."""
+        return self.points[node.indices]
+
+    # -- core-distance annotation (HDBSCAN*) ----------------------------------
+
+    def annotate_core_distances(self, core_distances: np.ndarray) -> None:
+        """Attach per-node min/max core distances used by HDBSCAN* separation.
+
+        ``core_distances[i]`` must be the core distance of point ``i`` (the
+        distance to its minPts-nearest neighbour, including itself).
+        """
+        core_distances = np.asarray(core_distances, dtype=np.float64)
+        if core_distances.shape != (self.size,):
+            raise InvalidParameterError(
+                "core_distances must have one value per point"
+            )
+        self._core_distances = core_distances
+        tracker = current_tracker()
+        tracker.add(self.num_nodes, max(math.log2(self.size + 1), 1.0), phase="core-dist")
+        # Children were appended after their parent, so a reverse sweep over
+        # the construction order visits children before parents.
+        for node in reversed(self._nodes):
+            if node.is_leaf:
+                values = core_distances[node.indices]
+                node.cd_min = float(values.min())
+                node.cd_max = float(values.max())
+            else:
+                node.cd_min = min(node.left.cd_min, node.right.cd_min)
+                node.cd_max = max(node.left.cd_max, node.right.cd_max)
+
+    @property
+    def core_distances(self) -> np.ndarray:
+        """Core distances previously attached via :meth:`annotate_core_distances`."""
+        if self._core_distances is None:
+            raise NotComputedError(
+                "core distances have not been annotated on this tree"
+            )
+        return self._core_distances
+
+    @property
+    def has_core_distances(self) -> bool:
+        return self._core_distances is not None

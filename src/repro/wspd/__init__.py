@@ -1,0 +1,36 @@
+"""Well-separated pair decomposition (WSPD) and bichromatic closest pairs.
+
+This package implements Algorithm 1 of the paper (parallel WSPD over a
+spatial-median kd-tree), the two notions of well-separation used in the paper
+(the standard Callahan–Kosaraju geometric separation, and the new
+HDBSCAN*-specific disjunction of geometric separation and mutual
+unreachability), and exact BCCP / BCCP* computations with the bounding-sphere
+distance bounds that MemoGFK's pruned traversals rely on.
+"""
+
+from repro.wspd.separation import (
+    node_distance,
+    node_max_distance,
+    well_separated,
+    geometrically_separated,
+    mutually_unreachable,
+    hdbscan_well_separated,
+)
+from repro.wspd.bccp import BCCPResult, bccp, bccp_star, BCCPCache
+from repro.wspd.wspd import WellSeparatedPair, compute_wspd, count_wspd_pairs
+
+__all__ = [
+    "node_distance",
+    "node_max_distance",
+    "well_separated",
+    "geometrically_separated",
+    "mutually_unreachable",
+    "hdbscan_well_separated",
+    "BCCPResult",
+    "bccp",
+    "bccp_star",
+    "BCCPCache",
+    "WellSeparatedPair",
+    "compute_wspd",
+    "count_wspd_pairs",
+]

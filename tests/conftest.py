@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import gaussian_blobs, paper_example_points, seed_spreader, uniform_fill
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_points_2d():
+    """120 uniform points in 2D (small enough for brute-force references)."""
+    return np.random.default_rng(1).random((120, 2))
+
+
+@pytest.fixture(scope="session")
+def small_points_3d():
+    return np.random.default_rng(2).random((150, 3))
+
+
+@pytest.fixture(scope="session")
+def small_points_5d():
+    return np.random.default_rng(3).random((100, 5))
+
+
+@pytest.fixture(scope="session")
+def clustered_points():
+    """Two well-separated Gaussian blobs with known membership."""
+    generator = np.random.default_rng(7)
+    blob_a = generator.normal(0.0, 0.05, size=(80, 2))
+    blob_b = generator.normal(1.0, 0.05, size=(80, 2))
+    points = np.vstack([blob_a, blob_b])
+    labels = np.array([0] * 80 + [1] * 80)
+    return points, labels
+
+
+@pytest.fixture(scope="session")
+def varden_points():
+    return seed_spreader(300, 2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def paper_example():
+    """The 9-point configuration of the paper's Figure 1."""
+    return paper_example_points()

@@ -1,0 +1,120 @@
+"""Tests for BCCP / BCCP* and the BCCP cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import closest_pair_bruteforce, cross_distances, euclidean
+from repro.hdbscan import core_distances
+from repro.spatial import KDTree
+from repro.wspd import BCCPCache, bccp, bccp_star
+
+
+def _split_nodes(points, leaf_size=32):
+    """kd-tree root children: a convenient pair of disjoint nodes."""
+    tree = KDTree(points, leaf_size=leaf_size)
+    return tree, tree.root.left, tree.root.right
+
+
+class TestBCCP:
+    def test_matches_bruteforce(self, small_points_3d):
+        tree, left, right = _split_nodes(small_points_3d)
+        result = bccp(tree, left, right)
+        _, _, expected = closest_pair_bruteforce(
+            small_points_3d[left.indices], small_points_3d[right.indices]
+        )
+        assert result.distance == pytest.approx(expected)
+
+    def test_endpoints_belong_to_their_nodes(self, small_points_2d):
+        tree, left, right = _split_nodes(small_points_2d)
+        result = bccp(tree, left, right)
+        assert result.point_a in set(left.indices.tolist())
+        assert result.point_b in set(right.indices.tolist())
+
+    def test_distance_consistent_with_endpoints(self, small_points_2d):
+        tree, left, right = _split_nodes(small_points_2d)
+        result = bccp(tree, left, right)
+        recomputed = euclidean(
+            small_points_2d[result.point_a], small_points_2d[result.point_b]
+        )
+        assert result.distance == pytest.approx(recomputed)
+
+    def test_as_edge(self, small_points_2d):
+        tree, left, right = _split_nodes(small_points_2d)
+        result = bccp(tree, left, right)
+        u, v, w = result.as_edge()
+        assert (u, v, w) == (result.point_a, result.point_b, result.distance)
+
+    def test_singleton_nodes(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        tree = KDTree(points, leaf_size=1)
+        leaves = list(tree.leaves())
+        result = bccp(tree, leaves[0], leaves[1])
+        assert result.distance == pytest.approx(5.0)
+
+
+class TestBCCPStar:
+    def test_against_bruteforce_mutual_reachability(self, small_points_3d):
+        core = core_distances(small_points_3d, 8)
+        tree, left, right = _split_nodes(small_points_3d)
+        result = bccp_star(tree, left, right, core)
+        distances = cross_distances(
+            small_points_3d[left.indices], small_points_3d[right.indices]
+        )
+        mutual = np.maximum(
+            distances,
+            np.maximum(core[left.indices][:, None], core[right.indices][None, :]),
+        )
+        assert result.distance == pytest.approx(mutual.min())
+
+    def test_bccp_star_at_least_bccp(self, small_points_3d):
+        core = core_distances(small_points_3d, 8)
+        tree, left, right = _split_nodes(small_points_3d)
+        euclidean_result = bccp(tree, left, right)
+        mutual_result = bccp_star(tree, left, right, core)
+        assert mutual_result.distance >= euclidean_result.distance - 1e-12
+
+    def test_minpts_one_reduces_to_bccp(self, small_points_2d):
+        core = np.zeros(len(small_points_2d))
+        tree, left, right = _split_nodes(small_points_2d)
+        assert bccp_star(tree, left, right, core).distance == pytest.approx(
+            bccp(tree, left, right).distance
+        )
+
+
+class TestBCCPCache:
+    def test_caches_results(self, small_points_2d):
+        tree, left, right = _split_nodes(small_points_2d)
+        cache = BCCPCache(tree)
+        first = cache.get(left, right)
+        second = cache.get(left, right)
+        assert first is second
+        assert cache.num_bccp_calls == 1
+
+    def test_symmetric_key(self, small_points_2d):
+        tree, left, right = _split_nodes(small_points_2d)
+        cache = BCCPCache(tree)
+        cache.get(left, right)
+        cache.get(right, left)
+        assert cache.num_bccp_calls == 1
+
+    def test_counts_distance_evaluations(self, small_points_2d):
+        tree, left, right = _split_nodes(small_points_2d)
+        cache = BCCPCache(tree)
+        cache.get(left, right)
+        assert cache.num_distance_evaluations == left.size * right.size
+
+    def test_mutual_reachability_mode(self, small_points_3d):
+        core = core_distances(small_points_3d, 5)
+        tree, left, right = _split_nodes(small_points_3d)
+        cache = BCCPCache(tree, core_distances=core)
+        assert cache.uses_mutual_reachability
+        assert cache.get(left, right).distance == pytest.approx(
+            bccp_star(tree, left, right, core).distance
+        )
+
+    def test_len_reports_cached_pairs(self, small_points_2d):
+        tree, left, right = _split_nodes(small_points_2d)
+        cache = BCCPCache(tree)
+        assert len(cache) == 0
+        cache.get(left, right)
+        assert len(cache) == 1

@@ -1,0 +1,78 @@
+"""Tests for the shared benchmark harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    THREAD_COUNTS,
+    format_scaling_series,
+    format_table,
+    measure,
+    phase_breakdown,
+    run_with_tracker,
+    scaling_curve,
+)
+from repro.emst import emst_memogfk
+
+
+class TestMeasure:
+    def test_returns_result_and_time(self):
+        result, elapsed = measure(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0.0
+
+    def test_run_with_tracker_collects_work(self):
+        points = np.random.default_rng(0).random((80, 2))
+        result, tracker, elapsed = run_with_tracker(emst_memogfk, points)
+        assert result.is_spanning_tree()
+        assert tracker.work > 0
+        assert tracker.depth > 0
+        assert elapsed > 0
+
+
+class TestScalingCurve:
+    def test_speedups_monotone_and_bounded(self):
+        points = np.random.default_rng(1).random((120, 2))
+        curve = scaling_curve(emst_memogfk, points, thread_counts=(1, 2, 4, 8))
+        speedups = curve["speedups"]
+        assert speedups[0] == pytest.approx(1.0)
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] <= 8.0 + 1e-9
+
+    def test_hyperthreaded_final_entry(self):
+        points = np.random.default_rng(2).random((100, 2))
+        curve = scaling_curve(emst_memogfk, points, thread_counts=(1, 48, 96))
+        # The "96" entry models 48 physical cores with hyper-threading and
+        # must not exceed 48 * 1.35 effective parallelism.
+        assert curve["speedups"][-1] <= 48 * 1.35 + 1e-9
+
+    def test_default_thread_counts_match_paper_figures(self):
+        assert THREAD_COUNTS[0] == 1
+        assert THREAD_COUNTS[-1] == 96  # 48 cores with hyper-threading
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.0], ["b", 123456.0]], title="Demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_number_formatting(self):
+        text = format_table(["x"], [[0.000123], [12.5], [0]])
+        assert "0.000123" in text
+        assert "12.5" in text
+
+    def test_format_scaling_series(self):
+        text = format_scaling_series("demo", [1, 4, 96], [1.0, 3.5, 20.0])
+        assert "demo" in text
+        assert "48h" in text  # the final entry renders as hyper-threaded
+        assert "3.50x" in text
+
+    def test_phase_breakdown_extracts_time_keys(self):
+        stats = {"time_wspd": 1.0, "time_kruskal": 2.0, "rounds": 3}
+        breakdown = phase_breakdown(stats)
+        assert breakdown == {"wspd": 1.0, "kruskal": 2.0}

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, load_points, main
+from repro.datasets import gaussian_blobs
+
+
+@pytest.fixture()
+def csv_points(tmp_path):
+    points = gaussian_blobs(120, 2, num_clusters=2, cluster_std=0.02, seed=1)
+    path = tmp_path / "points.csv"
+    np.savetxt(path, points, delimiter=",", header="x,y")
+    return path, points
+
+
+class TestLoadPoints:
+    def test_csv_with_header(self, csv_points):
+        path, points = csv_points
+        loaded = load_points(str(path))
+        assert loaded.shape == points.shape
+        assert np.allclose(loaded, points)
+
+    def test_whitespace_text(self, tmp_path):
+        points = np.arange(12.0).reshape(6, 2)
+        path = tmp_path / "points.txt"
+        np.savetxt(path, points)
+        assert np.allclose(load_points(str(path)), points)
+
+    def test_npy(self, tmp_path):
+        points = np.random.default_rng(0).random((10, 3))
+        path = tmp_path / "points.npy"
+        np.save(path, points)
+        assert np.allclose(load_points(str(path)), points)
+
+    def test_missing_file(self, tmp_path):
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError):
+            load_points(str(tmp_path / "nope.csv"))
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_emst_defaults(self):
+        args = build_parser().parse_args(["emst", "points.csv"])
+        assert args.method == "memogfk"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["emst", "points.csv", "--method", "bogus"])
+
+
+class TestMain:
+    def test_emst_writes_edge_file(self, csv_points, tmp_path):
+        path, points = csv_points
+        output = tmp_path / "edges.csv"
+        assert main(["emst", str(path), "--output", str(output)]) == 0
+        lines = output.read_text().strip().splitlines()
+        assert lines[0] == "u,v,weight"
+        assert len(lines) == len(points)  # header + n-1 edges
+
+    def test_hdbscan_eom_labels(self, csv_points, tmp_path):
+        path, points = csv_points
+        output = tmp_path / "labels.csv"
+        code = main(
+            ["hdbscan", str(path), "--min-pts", "5", "--output", str(output)]
+        )
+        assert code == 0
+        labels = [int(v) for v in output.read_text().strip().splitlines()[1:]]
+        assert len(labels) == len(points)
+        assert len({label for label in labels if label >= 0}) == 2
+
+    def test_hdbscan_epsilon_cut_and_mst_output(self, csv_points, tmp_path):
+        path, points = csv_points
+        labels_file = tmp_path / "labels.csv"
+        mst_file = tmp_path / "mst.csv"
+        code = main(
+            [
+                "hdbscan",
+                str(path),
+                "--min-pts",
+                "5",
+                "--epsilon",
+                "0.2",
+                "--output",
+                str(labels_file),
+                "--mst-output",
+                str(mst_file),
+            ]
+        )
+        assert code == 0
+        assert len(mst_file.read_text().strip().splitlines()) == len(points)
+
+    def test_single_linkage_stdout(self, csv_points, capsys):
+        path, points = csv_points
+        assert main(["single-linkage", str(path), "--num-clusters", "2"]) == 0
+        captured = capsys.readouterr()
+        labels = [int(v) for v in captured.out.strip().splitlines()[1:]]
+        assert len(labels) == len(points)
+        assert len(set(labels)) == 2
+
+    def test_missing_input_returns_error_code(self, tmp_path):
+        assert main(["emst", str(tmp_path / "missing.csv")]) == 2

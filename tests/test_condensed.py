@@ -1,0 +1,135 @@
+"""Tests for the condensed tree and excess-of-mass cluster extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.datasets import gaussian_blobs
+from repro.dendrogram import (
+    condense_dendrogram,
+    dendrogram_topdown,
+    extract_eom_clusters,
+    hdbscan_flat_labels,
+)
+from repro.hdbscan import hdbscan
+
+
+def _blob_result(num_clusters, n=240, std=0.01, seed=0, min_pts=5):
+    points, truth = gaussian_blobs(
+        n, 2, num_clusters=num_clusters, cluster_std=std, seed=seed, return_labels=True
+    )
+    return hdbscan(points, min_pts=min_pts), truth
+
+
+class TestCondense:
+    def test_root_cluster_always_present(self):
+        result, _ = _blob_result(2)
+        condensed = condense_dendrogram(result.dendrogram, min_cluster_size=5)
+        assert 0 in condensed.birth_lambda
+        assert condensed.num_points == result.num_points
+
+    def test_every_point_recorded_exactly_once(self):
+        result, _ = _blob_result(3, seed=1)
+        condensed = condense_dendrogram(result.dendrogram, min_cluster_size=5)
+        point_records = [e.child for e in condensed.edges if not e.child_is_cluster]
+        assert sorted(point_records) == list(range(result.num_points))
+
+    def test_cluster_children_sizes_at_least_min_cluster_size(self):
+        result, _ = _blob_result(3, seed=2)
+        condensed = condense_dendrogram(result.dendrogram, min_cluster_size=10)
+        for edge in condensed.edges:
+            if edge.child_is_cluster:
+                assert edge.child_size >= 10
+
+    def test_larger_min_cluster_size_gives_fewer_clusters(self):
+        result, _ = _blob_result(4, n=320, seed=3)
+        small = condense_dendrogram(result.dendrogram, min_cluster_size=5)
+        large = condense_dendrogram(result.dendrogram, min_cluster_size=40)
+        assert large.num_clusters <= small.num_clusters
+
+    def test_parent_ids_smaller_than_children(self):
+        result, _ = _blob_result(3, seed=4)
+        condensed = condense_dendrogram(result.dendrogram, min_cluster_size=5)
+        for child, parent in condensed.parent_of_cluster.items():
+            assert parent < child
+
+    def test_stability_nonnegative(self):
+        result, _ = _blob_result(2, seed=5)
+        condensed = condense_dendrogram(result.dendrogram, min_cluster_size=5)
+        for cluster in condensed.cluster_ids():
+            assert condensed.stability(cluster) >= -1e-12
+
+    def test_invalid_min_cluster_size(self):
+        result, _ = _blob_result(2, seed=6)
+        with pytest.raises(InvalidParameterError):
+            condense_dendrogram(result.dendrogram, min_cluster_size=0)
+
+    def test_single_point_dendrogram(self):
+        from repro.dendrogram import Dendrogram
+
+        condensed = condense_dendrogram(Dendrogram(1), min_cluster_size=2)
+        assert condensed.num_points == 1
+
+
+class TestEOMExtraction:
+    @pytest.mark.parametrize("num_clusters", [2, 3, 4])
+    def test_recovers_well_separated_blobs(self, num_clusters):
+        result, truth = _blob_result(num_clusters, n=80 * num_clusters, seed=num_clusters)
+        labels = result.eom_labels(min_cluster_size=10)
+        found = set(labels[labels >= 0].tolist())
+        assert len(found) == num_clusters
+        # Points of one true blob never split across two found clusters.
+        for true_label in range(num_clusters):
+            predicted = set(labels[truth == true_label].tolist()) - {-1}
+            assert len(predicted) <= 1
+
+    def test_noise_points_get_minus_one(self):
+        rng = np.random.default_rng(9)
+        blob_a = rng.normal(0.0, 0.01, size=(80, 2))
+        blob_b = rng.normal(1.0, 0.01, size=(80, 2))
+        outliers = rng.uniform(3.0, 6.0, size=(6, 2))
+        points = np.vstack([blob_a, blob_b, outliers])
+        result = hdbscan(points, min_pts=5)
+        labels = result.eom_labels(min_cluster_size=10)
+        assert set(labels[:160].tolist()) >= {0, 1} or len(set(labels[:160].tolist()) - {-1}) == 2
+        assert np.all(labels[160:] == -1)
+
+    def test_uniform_data_single_cluster_suppressed_by_default(self):
+        # On structureless data with allow_single_cluster=False, EOM returns
+        # whatever subclusters are most stable, never the root itself; with
+        # allow_single_cluster=True and no competing structure, everything may
+        # collapse to one cluster or noise.
+        points = np.random.default_rng(10).random((200, 2))
+        result = hdbscan(points, min_pts=5)
+        labels = result.eom_labels(min_cluster_size=20)
+        assert labels.shape == (200,)
+
+    def test_extract_returns_stabilities_for_selected(self):
+        result, _ = _blob_result(3, n=240, seed=11)
+        condensed = condense_dendrogram(result.dendrogram, min_cluster_size=10)
+        labels, stabilities = extract_eom_clusters(condensed)
+        assert len(stabilities) == len(set(labels[labels >= 0].tolist()))
+        assert all(value >= 0 for value in stabilities.values())
+
+    def test_flat_labels_wrapper_matches_manual_pipeline(self):
+        result, _ = _blob_result(2, seed=12)
+        manual_condensed = condense_dendrogram(result.dendrogram, min_cluster_size=8)
+        manual_labels, _ = extract_eom_clusters(manual_condensed)
+        wrapper_labels = hdbscan_flat_labels(result.dendrogram, min_cluster_size=8)
+        assert np.array_equal(manual_labels, wrapper_labels)
+
+    def test_eom_requires_dendrogram(self):
+        from repro.core.errors import NotComputedError
+
+        points = np.random.default_rng(13).random((60, 2))
+        result = hdbscan(points, min_pts=5, compute_dendrogram=False)
+        with pytest.raises(NotComputedError):
+            result.eom_labels()
+
+    def test_labels_cover_only_valid_range(self):
+        result, _ = _blob_result(3, seed=14)
+        labels = result.eom_labels(min_cluster_size=10)
+        assert labels.min() >= -1
+        positive = labels[labels >= 0]
+        if positive.size:
+            assert set(positive.tolist()) == set(range(positive.max() + 1))

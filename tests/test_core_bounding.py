@@ -1,0 +1,132 @@
+"""Tests for repro.core.bounding."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounding import BoundingBox, BoundingSphere
+
+
+class TestBoundingBox:
+    def test_of_points(self):
+        box = BoundingBox.of_points(np.array([[0.0, 5.0], [2.0, 1.0], [1.0, 3.0]]))
+        assert np.array_equal(box.lower, [0.0, 1.0])
+        assert np.array_equal(box.upper, [2.0, 5.0])
+
+    def test_center_and_extent(self):
+        box = BoundingBox(np.array([0.0, 0.0]), np.array([2.0, 4.0]))
+        assert np.array_equal(box.center, [1.0, 2.0])
+        assert np.array_equal(box.extent, [2.0, 4.0])
+
+    def test_diagonal(self):
+        box = BoundingBox(np.array([0.0, 0.0]), np.array([3.0, 4.0]))
+        assert box.diagonal == pytest.approx(5.0)
+
+    def test_contains(self):
+        box = BoundingBox(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert box.contains(np.array([0.5, 0.5]))
+        assert not box.contains(np.array([1.5, 0.5]))
+
+    def test_contains_with_tolerance(self):
+        box = BoundingBox(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert box.contains(np.array([1.0 + 1e-12, 0.5]), tol=1e-9)
+
+    def test_merge(self):
+        a = BoundingBox(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = BoundingBox(np.array([2.0, -1.0]), np.array([3.0, 0.5]))
+        merged = a.merge(b)
+        assert np.array_equal(merged.lower, [0.0, -1.0])
+        assert np.array_equal(merged.upper, [3.0, 1.0])
+
+    def test_min_distance_disjoint(self):
+        a = BoundingBox(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        b = BoundingBox(np.array([4.0, 5.0]), np.array([6.0, 6.0]))
+        assert a.min_distance(b) == pytest.approx(5.0)
+
+    def test_min_distance_overlapping_is_zero(self):
+        a = BoundingBox(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        b = BoundingBox(np.array([1.0, 1.0]), np.array([3.0, 3.0]))
+        assert a.min_distance(b) == 0.0
+
+    def test_max_distance_upper_bounds_all_pairs(self):
+        rng = np.random.default_rng(0)
+        points_a = rng.random((30, 3))
+        points_b = rng.random((30, 3)) + 2.0
+        a = BoundingBox.of_points(points_a)
+        b = BoundingBox.of_points(points_b)
+        from repro.core.distance import cross_distances
+
+        assert cross_distances(points_a, points_b).max() <= a.max_distance(b) + 1e-9
+
+    def test_min_distance_to_point(self):
+        box = BoundingBox(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert box.min_distance_to_point(np.array([0.5, 0.5])) == 0.0
+        assert box.min_distance_to_point(np.array([4.0, 5.0])) == pytest.approx(5.0)
+
+    def test_to_sphere_contains_corners(self):
+        box = BoundingBox(np.array([0.0, 0.0]), np.array([2.0, 2.0]))
+        sphere = box.to_sphere()
+        assert sphere.contains(np.array([0.0, 0.0]))
+        assert sphere.contains(np.array([2.0, 2.0]))
+
+
+class TestBoundingSphere:
+    def test_of_points_contains_all(self):
+        rng = np.random.default_rng(1)
+        points = rng.random((50, 4))
+        sphere = BoundingSphere.of_points(points)
+        for point in points:
+            assert sphere.contains(point)
+
+    def test_diameter(self):
+        sphere = BoundingSphere(np.array([0.0, 0.0]), 2.0)
+        assert sphere.diameter == 4.0
+
+    def test_distance_between_disjoint_spheres(self):
+        a = BoundingSphere(np.array([0.0, 0.0]), 1.0)
+        b = BoundingSphere(np.array([10.0, 0.0]), 2.0)
+        assert a.distance(b) == pytest.approx(7.0)
+
+    def test_distance_intersecting_spheres_is_zero(self):
+        a = BoundingSphere(np.array([0.0, 0.0]), 1.0)
+        b = BoundingSphere(np.array([1.5, 0.0]), 1.0)
+        assert a.distance(b) == 0.0
+
+    def test_max_distance(self):
+        a = BoundingSphere(np.array([0.0, 0.0]), 1.0)
+        b = BoundingSphere(np.array([10.0, 0.0]), 2.0)
+        assert a.max_distance(b) == pytest.approx(13.0)
+
+    def test_distance_lower_bounds_point_distances(self):
+        rng = np.random.default_rng(2)
+        points_a = rng.random((20, 3))
+        points_b = rng.random((20, 3)) + 5.0
+        a = BoundingSphere.of_points(points_a)
+        b = BoundingSphere.of_points(points_b)
+        from repro.core.distance import cross_distances
+
+        assert a.distance(b) <= cross_distances(points_a, points_b).min() + 1e-9
+
+    def test_well_separated_far_spheres(self):
+        a = BoundingSphere(np.array([0.0, 0.0]), 1.0)
+        b = BoundingSphere(np.array([100.0, 0.0]), 1.0)
+        assert a.well_separated_from(b, s=2.0)
+
+    def test_not_well_separated_close_spheres(self):
+        a = BoundingSphere(np.array([0.0, 0.0]), 1.0)
+        b = BoundingSphere(np.array([3.0, 0.0]), 1.0)
+        assert not a.well_separated_from(b, s=2.0)
+
+    def test_well_separation_threshold(self):
+        # gap = center_gap - 2r must be >= s*r; with r=1, s=2 the threshold
+        # center gap is exactly 4.
+        a = BoundingSphere(np.array([0.0, 0.0]), 1.0)
+        assert a.well_separated_from(BoundingSphere(np.array([4.0, 0.0]), 1.0), s=2.0)
+        assert not a.well_separated_from(
+            BoundingSphere(np.array([3.999, 0.0]), 1.0), s=2.0
+        )
+
+    def test_higher_separation_constant_is_stricter(self):
+        a = BoundingSphere(np.array([0.0, 0.0]), 1.0)
+        b = BoundingSphere(np.array([5.0, 0.0]), 1.0)
+        assert a.well_separated_from(b, s=2.0)
+        assert not a.well_separated_from(b, s=8.0)

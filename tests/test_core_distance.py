@@ -1,0 +1,99 @@
+"""Tests for repro.core.distance."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import (
+    closest_pair_bruteforce,
+    cross_distances,
+    euclidean,
+    pairwise_distances,
+    squared_distances_to_point,
+)
+
+
+class TestEuclidean:
+    def test_pythagorean_triangle(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_zero_distance(self):
+        assert euclidean([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_one_dimensional(self):
+        assert euclidean([2.0], [-3.0]) == pytest.approx(5.0)
+
+    def test_symmetry(self):
+        p, q = [1.0, 5.0, -2.0], [3.0, 0.0, 7.0]
+        assert euclidean(p, q) == pytest.approx(euclidean(q, p))
+
+    def test_accepts_lists(self):
+        assert euclidean([0, 0], [1, 1]) == pytest.approx(np.sqrt(2))
+
+
+class TestCrossDistances:
+    def test_shape(self):
+        a = np.zeros((3, 2))
+        b = np.zeros((5, 2))
+        assert cross_distances(a, b).shape == (3, 5)
+
+    def test_matches_naive_loop(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((10, 4))
+        b = rng.random((7, 4))
+        matrix = cross_distances(a, b)
+        for i in range(10):
+            for j in range(7):
+                assert matrix[i, j] == pytest.approx(euclidean(a[i], b[j]), abs=1e-9)
+
+    def test_no_negative_values_from_cancellation(self):
+        a = np.full((4, 3), 1e8)
+        matrix = cross_distances(a, a)
+        assert np.all(matrix >= 0)
+
+    def test_pairwise_is_symmetric(self):
+        rng = np.random.default_rng(1)
+        points = rng.random((20, 3))
+        matrix = pairwise_distances(points)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_pairwise_diagonal_near_zero(self):
+        rng = np.random.default_rng(2)
+        points = rng.random((20, 3))
+        matrix = pairwise_distances(points)
+        assert np.allclose(np.diag(matrix), 0.0, atol=1e-6)
+
+
+class TestSquaredDistancesToPoint:
+    def test_matches_direct_computation(self):
+        rng = np.random.default_rng(3)
+        points = rng.random((15, 3))
+        query = rng.random(3)
+        expected = np.array([euclidean(p, query) ** 2 for p in points])
+        assert np.allclose(squared_distances_to_point(points, query), expected)
+
+    def test_zero_for_identical_point(self):
+        points = np.array([[1.0, 2.0]])
+        assert squared_distances_to_point(points, np.array([1.0, 2.0]))[0] == 0.0
+
+
+class TestClosestPairBruteforce:
+    def test_finds_known_pair(self):
+        a = np.array([[0.0, 0.0], [10.0, 10.0]])
+        b = np.array([[5.0, 5.0], [0.1, 0.0]])
+        i, j, distance = closest_pair_bruteforce(a, b)
+        assert (i, j) == (0, 1)
+        assert distance == pytest.approx(0.1)
+
+    def test_distance_is_minimum_of_matrix(self):
+        rng = np.random.default_rng(4)
+        a = rng.random((12, 3))
+        b = rng.random((9, 3))
+        _, _, distance = closest_pair_bruteforce(a, b)
+        assert distance == pytest.approx(cross_distances(a, b).min())
+
+    def test_single_points(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        i, j, distance = closest_pair_bruteforce(a, b)
+        assert (i, j) == (0, 0)
+        assert distance == pytest.approx(5.0)

@@ -1,0 +1,106 @@
+"""Tests for repro.core.points."""
+
+import numpy as np
+import pytest
+
+from repro.core import InvalidPointSetError, PointSet, as_points
+
+
+class TestAsPoints:
+    def test_list_of_tuples(self):
+        array = as_points([(0.0, 1.0), (2.0, 3.0)])
+        assert array.shape == (2, 2)
+        assert array.dtype == np.float64
+
+    def test_preserves_values(self):
+        data = [[1.5, -2.0], [0.0, 4.25]]
+        array = as_points(data)
+        assert np.array_equal(array, np.array(data))
+
+    def test_accepts_existing_array_without_copy(self):
+        original = np.zeros((5, 3), dtype=np.float64)
+        array = as_points(original)
+        assert array is original
+
+    def test_copy_flag_forces_copy(self):
+        original = np.zeros((5, 3), dtype=np.float64)
+        array = as_points(original, copy=True)
+        assert array is not original
+        assert np.array_equal(array, original)
+
+    def test_flat_input_becomes_one_dimensional_points(self):
+        array = as_points([1.0, 2.0, 3.0])
+        assert array.shape == (3, 1)
+
+    def test_integer_input_converted_to_float(self):
+        array = as_points([[1, 2], [3, 4]])
+        assert array.dtype == np.float64
+
+    def test_rejects_3d_array(self):
+        with pytest.raises(InvalidPointSetError):
+            as_points(np.zeros((2, 2, 2)))
+
+    def test_rejects_zero_columns(self):
+        with pytest.raises(InvalidPointSetError):
+            as_points(np.zeros((4, 0)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidPointSetError):
+            as_points([[0.0, np.nan]])
+
+    def test_rejects_infinity(self):
+        with pytest.raises(InvalidPointSetError):
+            as_points([[np.inf, 1.0]])
+
+    def test_min_points_enforced(self):
+        with pytest.raises(InvalidPointSetError):
+            as_points(np.zeros((1, 2)), min_points=2)
+
+    def test_min_points_satisfied(self):
+        array = as_points(np.zeros((2, 2)), min_points=2)
+        assert array.shape == (2, 2)
+
+    def test_accepts_pointset_instance(self):
+        point_set = PointSet([[0.0, 0.0], [1.0, 1.0]])
+        array = as_points(point_set)
+        assert array.shape == (2, 2)
+
+    def test_non_contiguous_input_made_contiguous(self):
+        base = np.zeros((10, 6))
+        view = base[:, ::2]
+        array = as_points(view)
+        assert array.flags["C_CONTIGUOUS"]
+
+
+class TestPointSet:
+    def test_basic_properties(self):
+        point_set = PointSet([[0.0, 0.0], [3.0, 4.0], [1.0, 2.0]])
+        assert point_set.size == 3
+        assert point_set.dimension == 2
+        assert len(point_set) == 3
+
+    def test_bounds(self):
+        point_set = PointSet([[0.0, -1.0], [3.0, 4.0]])
+        assert np.array_equal(point_set.lower_bound, [0.0, -1.0])
+        assert np.array_equal(point_set.upper_bound, [3.0, 4.0])
+
+    def test_coordinates_are_read_only(self):
+        point_set = PointSet([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError):
+            point_set.coordinates[0, 0] = 5.0
+
+    def test_indexing_and_iteration(self):
+        point_set = PointSet([[0.0, 0.0], [1.0, 1.0]])
+        assert np.array_equal(point_set[1], [1.0, 1.0])
+        assert len(list(iter(point_set))) == 2
+
+    def test_repr_mentions_shape(self):
+        point_set = PointSet([[0.0, 0.0], [1.0, 1.0]])
+        assert "n=2" in repr(point_set)
+        assert "d=2" in repr(point_set)
+
+    def test_construction_copies_input(self):
+        data = np.ones((3, 2))
+        point_set = PointSet(data)
+        data[0, 0] = 99.0
+        assert point_set[0, 0] == 1.0

@@ -1,0 +1,138 @@
+"""Tests for the dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.datasets import (
+    DATASETS,
+    benchmark_suite,
+    chem_proxy,
+    gaussian_blobs,
+    geolife_proxy,
+    household_proxy,
+    ht_proxy,
+    load_dataset,
+    seed_spreader,
+    uniform_fill,
+)
+
+
+class TestUniformFill:
+    def test_shape(self):
+        assert uniform_fill(100, 3, seed=0).shape == (100, 3)
+
+    def test_domain_is_sqrt_n_hypergrid(self):
+        points = uniform_fill(400, 2, seed=1)
+        assert points.min() >= 0.0
+        assert points.max() <= np.sqrt(400)
+
+    def test_reproducible(self):
+        assert np.array_equal(uniform_fill(50, 2, seed=7), uniform_fill(50, 2, seed=7))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            uniform_fill(50, 2, seed=1), uniform_fill(50, 2, seed=2)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_fill(0, 2)
+        with pytest.raises(InvalidParameterError):
+            uniform_fill(10, 0)
+
+
+class TestSeedSpreader:
+    def test_shape_and_reproducibility(self):
+        points = seed_spreader(200, 3, seed=3)
+        assert points.shape == (200, 3)
+        assert np.array_equal(points, seed_spreader(200, 3, seed=3))
+
+    def test_is_clustered_compared_to_uniform(self):
+        # Average nearest-neighbour distance should be much smaller than for
+        # uniform data over the same domain (the data is locally dense).
+        from repro.spatial.knn import knn_distances
+
+        clustered = seed_spreader(400, 2, seed=4)
+        uniform = uniform_fill(400, 2, seed=4)
+        assert np.median(knn_distances(clustered, 2)) < np.median(
+            knn_distances(uniform, 2)
+        )
+
+    def test_noise_fraction_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            seed_spreader(10, 2, noise_fraction=1.5)
+
+    def test_zero_noise(self):
+        points = seed_spreader(100, 2, seed=5, noise_fraction=0.0)
+        assert points.shape == (100, 2)
+
+
+class TestGaussianBlobs:
+    def test_labels_returned(self):
+        points, labels = gaussian_blobs(120, 2, num_clusters=3, seed=6, return_labels=True)
+        assert points.shape == (120, 2)
+        assert set(labels.tolist()) <= {0, 1, 2}
+
+    def test_without_labels(self):
+        points = gaussian_blobs(50, 3, seed=7)
+        assert points.shape == (50, 3)
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(InvalidParameterError):
+            gaussian_blobs(10, 2, num_clusters=0)
+
+
+class TestRealProxies:
+    @pytest.mark.parametrize(
+        "builder,expected_dim",
+        [(geolife_proxy, 3), (household_proxy, 7), (ht_proxy, 10), (chem_proxy, 16)],
+        ids=["geolife", "household", "ht", "chem"],
+    )
+    def test_dimensions(self, builder, expected_dim):
+        points = builder(200, seed=0)
+        assert points.shape == (200, expected_dim)
+        assert np.all(np.isfinite(points))
+
+    def test_geolife_is_skewed(self):
+        # The paper stresses GeoLife's extreme skew; the proxy should have a
+        # heavy-tailed nearest-neighbour distance distribution (dense city
+        # clusters plus sparse travel points).
+        from repro.spatial.knn import knn_distances
+
+        points = geolife_proxy(800, seed=1)
+        nn = knn_distances(points, 2)
+        assert np.mean(nn) > 2.0 * np.median(nn)
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            geolife_proxy(0)
+
+
+class TestRegistry:
+    def test_registry_covers_paper_datasets(self):
+        expected = {
+            "2D-UniformFill", "3D-UniformFill", "5D-UniformFill", "7D-UniformFill",
+            "2D-SS-varden", "3D-SS-varden", "5D-SS-varden", "7D-SS-varden",
+            "3D-GeoLife", "7D-Household", "10D-HT", "16D-CHEM",
+        }
+        assert expected == set(DATASETS)
+
+    def test_load_dataset_respects_n(self):
+        points = load_dataset("2D-UniformFill", n=123, seed=0)
+        assert points.shape == (123, 2)
+
+    def test_load_dataset_dimensions_match_names(self):
+        for name in DATASETS:
+            dimension = int(name.split("D-")[0])
+            points = load_dataset(name, n=64, seed=0)
+            assert points.shape[1] == dimension
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("5D-Nonsense")
+
+    def test_benchmark_suite_small(self):
+        suite = benchmark_suite(small=True)
+        assert set(suite) == set(DATASETS)
+        assert all(points.shape[0] >= 64 for points in suite.values())

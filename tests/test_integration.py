@@ -1,0 +1,137 @@
+"""End-to-end integration tests across subsystems and datasets."""
+
+import numpy as np
+import pytest
+
+from repro import emst, hdbscan, single_linkage
+from repro.bench import run_with_tracker
+from repro.datasets import gaussian_blobs, load_dataset, seed_spreader
+from repro.dendrogram import dbscan_star_labels
+from repro.emst import emst_bruteforce
+from repro.hdbscan import hdbscan_mst_bruteforce
+
+
+class TestEndToEndOnRegisteredDatasets:
+    @pytest.mark.parametrize(
+        "name", ["2D-UniformFill", "3D-SS-varden", "3D-GeoLife", "7D-Household"]
+    )
+    def test_emst_matches_bruteforce_on_small_samples(self, name):
+        points = load_dataset(name, n=150, seed=1)
+        expected = emst_bruteforce(points).total_weight
+        result = emst(points)
+        assert result.total_weight == pytest.approx(expected, rel=1e-9)
+
+    @pytest.mark.parametrize("name", ["2D-SS-varden", "10D-HT", "16D-CHEM"])
+    def test_hdbscan_matches_bruteforce_on_small_samples(self, name):
+        points = load_dataset(name, n=120, seed=2)
+        expected = hdbscan_mst_bruteforce(points, 10).total_weight
+        result = hdbscan(points, min_pts=10)
+        assert result.mst.total_weight == pytest.approx(expected, rel=1e-9)
+
+
+class TestClusteringQuality:
+    def test_single_linkage_recovers_separated_blobs(self):
+        points, truth = gaussian_blobs(
+            240, 2, num_clusters=3, cluster_std=0.01, seed=3, return_labels=True
+        )
+        result = single_linkage(points)
+        labels = result.labels_k(3)
+        # Perfect recovery up to label permutation: each true cluster maps to
+        # exactly one predicted label and vice versa.
+        mapping = {}
+        for true_label in range(3):
+            predicted = set(labels[truth == true_label].tolist())
+            assert len(predicted) == 1
+            mapping[true_label] = predicted.pop()
+        assert len(set(mapping.values())) == 3
+
+    def test_hdbscan_identifies_noise_in_varden_data(self):
+        points = seed_spreader(400, 2, seed=4, noise_fraction=0.05)
+        result = hdbscan(points, min_pts=10)
+        core = result.core_distances
+        labels = result.dbscan_labels(float(np.percentile(core, 70)), min_cluster_size=5)
+        # Some points are clustered and some are noise at this cut.
+        assert np.any(labels >= 0)
+        assert np.any(labels == -1)
+
+    def test_hdbscan_and_single_linkage_coincide_for_minpts_1(self):
+        points = gaussian_blobs(150, 2, num_clusters=2, seed=5)
+        sl = single_linkage(points)
+        hd = hdbscan(points, min_pts=1)
+        assert hd.mst.total_weight == pytest.approx(sl.emst.total_weight, rel=1e-9)
+
+
+class TestDifferentMethodsAgreeEndToEnd:
+    def test_emst_methods_identical_edges_for_distinct_weights(self):
+        points = np.random.default_rng(6).random((200, 2))
+        reference = {
+            (min(u, v), max(u, v)) for u, v, _ in emst(points, method="naive").edges
+        }
+        for method in ("gfk", "memogfk", "dualtree-boruvka", "delaunay"):
+            edges = {
+                (min(u, v), max(u, v)) for u, v, _ in emst(points, method=method).edges
+            }
+            assert edges == reference
+
+    def test_hdbscan_gantao_and_memogfk_same_dbscan_clusters(self):
+        points = seed_spreader(300, 2, seed=7)
+        result_a = hdbscan(points, min_pts=10, method="gantao")
+        result_b = hdbscan(points, min_pts=10, method="memogfk")
+        epsilon = float(np.percentile(result_a.core_distances, 60))
+        labels_a = result_a.dbscan_labels(epsilon)
+        labels_b = result_b.dbscan_labels(epsilon)
+        # Same partition up to renaming.
+        assert np.array_equal(labels_a == -1, labels_b == -1)
+        for i in range(0, 300, 17):
+            for j in range(0, 300, 23):
+                if labels_a[i] >= 0 and labels_a[j] >= 0:
+                    assert (labels_a[i] == labels_a[j]) == (labels_b[i] == labels_b[j])
+
+
+class TestWorkDepthInstrumentation:
+    def test_emst_under_tracker_reports_quadratic_work_at_most(self):
+        points = np.random.default_rng(8).random((150, 3))
+        result, tracker, _ = run_with_tracker(emst, points)
+        assert result.is_spanning_tree()
+        n = 150
+        assert tracker.work <= 50.0 * n * n  # O(n^2) with a modest constant
+        assert tracker.depth <= tracker.work / 10.0  # far more work than depth
+
+    def test_hdbscan_under_tracker_records_phases(self):
+        points = np.random.default_rng(9).random((120, 2))
+        result, tracker, _ = run_with_tracker(hdbscan, points, 5)
+        phases = tracker.phase_work
+        assert "knn" in phases
+        assert "wspd" in phases
+        assert "kruskal" in phases
+        assert "dendrogram" in phases
+
+
+class TestRobustness:
+    def test_identical_points_cluster_together(self):
+        points = np.vstack([np.zeros((20, 2)), np.ones((20, 2)) * 10.0])
+        result = hdbscan(points, min_pts=5)
+        labels = result.dbscan_labels(1.0)
+        assert len(set(labels[:20].tolist())) == 1
+        assert len(set(labels[20:].tolist())) == 1
+        assert labels[0] != labels[-1]
+
+    def test_highly_skewed_scales(self):
+        rng = np.random.default_rng(10)
+        near = rng.normal(0.0, 1e-6, size=(50, 2))
+        far = rng.normal(1e6, 1.0, size=(50, 2))
+        points = np.vstack([near, far])
+        expected = emst_bruteforce(points).total_weight
+        assert emst(points).total_weight == pytest.approx(expected, rel=1e-6)
+
+    def test_one_dimensional_data(self):
+        points = np.sort(np.random.default_rng(11).random((100, 1)), axis=0)
+        result = emst(points)
+        # In 1-d the EMST is the sorted chain: total weight = max - min.
+        assert result.total_weight == pytest.approx(float(points[-1, 0] - points[0, 0]))
+
+    def test_dbscan_labels_standalone_function(self):
+        points = gaussian_blobs(100, 2, num_clusters=2, cluster_std=0.01, seed=12)
+        result = hdbscan(points, min_pts=5)
+        labels = dbscan_star_labels(result.mst.edges, result.core_distances, 0.5)
+        assert labels.shape == (100,)

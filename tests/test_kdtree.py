@@ -1,0 +1,120 @@
+"""Tests for the spatial-median kd-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError, NotComputedError
+from repro.spatial import KDTree
+
+
+class TestConstruction:
+    def test_leaf_size_one_gives_singleton_leaves(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=1)
+        assert all(leaf.size == 1 for leaf in tree.leaves())
+
+    def test_leaf_size_respected(self, small_points_3d):
+        tree = KDTree(small_points_3d, leaf_size=8)
+        assert all(leaf.size <= 8 for leaf in tree.leaves())
+
+    def test_all_points_in_exactly_one_leaf(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=4)
+        seen = np.concatenate([leaf.indices for leaf in tree.leaves()])
+        assert sorted(seen.tolist()) == list(range(len(small_points_2d)))
+
+    def test_root_contains_all_points(self, small_points_2d):
+        tree = KDTree(small_points_2d)
+        assert tree.root.size == len(small_points_2d)
+
+    def test_children_partition_parent(self, small_points_3d):
+        tree = KDTree(small_points_3d, leaf_size=2)
+        for node in tree.nodes():
+            if node.is_leaf:
+                continue
+            left = set(node.left.indices.tolist())
+            right = set(node.right.indices.tolist())
+            assert left | right == set(node.indices.tolist())
+            assert not (left & right)
+
+    def test_node_count_bound(self, small_points_2d):
+        n = len(small_points_2d)
+        tree = KDTree(small_points_2d, leaf_size=1)
+        assert n <= tree.num_nodes <= 2 * n
+
+    def test_bounding_boxes_contain_points(self, small_points_3d):
+        tree = KDTree(small_points_3d, leaf_size=4)
+        for node in tree.nodes():
+            for index in node.indices:
+                assert node.box.contains(small_points_3d[index], tol=1e-9)
+
+    def test_bounding_spheres_contain_points(self, small_points_3d):
+        tree = KDTree(small_points_3d, leaf_size=4)
+        for node in tree.nodes():
+            for index in node.indices:
+                assert node.sphere.contains(small_points_3d[index])
+
+    def test_single_point(self):
+        tree = KDTree(np.array([[1.0, 2.0]]))
+        assert tree.root.is_leaf
+        assert tree.num_nodes == 1
+
+    def test_duplicate_points_terminate(self):
+        points = np.zeros((16, 3))
+        tree = KDTree(points, leaf_size=1)
+        assert all(leaf.size == 1 for leaf in tree.leaves())
+
+    def test_collinear_points(self):
+        points = np.column_stack([np.arange(32.0), np.zeros(32)])
+        tree = KDTree(points, leaf_size=2)
+        assert sum(leaf.size for leaf in tree.leaves()) == 32
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(InvalidParameterError):
+            KDTree(np.zeros((4, 2)), leaf_size=0)
+
+    def test_height_logarithmic_for_uniform_data(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((256, 2))
+        tree = KDTree(points, leaf_size=1)
+        # Spatial-median splits on uniform data give height close to log2(n);
+        # allow generous slack while still catching a degenerate linear tree.
+        assert tree.height() <= 4 * int(np.log2(256))
+
+    def test_size_and_dimension(self, small_points_5d):
+        tree = KDTree(small_points_5d)
+        assert tree.size == len(small_points_5d)
+        assert tree.dimension == 5
+
+    def test_node_points_accessor(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=4)
+        node = next(iter(tree.leaves()))
+        assert np.array_equal(tree.node_points(node), small_points_2d[node.indices])
+
+
+class TestCoreDistanceAnnotation:
+    def test_min_max_consistency(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=2)
+        rng = np.random.default_rng(5)
+        core = rng.random(len(small_points_2d))
+        tree.annotate_core_distances(core)
+        for node in tree.nodes():
+            values = core[node.indices]
+            assert node.cd_min == pytest.approx(values.min())
+            assert node.cd_max == pytest.approx(values.max())
+
+    def test_requires_matching_length(self, small_points_2d):
+        tree = KDTree(small_points_2d)
+        with pytest.raises(InvalidParameterError):
+            tree.annotate_core_distances(np.zeros(3))
+
+    def test_core_distances_property_after_annotation(self, small_points_2d):
+        tree = KDTree(small_points_2d)
+        core = np.ones(len(small_points_2d))
+        tree.annotate_core_distances(core)
+        assert tree.has_core_distances
+        assert np.array_equal(tree.core_distances, core)
+
+    def test_core_distances_property_before_annotation_raises(self, small_points_2d):
+        tree = KDTree(small_points_2d)
+        assert not tree.has_core_distances
+        with pytest.raises(NotComputedError):
+            _ = tree.core_distances

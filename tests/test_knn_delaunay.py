@@ -1,0 +1,137 @@
+"""Tests for k-NN queries and the Delaunay edge extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import cross_distances
+from repro.core.errors import InvalidParameterError
+from repro.spatial import KDTree, delaunay_edges, knn, knn_bruteforce
+from repro.spatial.knn import knn_distances
+
+
+def reference_knn(points, k):
+    """Exact k-NN distances via the full distance matrix."""
+    matrix = cross_distances(points, points)
+    return np.sort(matrix, axis=1)[:, :k]
+
+
+class TestKnnKdtree:
+    def test_matches_bruteforce_distances(self, small_points_3d):
+        tree = KDTree(small_points_3d, leaf_size=8)
+        _, distances = knn(tree, 5)
+        expected = reference_knn(small_points_3d, 5)
+        assert np.allclose(distances, expected, atol=1e-6)
+
+    def test_first_neighbor_is_self(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=4)
+        indices, distances = knn(tree, 3)
+        assert np.array_equal(indices[:, 0], np.arange(len(small_points_2d)))
+        assert np.allclose(distances[:, 0], 0.0, atol=1e-9)
+
+    def test_k_equals_n(self):
+        points = np.random.default_rng(0).random((12, 2))
+        tree = KDTree(points, leaf_size=2)
+        _, distances = knn(tree, 12)
+        assert distances.shape == (12, 12)
+        assert np.all(np.diff(distances, axis=1) >= -1e-12)
+
+    def test_distances_sorted(self, small_points_3d):
+        tree = KDTree(small_points_3d, leaf_size=8)
+        _, distances = knn(tree, 6)
+        assert np.all(np.diff(distances, axis=1) >= -1e-12)
+
+    def test_external_queries(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=4)
+        queries = np.array([[0.5, 0.5], [0.0, 0.0]])
+        indices, distances = knn(tree, 4, queries=queries)
+        assert indices.shape == (2, 4)
+        expected = np.sort(cross_distances(queries, small_points_2d), axis=1)[:, :4]
+        assert np.allclose(distances, expected, atol=1e-6)
+
+    def test_query_dimension_mismatch(self, small_points_2d):
+        tree = KDTree(small_points_2d)
+        with pytest.raises(InvalidParameterError):
+            knn(tree, 2, queries=np.zeros((3, 5)))
+
+    def test_k_out_of_range(self, small_points_2d):
+        tree = KDTree(small_points_2d)
+        with pytest.raises(InvalidParameterError):
+            knn(tree, 0)
+        with pytest.raises(InvalidParameterError):
+            knn(tree, len(small_points_2d) + 1)
+
+    def test_threaded_matches_sequential(self, small_points_3d):
+        tree = KDTree(small_points_3d, leaf_size=8)
+        _, sequential = knn(tree, 4)
+        _, threaded = knn(tree, 4, num_threads=4)
+        assert np.allclose(sequential, threaded)
+
+
+class TestKnnBruteforce:
+    def test_matches_reference(self, small_points_5d):
+        _, distances = knn_bruteforce(small_points_5d, 7)
+        assert np.allclose(distances, reference_knn(small_points_5d, 7), atol=1e-6)
+
+    def test_chunking_does_not_change_result(self, small_points_3d):
+        _, d_small_chunks = knn_bruteforce(small_points_3d, 5, chunk_size=17)
+        _, d_one_chunk = knn_bruteforce(small_points_3d, 5, chunk_size=10_000)
+        assert np.allclose(d_small_chunks, d_one_chunk)
+
+    def test_indices_refer_to_correct_distances(self, small_points_2d):
+        indices, distances = knn_bruteforce(small_points_2d, 4)
+        for row, (index_row, distance_row) in enumerate(zip(indices, distances)):
+            recomputed = np.linalg.norm(
+                small_points_2d[index_row] - small_points_2d[row], axis=1
+            )
+            assert np.allclose(recomputed, distance_row, atol=1e-6)
+
+    def test_invalid_k(self, small_points_2d):
+        with pytest.raises(InvalidParameterError):
+            knn_bruteforce(small_points_2d, 0)
+
+    def test_knn_distances_is_kth_column(self, small_points_3d):
+        core = knn_distances(small_points_3d, 5)
+        _, distances = knn_bruteforce(small_points_3d, 5)
+        assert np.allclose(core, distances[:, -1])
+
+
+class TestDelaunay:
+    def test_edge_weights_are_euclidean(self):
+        points = np.random.default_rng(1).random((40, 2))
+        endpoints, weights = delaunay_edges(points)
+        for (u, v), w in zip(endpoints, weights):
+            assert w == pytest.approx(np.linalg.norm(points[u] - points[v]), abs=1e-9)
+
+    def test_edges_are_unique_and_undirected(self):
+        points = np.random.default_rng(2).random((60, 2))
+        endpoints, _ = delaunay_edges(points)
+        seen = set()
+        for u, v in endpoints:
+            assert u < v
+            assert (u, v) not in seen
+            seen.add((u, v))
+
+    def test_planar_edge_count_bound(self):
+        points = np.random.default_rng(3).random((100, 2))
+        endpoints, _ = delaunay_edges(points)
+        # A planar graph has at most 3n - 6 edges.
+        assert endpoints.shape[0] <= 3 * 100 - 6
+
+    def test_triangulation_is_connected(self):
+        from repro.parallel import UnionFind
+
+        points = np.random.default_rng(4).random((50, 2))
+        endpoints, _ = delaunay_edges(points)
+        union_find = UnionFind(50)
+        for u, v in endpoints:
+            union_find.union(int(u), int(v))
+        assert union_find.num_components == 1
+
+    def test_two_points(self):
+        endpoints, weights = delaunay_edges(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        assert endpoints.shape == (1, 2)
+        assert weights[0] == pytest.approx(1.0)
+
+    def test_rejects_non_2d_points(self):
+        with pytest.raises(InvalidParameterError):
+            delaunay_edges(np.zeros((10, 3)))

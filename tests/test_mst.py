@@ -1,0 +1,202 @@
+"""Tests for the MST substrate: edges, Kruskal, Borůvka, Prim, validation."""
+
+import numpy as np
+import pytest
+
+from repro.mst import (
+    Edge,
+    EdgeList,
+    boruvka,
+    edges_from_arrays,
+    is_spanning_tree,
+    kruskal,
+    kruskal_batch,
+    prim,
+    prim_order,
+    total_weight,
+)
+from repro.parallel import UnionFind
+
+
+def random_graph_edges(num_vertices, num_edges, seed):
+    """A connected random graph: a spanning path plus random extra edges."""
+    rng = np.random.default_rng(seed)
+    edges = []
+    for index in range(num_vertices - 1):
+        edges.append((index, index + 1, float(rng.random())))
+    for _ in range(num_edges):
+        u, v = rng.integers(0, num_vertices, size=2)
+        if u != v:
+            edges.append((int(u), int(v), float(rng.random())))
+    return edges
+
+
+class TestEdgeList:
+    def test_append_and_len(self):
+        edges = EdgeList()
+        edges.append(0, 1, 2.0)
+        edges.append(1, 2, 1.0)
+        assert len(edges) == 2
+
+    def test_iteration_yields_edge_tuples(self):
+        edges = EdgeList([(0, 1, 2.0)])
+        edge = next(iter(edges))
+        assert isinstance(edge, Edge)
+        assert edge == (0, 1, 2.0)
+
+    def test_indexing(self):
+        edges = EdgeList([(0, 1, 2.0), (2, 3, 4.0)])
+        assert edges[1] == (2, 3, 4.0)
+
+    def test_endpoints_and_weights_arrays(self):
+        edges = EdgeList([(0, 1, 2.0), (2, 3, 4.0)])
+        assert edges.endpoints.shape == (2, 2)
+        assert np.array_equal(edges.weights, [2.0, 4.0])
+
+    def test_empty_endpoints_shape(self):
+        edges = EdgeList()
+        assert edges.endpoints.shape == (0, 2)
+        assert edges.weights.shape == (0,)
+
+    def test_sorted_by_weight(self):
+        edges = EdgeList([(0, 1, 3.0), (1, 2, 1.0), (2, 3, 2.0)])
+        weights = [edge.weight for edge in edges.sorted_by_weight()]
+        assert weights == [1.0, 2.0, 3.0]
+
+    def test_edges_from_arrays_roundtrip(self):
+        endpoints = np.array([[0, 1], [1, 2]])
+        weights = np.array([0.5, 0.7])
+        edges = edges_from_arrays(endpoints, weights)
+        back_endpoints, back_weights = edges.to_arrays()
+        assert np.array_equal(back_endpoints, endpoints)
+        assert np.array_equal(back_weights, weights)
+
+    def test_edges_from_arrays_length_mismatch(self):
+        with pytest.raises(ValueError):
+            edges_from_arrays(np.zeros((2, 2)), np.zeros(3))
+
+    def test_total_weight(self):
+        edges = EdgeList([(0, 1, 1.5), (1, 2, 2.5)])
+        assert total_weight(edges) == pytest.approx(4.0)
+
+
+class TestKruskal:
+    def test_known_tiny_graph(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]
+        tree = kruskal(edges, 3)
+        assert total_weight(tree) == pytest.approx(3.0)
+        assert len(tree) == 2
+
+    def test_spanning_tree_of_random_graph(self):
+        edges = random_graph_edges(50, 200, seed=0)
+        tree = kruskal(edges, 50)
+        assert is_spanning_tree(tree, 50)
+
+    def test_agrees_with_boruvka_and_prim(self):
+        edges = random_graph_edges(60, 300, seed=1)
+        weight_kruskal = total_weight(kruskal(edges, 60))
+        weight_boruvka = total_weight(boruvka(edges, 60))
+        weight_prim = total_weight(prim(edges, 60))
+        assert weight_kruskal == pytest.approx(weight_boruvka)
+        assert weight_kruskal == pytest.approx(weight_prim)
+
+    def test_disconnected_graph_gives_forest(self):
+        edges = [(0, 1, 1.0), (2, 3, 1.0)]
+        forest = kruskal(edges, 4)
+        assert len(forest) == 2
+        assert not is_spanning_tree(forest, 4)
+
+    def test_batch_shares_union_find(self):
+        union_find = UnionFind(4)
+        output = EdgeList()
+        accepted_1 = kruskal_batch([(0, 1, 1.0)], output, union_find)
+        accepted_2 = kruskal_batch([(0, 1, 2.0), (1, 2, 3.0)], output, union_find)
+        assert accepted_1 == 1
+        assert accepted_2 == 1  # (0, 1) is rejected the second time
+        assert len(output) == 2
+
+    def test_batch_empty(self):
+        union_find = UnionFind(3)
+        output = EdgeList()
+        assert kruskal_batch([], output, union_find) == 0
+
+    def test_batched_equals_single_shot(self):
+        edges = sorted(random_graph_edges(40, 150, seed=2), key=lambda e: e[2])
+        single = total_weight(kruskal(edges, 40))
+        union_find = UnionFind(40)
+        output = EdgeList()
+        third = len(edges) // 3
+        for batch in (edges[:third], edges[third : 2 * third], edges[2 * third :]):
+            kruskal_batch(batch, output, union_find)
+        assert total_weight(output) == pytest.approx(single)
+
+
+class TestBoruvka:
+    def test_tiny_graph(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]
+        tree = boruvka(edges, 3)
+        assert total_weight(tree) == pytest.approx(3.0)
+
+    def test_spanning(self):
+        edges = random_graph_edges(45, 200, seed=3)
+        assert is_spanning_tree(boruvka(edges, 45), 45)
+
+    def test_empty_graph(self):
+        assert len(boruvka([], 5)) == 0
+
+    def test_disconnected_graph(self):
+        edges = [(0, 1, 1.0), (2, 3, 5.0)]
+        forest = boruvka(edges, 4)
+        assert len(forest) == 2
+
+    def test_handles_duplicate_weights(self):
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0), (0, 2, 1.0)]
+        tree = boruvka(edges, 4)
+        assert is_spanning_tree(tree, 4)
+        assert total_weight(tree) == pytest.approx(3.0)
+
+
+class TestPrim:
+    def test_tiny_graph(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]
+        tree = prim(edges, 3)
+        assert total_weight(tree) == pytest.approx(3.0)
+
+    def test_spanning_forest_for_disconnected_input(self):
+        edges = [(0, 1, 1.0), (2, 3, 2.0)]
+        forest = prim(edges, 4)
+        assert len(forest) == 2
+
+    def test_prim_order_starts_at_start(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 0.5)]
+        order, reach = prim_order(edges, 4, start=2)
+        assert order[0] == 2
+        assert reach[0] == float("inf")
+
+    def test_prim_order_visits_all_vertices(self):
+        edges = random_graph_edges(30, 0, seed=4)  # a path: already a tree
+        order, reach = prim_order(edges, 30, start=0)
+        assert sorted(order) == list(range(30))
+        assert len(reach) == 30
+
+    def test_prim_order_reachability_values_are_tree_edge_weights(self):
+        # On a path graph starting from one end, each point's reachability is
+        # exactly the weight of the edge leading to it.
+        edges = [(i, i + 1, float(i + 1)) for i in range(5)]
+        order, reach = prim_order(edges, 6, start=0)
+        assert order == [0, 1, 2, 3, 4, 5]
+        assert reach[1:] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+class TestValidation:
+    def test_valid_tree(self):
+        assert is_spanning_tree([(0, 1, 1.0), (1, 2, 1.0)], 3)
+
+    def test_cycle_is_not_a_tree(self):
+        assert not is_spanning_tree([(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)], 3)
+
+    def test_too_few_edges(self):
+        assert not is_spanning_tree([(0, 1, 1.0)], 3)
+
+    def test_disconnected(self):
+        assert not is_spanning_tree([(0, 1, 1.0), (2, 3, 1.0)], 4)

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These complement the example-based tests with randomized coverage of the
+library's central claims:
+
+* every EMST variant produces a spanning tree of the same total weight as the
+  brute-force reference, on arbitrary point sets;
+* the WSPD is an exact realization (every unordered pair covered exactly once);
+* the HDBSCAN* MST variants agree with the brute-force mutual-reachability MST;
+* the ordered dendrogram's in-order leaf traversal reproduces Prim's order;
+* union-find never loses or invents connectivity;
+* prefix sums / list ranking match their sequential references.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dendrogram import dendrogram_sequential, dendrogram_topdown, reachability_from_dendrogram, reachability_plot
+from repro.emst import emst_bruteforce, emst_gfk, emst_memogfk, emst_naive
+from repro.hdbscan import core_distances, hdbscan_mst_bruteforce, hdbscan_mst_memogfk
+from repro.mst import boruvka, kruskal, total_weight
+from repro.parallel import UnionFind, list_rank, prefix_sum
+from repro.spatial import KDTree
+from repro.wspd import compute_wspd
+from repro.wspd.wspd import validate_wspd_realization
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def point_sets(min_points=2, max_points=40, max_dim=4):
+    """Strategy producing small float point arrays with distinct scales."""
+    return st.integers(min_points, max_points).flatmap(
+        lambda n: st.integers(1, max_dim).flatmap(
+            lambda d: arrays(
+                dtype=np.float64,
+                shape=(n, d),
+                elements=st.floats(
+                    min_value=-100.0, max_value=100.0, allow_nan=False, width=32
+                ),
+            )
+        )
+    )
+
+
+class TestEMSTProperties:
+    @SETTINGS
+    @given(points=point_sets())
+    def test_all_variants_match_bruteforce_weight(self, points):
+        reference = emst_bruteforce(points).total_weight
+        for algorithm in (emst_naive, emst_gfk, emst_memogfk):
+            result = algorithm(points)
+            assert result.is_spanning_tree()
+            assert result.total_weight == pytest.approx(reference, rel=1e-6, abs=1e-6)
+
+    @SETTINGS
+    @given(points=point_sets(min_points=2, max_points=30))
+    def test_memogfk_edge_weights_are_true_distances(self, points):
+        result = emst_memogfk(points)
+        for u, v, w in result.edges:
+            assert w == pytest.approx(float(np.linalg.norm(points[u] - points[v])), abs=1e-9)
+
+
+class TestWSPDProperties:
+    @SETTINGS
+    @given(points=point_sets(min_points=2, max_points=30, max_dim=3))
+    def test_realization_exact_cover(self, points):
+        tree = KDTree(points, leaf_size=1)
+        pairs = compute_wspd(tree)
+        assert validate_wspd_realization(tree, pairs)
+
+
+class TestHDBSCANProperties:
+    @SETTINGS
+    @given(points=point_sets(min_points=5, max_points=35, max_dim=3), min_pts=st.integers(1, 5))
+    def test_memogfk_matches_bruteforce(self, points, min_pts):
+        min_pts = min(min_pts, points.shape[0])
+        reference = hdbscan_mst_bruteforce(points, min_pts).total_weight
+        result = hdbscan_mst_memogfk(points, min_pts)
+        assert result.is_spanning_tree()
+        assert result.total_weight == pytest.approx(reference, rel=1e-6, abs=1e-6)
+
+    @SETTINGS
+    @given(points=point_sets(min_points=4, max_points=30, max_dim=3))
+    def test_core_distances_bounded_by_diameter(self, points):
+        min_pts = min(3, points.shape[0])
+        core = core_distances(points, min_pts)
+        diameter = float(np.linalg.norm(points.max(axis=0) - points.min(axis=0)))
+        assert np.all(core >= 0)
+        assert np.all(core <= diameter + 1e-9)
+
+
+class TestDendrogramProperties:
+    @SETTINGS
+    @given(
+        n=st.integers(3, 40),
+        seed=st.integers(0, 10_000),
+        start_fraction=st.floats(0.0, 0.999),
+    )
+    def test_topdown_reproduces_prim_order(self, n, seed, start_fraction):
+        rng = np.random.default_rng(seed)
+        # Random tree with distinct weights.
+        weights = rng.permutation(n - 1) + rng.random(n - 1) * 0.5
+        edges = [
+            (int(rng.integers(0, i)), i, float(weights[i - 1])) for i in range(1, n)
+        ]
+        start = int(start_fraction * n)
+        dendrogram = dendrogram_topdown(edges, n, start=start)
+        assert dendrogram.is_valid()
+        order, reach = reachability_from_dendrogram(dendrogram)
+        order_ref, reach_ref = reachability_plot(edges, n, start=start)
+        assert np.array_equal(order, order_ref)
+        assert np.allclose(reach[1:], reach_ref[1:])
+
+    @SETTINGS
+    @given(n=st.integers(2, 50), seed=st.integers(0, 10_000))
+    def test_sequential_and_topdown_same_heights(self, n, seed):
+        rng = np.random.default_rng(seed)
+        edges = [
+            (int(rng.integers(0, i)), i, float(rng.random())) for i in range(1, n)
+        ]
+        heights_a = sorted(dendrogram_sequential(edges, n).heights().tolist())
+        heights_b = sorted(dendrogram_topdown(edges, n).heights().tolist())
+        assert np.allclose(heights_a, heights_b)
+
+
+class TestSubstrateProperties:
+    @SETTINGS
+    @given(values=st.lists(st.integers(-1000, 1000), max_size=200))
+    def test_prefix_sum_matches_reference(self, values):
+        prefix, tot = prefix_sum(values)
+        running = 0
+        for index, value in enumerate(values):
+            assert prefix[index] == running
+            running += value
+        assert tot == sum(values)
+
+    @SETTINGS
+    @given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    def test_list_rank_matches_reverse_cumsum(self, values):
+        n = len(values)
+        successor = list(range(1, n)) + [-1]
+        ranks = list_rank(successor, values)
+        expected = np.cumsum(np.asarray(values)[::-1])[::-1]
+        assert np.allclose(ranks, expected, rtol=1e-9, atol=1e-6)
+
+    @SETTINGS
+    @given(
+        n=st.integers(2, 60),
+        operations=st.lists(st.tuples(st.integers(0, 59), st.integers(0, 59)), max_size=80),
+    )
+    def test_union_find_matches_naive_partition(self, n, operations):
+        union_find = UnionFind(n)
+        partition = {i: {i} for i in range(n)}
+        for u, v in operations:
+            u, v = u % n, v % n
+            union_find.union(u, v)
+            if partition[u] is not partition[v]:
+                merged = partition[u] | partition[v]
+                for member in merged:
+                    partition[member] = merged
+        for i in range(0, n, 3):
+            for j in range(0, n, 5):
+                assert union_find.connected(i, j) == (j in partition[i])
+
+    @SETTINGS
+    @given(
+        n=st.integers(2, 30),
+        extra=st.integers(0, 60),
+        seed=st.integers(0, 10_000),
+    )
+    def test_kruskal_boruvka_agree_on_random_graphs(self, n, extra, seed):
+        rng = np.random.default_rng(seed)
+        edges = [(i - 1, i, float(rng.random())) for i in range(1, n)]
+        for _ in range(extra):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                edges.append((int(u), int(v), float(rng.random())))
+        assert total_weight(kruskal(edges, n)) == pytest.approx(
+            total_weight(boruvka(edges, n))
+        )

@@ -1,0 +1,154 @@
+"""Tests for the well-separated pair decomposition and separation predicates."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError, NotComputedError
+from repro.hdbscan import core_distances
+from repro.spatial import KDTree
+from repro.wspd import (
+    compute_wspd,
+    count_wspd_pairs,
+    geometrically_separated,
+    hdbscan_well_separated,
+    mutually_unreachable,
+    node_distance,
+    node_max_distance,
+    well_separated,
+)
+from repro.wspd.wspd import validate_wspd_realization
+
+
+class TestSeparationPredicates:
+    def _two_leaf_nodes(self, offset):
+        points = np.array([[0.0, 0.0], [offset, 0.0]])
+        tree = KDTree(points, leaf_size=1)
+        leaves = {int(leaf.indices[0]): leaf for leaf in tree.leaves()}
+        return tree, leaves[0], leaves[1]
+
+    def test_singletons_always_geometrically_separated(self):
+        _, a, b = self._two_leaf_nodes(0.001)
+        assert geometrically_separated(a, b)
+
+    def test_node_distance_between_singleton_leaves(self):
+        _, a, b = self._two_leaf_nodes(3.0)
+        assert node_distance(a, b) == pytest.approx(3.0)
+        assert node_max_distance(a, b) == pytest.approx(3.0)
+
+    def test_well_separated_definition_on_internal_nodes(self):
+        rng = np.random.default_rng(0)
+        cluster_a = rng.random((20, 2))
+        cluster_b = rng.random((20, 2)) + 100.0
+        tree = KDTree(np.vstack([cluster_a, cluster_b]), leaf_size=32)
+        left, right = tree.root.left, tree.root.right
+        assert well_separated(left, right, s=2.0)
+        assert geometrically_separated(left, right)
+
+    def test_not_separated_when_clusters_touch(self):
+        rng = np.random.default_rng(1)
+        points = rng.random((64, 2))
+        tree = KDTree(points, leaf_size=32)
+        left, right = tree.root.left, tree.root.right
+        assert not geometrically_separated(left, right)
+
+    def test_mutually_unreachable_requires_annotation(self):
+        _, a, b = self._two_leaf_nodes(1.0)
+        with pytest.raises(NotComputedError):
+            mutually_unreachable(a, b)
+
+    def test_mutually_unreachable_with_large_core_distances(self):
+        rng = np.random.default_rng(2)
+        points = rng.random((64, 2))
+        tree = KDTree(points, leaf_size=32)
+        # Uniform huge core distances make every pair mutually unreachable:
+        # lhs >= cd_min = 100 and rhs = max(diam, 100) = 100.
+        tree.annotate_core_distances(np.full(64, 100.0))
+        left, right = tree.root.left, tree.root.right
+        assert mutually_unreachable(left, right)
+        assert hdbscan_well_separated(left, right)
+
+    def test_hdbscan_separation_is_disjunction(self):
+        rng = np.random.default_rng(3)
+        cluster_a = rng.random((10, 2))
+        cluster_b = rng.random((10, 2)) + 50.0
+        tree = KDTree(np.vstack([cluster_a, cluster_b]), leaf_size=16)
+        tree.annotate_core_distances(np.full(20, 1e-6))
+        left, right = tree.root.left, tree.root.right
+        # Geometrically separated, tiny core distances: not mutually
+        # unreachable but still hdbscan-well-separated.
+        assert geometrically_separated(left, right)
+        assert hdbscan_well_separated(left, right)
+
+
+class TestWSPDConstruction:
+    @pytest.mark.parametrize("n,d", [(40, 1), (60, 2), (80, 3), (50, 5)])
+    def test_realization_covers_every_pair_exactly_once(self, n, d):
+        points = np.random.default_rng(n + d).random((n, d))
+        tree = KDTree(points, leaf_size=1)
+        pairs = compute_wspd(tree)
+        assert validate_wspd_realization(tree, pairs)
+
+    def test_every_recorded_pair_is_well_separated(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=1)
+        for pair in compute_wspd(tree, s=2.0):
+            assert well_separated(pair.node_a, pair.node_b, 2.0)
+
+    def test_linear_number_of_pairs(self):
+        # The number of pairs should grow roughly linearly in n for fixed
+        # dimension (it is O(n) with a dimension-dependent constant).
+        counts = {}
+        for n in (100, 200, 400):
+            points = np.random.default_rng(n).random((n, 2))
+            counts[n] = count_wspd_pairs(KDTree(points, leaf_size=1))
+        ratio_1 = counts[200] / counts[100]
+        ratio_2 = counts[400] / counts[200]
+        assert ratio_1 < 3.0
+        assert ratio_2 < 3.0
+
+    def test_larger_separation_constant_gives_more_pairs(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=1)
+        assert count_wspd_pairs(tree, s=4.0) > count_wspd_pairs(tree, s=2.0)
+
+    def test_hdbscan_separation_gives_no_more_pairs(self, small_points_3d):
+        min_pts = 10
+        core = core_distances(small_points_3d, min_pts)
+        tree = KDTree(small_points_3d, leaf_size=1)
+        tree.annotate_core_distances(core)
+        geometric_count = count_wspd_pairs(tree, separation="geometric")
+        hdbscan_count = count_wspd_pairs(tree, separation="hdbscan")
+        assert hdbscan_count <= geometric_count
+
+    def test_hdbscan_separation_strictly_fewer_for_large_minpts(self, varden_points):
+        min_pts = 30
+        core = core_distances(varden_points, min_pts)
+        tree = KDTree(varden_points, leaf_size=1)
+        tree.annotate_core_distances(core)
+        geometric_count = count_wspd_pairs(tree, separation="geometric")
+        hdbscan_count = count_wspd_pairs(tree, separation="hdbscan")
+        assert hdbscan_count < geometric_count
+
+    def test_hdbscan_separation_requires_annotation(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=1)
+        with pytest.raises(NotComputedError):
+            compute_wspd(tree, separation="hdbscan")
+
+    def test_unknown_separation_rejected(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=1)
+        with pytest.raises(InvalidParameterError):
+            compute_wspd(tree, separation="bogus")
+
+    def test_pair_cardinality(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=1)
+        for pair in compute_wspd(tree):
+            assert pair.cardinality == pair.node_a.size + pair.node_b.size
+
+    def test_two_points(self):
+        tree = KDTree(np.array([[0.0, 0.0], [1.0, 1.0]]), leaf_size=1)
+        pairs = compute_wspd(tree)
+        assert len(pairs) == 1
+
+    def test_duplicate_points_still_covered(self):
+        points = np.vstack([np.zeros((5, 2)), np.ones((5, 2))])
+        tree = KDTree(points, leaf_size=1)
+        pairs = compute_wspd(tree)
+        assert validate_wspd_realization(tree, pairs)
