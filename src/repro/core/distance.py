@@ -11,9 +11,15 @@ import numpy as np
 
 
 def euclidean(p, q) -> float:
-    """Euclidean distance between two points given as 1-d coordinate arrays."""
-    p = np.asarray(p, dtype=np.float64)
-    q = np.asarray(q, dtype=np.float64)
+    """Euclidean distance between two points given as 1-d coordinate arrays.
+
+    Called in tight loops from the BCCP and k-NN paths, so inputs that are
+    already float64 ndarrays skip the ``asarray`` round-trip.
+    """
+    if not (isinstance(p, np.ndarray) and p.dtype == np.float64):
+        p = np.asarray(p, dtype=np.float64)
+    if not (isinstance(q, np.ndarray) and q.dtype == np.float64):
+        q = np.asarray(q, dtype=np.float64)
     diff = p - q
     return float(np.sqrt(np.dot(diff, diff)))
 

@@ -74,6 +74,8 @@ class PointSet:
     def __init__(self, points):
         self._coords = as_points(points, copy=True)
         self._coords.setflags(write=False)
+        self._lower_bound = None
+        self._upper_bound = None
 
     @property
     def coordinates(self) -> np.ndarray:
@@ -92,13 +94,19 @@ class PointSet:
 
     @property
     def lower_bound(self) -> np.ndarray:
-        """Coordinate-wise minimum over all points."""
-        return self._coords.min(axis=0)
+        """Coordinate-wise minimum over all points (computed once, cached)."""
+        if self._lower_bound is None:
+            self._lower_bound = self._coords.min(axis=0)
+            self._lower_bound.setflags(write=False)
+        return self._lower_bound
 
     @property
     def upper_bound(self) -> np.ndarray:
-        """Coordinate-wise maximum over all points."""
-        return self._coords.max(axis=0)
+        """Coordinate-wise maximum over all points (computed once, cached)."""
+        if self._upper_bound is None:
+            self._upper_bound = self._coords.max(axis=0)
+            self._upper_bound.setflags(write=False)
+        return self._upper_bound
 
     def __len__(self) -> int:
         return self.size

@@ -12,46 +12,65 @@ The algorithm proceeds in rounds.  In each round it
 5. filters out every remaining pair whose two nodes are already fully
    connected, and doubles ``beta``.
 
-BCCP results are cached across rounds, and pairs filtered in step 5 may never
-have their BCCP computed at all — that is the saving over EMST-Naive.
+The pair set lives as two parallel node-id arrays over the flat tree engine,
+so the cardinality split, the ``rho_hi`` reduction and the connectivity filter
+of step 5 are all single vectorized passes: connectivity is snapshotted once
+per round as per-node component ranges (one union-find root sweep plus one
+bottom-up tree reduction), and a pair is fully connected exactly when both
+nodes are root-uniform with the same root.  BCCP results are cached across
+rounds, and pairs filtered in step 5 may never have their BCCP computed at
+all — that is the saving over EMST-Naive.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from typing import List, Optional
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.core.points import as_points
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
 from repro.mst.kruskal import kruskal_batch
 from repro.parallel.pool import parallel_map
-from repro.parallel.primitives import parallel_split
 from repro.parallel.scheduler import current_tracker
 from repro.parallel.unionfind import UnionFind
-from repro.spatial.kdtree import KDNode, KDTree
+from repro.spatial.flat import FlatKDTree
+from repro.spatial.kdtree import KDTree
 from repro.wspd.bccp import BCCPCache
-from repro.wspd.separation import node_distance
-from repro.wspd.wspd import WellSeparatedPair, compute_wspd
+from repro.wspd.separation import node_distances
+from repro.wspd.wspd import compute_wspd_ids
 
 
-def nodes_fully_connected(union_find: UnionFind, a: KDNode, b: KDNode) -> bool:
-    """True when every point of ``a`` and ``b`` lies in one component.
+def connectivity_snapshot(
+    flat: FlatKDTree, union_find: UnionFind
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-node (min, max) union-find root over every tree node.
 
-    This is the ``f_diff`` filter of Algorithm 2: such a pair can never again
-    contribute an MST edge, so it is discarded without computing its BCCP.
-    The check early-exits on the first point in a different component.
+    One vectorized root sweep plus one bottom-up tree reduction replaces the
+    per-pair point loops of the ``f_diff`` filter: a node's points all lie in
+    one component iff its min and max root coincide.
     """
-    current_tracker().add(1, 0)
-    root = union_find.find(int(a.indices[0]))
-    for index in a.indices[1:]:
-        if union_find.find(int(index)) != root:
-            return False
-    for index in b.indices:
-        if union_find.find(int(index)) != root:
-            return False
-    return True
+    roots = union_find.roots()
+    return flat.node_value_ranges(roots)
+
+
+def pairs_fully_connected(
+    root_min: np.ndarray, root_max: np.ndarray, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """``f_diff`` of Algorithm 2 for whole pair arrays at once.
+
+    True where every point of ``a`` and ``b`` lies in one component; such a
+    pair can never again contribute an MST edge, so it is discarded without
+    computing its BCCP.
+    """
+    return (
+        (root_min[a] == root_max[a])
+        & (root_min[b] == root_max[b])
+        & (root_min[a] == root_min[b])
+    )
 
 
 def emst_gfk(
@@ -88,11 +107,15 @@ def emst_gfk(
     start = time.perf_counter()
     tree = KDTree(data, leaf_size=leaf_size)
     timings["build-tree"] = time.perf_counter() - start
+    flat = tree.flat
 
     start = time.perf_counter()
-    pairs: List[WellSeparatedPair] = compute_wspd(tree, separation="geometric")
+    pair_a, pair_b = compute_wspd_ids(tree, separation="geometric")
     timings["wspd"] = time.perf_counter() - start
-    total_pairs = len(pairs)
+    total_pairs = int(pair_a.size)
+
+    sizes = flat.node_sizes
+    cardinality = sizes[pair_a] + sizes[pair_b]
 
     cache = BCCPCache(tree)
     union_find = UnionFind(n)
@@ -102,39 +125,50 @@ def emst_gfk(
     start = time.perf_counter()
     beta = 2
     rounds = 0
-    while len(output) < n - 1 and pairs:
+    while len(output) < n - 1 and pair_a.size:
         rounds += 1
-        cheap, expensive = parallel_split(
-            pairs, lambda pair: pair.cardinality <= beta, phase="gfk-split"
+        cheap = cardinality <= beta
+        tracker.add(
+            float(pair_a.size), math.log2(pair_a.size + 1), phase="gfk-split"
         )
-        if expensive:
-            rho_hi = min(node_distance(p.node_a, p.node_b) for p in expensive)
-            tracker.add(len(expensive), math.log2(len(expensive) + 1), phase="gfk-split")
+        exp_a, exp_b = pair_a[~cheap], pair_b[~cheap]
+        if exp_a.size:
+            rho_hi = float(node_distances(flat, exp_a, exp_b).min())
+            tracker.add(float(exp_a.size), math.log2(exp_a.size + 1), phase="gfk-split")
         else:
             rho_hi = math.inf
 
+        cheap_a, cheap_b = pair_a[cheap], pair_b[cheap]
         with tracker.parallel("gfk-bccp"):
             bccp_results = parallel_map(
-                lambda pair: cache.get(pair.node_a, pair.node_b),
-                cheap,
+                lambda pair: cache.get(tree.node(int(pair[0])), tree.node(int(pair[1]))),
+                list(zip(cheap_a.tolist(), cheap_b.tolist())),
                 num_threads=num_threads,
             )
-        light, heavy = [], []
-        for pair, result in zip(cheap, bccp_results):
+        light = []
+        heavy_mask = np.zeros(cheap_a.size, dtype=bool)
+        for position, result in enumerate(bccp_results):
             if result.distance <= rho_hi:
                 light.append(result)
             else:
-                heavy.append(pair)
+                heavy_mask[position] = True
 
         kruskal_batch((r.as_edge() for r in light), output, union_find)
 
-        remaining = heavy + expensive
-        pairs = [
-            pair
-            for pair in remaining
-            if not nodes_fully_connected(union_find, pair.node_a, pair.node_b)
-        ]
-        tracker.add(len(remaining), math.log2(len(remaining) + 1), phase="gfk-filter")
+        remaining_a = np.concatenate([cheap_a[heavy_mask], exp_a])
+        remaining_b = np.concatenate([cheap_b[heavy_mask], exp_b])
+        if remaining_a.size:
+            root_min, root_max = connectivity_snapshot(flat, union_find)
+            alive = ~pairs_fully_connected(root_min, root_max, remaining_a, remaining_b)
+            pair_a = remaining_a[alive]
+            pair_b = remaining_b[alive]
+        else:
+            pair_a = remaining_a
+            pair_b = remaining_b
+        cardinality = sizes[pair_a] + sizes[pair_b]
+        tracker.add(
+            float(remaining_a.size), math.log2(remaining_a.size + 1), phase="gfk-filter"
+        )
 
         if beta_growth == "double":
             beta *= 2

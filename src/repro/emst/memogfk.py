@@ -11,6 +11,14 @@ traversals:
   every descendant pair outside the window or whose points are already in one
   connected component.
 
+Both traversals run frontier-at-a-time over the flat array engine: a round
+holds every pending (A, B) pair as two node-id arrays and applies all pruning
+tests — the cardinality cut, the ρ-window bounds, the connectivity filter and
+the separation predicate — as vectorized masks over the whole frontier.
+Connectivity is snapshotted once per round (a union-find root sweep folded
+into per-node component ranges), which is sound because the union-find only
+changes in the Kruskal step between traversals.
+
 The retrieved edges form one Kruskal batch; ``beta`` doubles and
 ``rho_lo = rho_hi`` for the next round.  The same engine, parameterized by the
 separation predicate and the BCCP cache, also powers the HDBSCAN*-MemoGFK
@@ -26,33 +34,31 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.points import as_points
-from repro.emst.gfk import nodes_fully_connected
+from repro.emst.gfk import connectivity_snapshot, pairs_fully_connected
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
 from repro.mst.kruskal import kruskal_batch
-from repro.parallel.primitives import WriteMinCell
 from repro.parallel.scheduler import current_tracker
 from repro.parallel.unionfind import UnionFind
-from repro.spatial.kdtree import KDNode, KDTree
+from repro.spatial.flat import FlatKDTree
+from repro.spatial.kdtree import KDTree
 from repro.wspd.bccp import BCCPCache
-from repro.wspd.separation import (
-    hdbscan_well_separated,
-    node_distance,
-    node_max_distance,
-    well_separated,
-)
+from repro.wspd.separation import node_distances, node_max_distances
+from repro.wspd.wspd import PairMask, frontier_step, separation_mask
 
-SeparationPredicate = Callable[[KDNode, KDNode], bool]
-BoundFunction = Callable[[KDNode, KDNode], float]
+BoundMask = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
-def _euclidean_bounds() -> Tuple[BoundFunction, BoundFunction]:
-    """Lower/upper bounds on the BCCP of a node pair (Euclidean weights)."""
-    return node_distance, node_max_distance
+def _euclidean_bounds(flat: FlatKDTree) -> Tuple[BoundMask, BoundMask]:
+    """Lower/upper bounds on the BCCP of node-pair arrays (Euclidean weights)."""
+    return (
+        lambda a, b: node_distances(flat, a, b),
+        lambda a, b: node_max_distances(flat, a, b),
+    )
 
 
-def _mutual_reachability_bounds() -> Tuple[BoundFunction, BoundFunction]:
-    """Lower/upper bounds on the BCCP* of a node pair.
+def _mutual_reachability_bounds(flat: FlatKDTree) -> Tuple[BoundMask, BoundMask]:
+    """Lower/upper bounds on the BCCP* of node-pair arrays.
 
     The mutual reachability distance of any pair of points drawn from nodes
     ``A`` and ``B`` is at least ``max(d(A, B), cd_min(A), cd_min(B))`` and at
@@ -60,66 +66,96 @@ def _mutual_reachability_bounds() -> Tuple[BoundFunction, BoundFunction]:
     alone would under/over-estimate it and break the window pruning.
     """
 
-    def lower(a: KDNode, b: KDNode) -> float:
-        return max(node_distance(a, b), a.cd_min, b.cd_min)
+    def lower(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.maximum(
+            node_distances(flat, a, b), np.maximum(flat.cd_min[a], flat.cd_min[b])
+        )
 
-    def upper(a: KDNode, b: KDNode) -> float:
-        return max(node_max_distance(a, b), a.cd_max, b.cd_max)
+    def upper(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.maximum(
+            node_max_distances(flat, a, b), np.maximum(flat.cd_max[a], flat.cd_max[b])
+        )
 
     return lower, upper
 
 
+def _seed_pairs(
+    flat: FlatKDTree,
+    root_min: np.ndarray,
+    root_max: np.ndarray,
+    min_size: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(left, right) child pairs of every internal node worth visiting.
+
+    Mirrors the recursive ``visit``: descend from the root, stopping at nodes
+    that are leaves, hold at most ``min_size`` points, or whose points already
+    form one connected component — a pruned subtree contributes no seeds.
+    """
+    sizes = flat.node_sizes
+    seeds_a: List[np.ndarray] = []
+    seeds_b: List[np.ndarray] = []
+    frontier = np.array([0], dtype=np.int64)
+    while frontier.size:
+        keep = (
+            (flat.left_child[frontier] >= 0)
+            & (sizes[frontier] > min_size)
+            & (root_min[frontier] != root_max[frontier])
+        )
+        frontier = frontier[keep]
+        if frontier.size == 0:
+            break
+        left = flat.left_child[frontier]
+        right = flat.right_child[frontier]
+        seeds_a.append(left)
+        seeds_b.append(right)
+        frontier = np.concatenate([left, right])
+    if not seeds_a:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return np.concatenate(seeds_a), np.concatenate(seeds_b)
+
+
 def _get_rho(
-    tree: KDTree,
+    flat: FlatKDTree,
     beta: int,
-    union_find: UnionFind,
-    predicate: SeparationPredicate,
-    lower_bound: BoundFunction,
+    root_min: np.ndarray,
+    root_max: np.ndarray,
+    predicate: PairMask,
+    lower_bound: BoundMask,
 ) -> float:
     """GETRHO: lower bound on edges produced by pairs with cardinality > beta.
 
     Traverses the kd-tree the same way the WSPD construction does, pruning
-    subtrees whose pairs cannot matter: pairs with cardinality at most beta,
+    frontier pairs that cannot matter: pairs with cardinality at most beta,
     pairs that are already fully connected, and pairs whose bounding-sphere
-    distance already exceeds the best bound found so far.
+    lower bound already exceeds the best bound found so far (the running
+    minimum tightens between frontier rounds, exactly like the sequential
+    WRITE_MIN cell).
     """
     tracker = current_tracker()
-    rho = WriteMinCell(math.inf)
-
-    def find_pair(p: KDNode, q: KDNode) -> None:
-        stack: List[Tuple[KDNode, KDNode]] = [(p, q)]
-        while stack:
-            a, b = stack.pop()
-            tracker.add(1, 0, phase="wspd")
-            if a.size + b.size <= beta:
-                continue
-            if lower_bound(a, b) >= rho.value:
-                continue
-            if nodes_fully_connected(union_find, a, b):
-                continue
-            if a.sphere.diameter < b.sphere.diameter:
-                a, b = b, a
-            if predicate(a, b):
-                rho.write(lower_bound(a, b), (a, b))
-                continue
-            if a.is_leaf:
-                a, b = b, a
-            if a.is_leaf:
-                continue
-            stack.append((a.left, b))
-            stack.append((a.right, b))
-
-    def visit(node: KDNode) -> None:
-        if node.is_leaf or node.size <= beta:
-            return
-        if nodes_fully_connected(union_find, node, node):
-            return
-        find_pair(node.left, node.right)
-        visit(node.left)
-        visit(node.right)
-
-    visit(tree.root)
-    return rho.value
+    sizes = flat.node_sizes
+    rho = math.inf
+    a, b = _seed_pairs(flat, root_min, root_max, beta)
+    while a.size:
+        tracker.add(float(a.size), 0, phase="wspd")
+        keep = sizes[a] + sizes[b] > beta
+        a, b = a[keep], b[keep]
+        if a.size == 0:
+            break
+        lower = lower_bound(a, b)
+        keep = lower < rho
+        a, b, lower = a[keep], b[keep], lower[keep]
+        if a.size == 0:
+            break
+        keep = ~pairs_fully_connected(root_min, root_max, a, b)
+        a, b, lower = a[keep], b[keep], lower[keep]
+        if a.size == 0:
+            break
+        # Both-leaf duplicate pairs carry no rho, so their batch is ignored.
+        separated, _, _, _, _, a, b = frontier_step(flat, a, b, predicate)
+        if separated.any():
+            rho = min(rho, float(lower[separated].min()))
+    return rho
 
 
 def _get_pairs(
@@ -127,16 +163,19 @@ def _get_pairs(
     rho_lo: float,
     rho_hi: float,
     union_find: UnionFind,
-    predicate: SeparationPredicate,
+    root_min: np.ndarray,
+    root_max: np.ndarray,
+    predicate: PairMask,
     cache: BCCPCache,
-    lower_bound: BoundFunction,
-    upper_bound: BoundFunction,
+    lower_bound: BoundMask,
+    upper_bound: BoundMask,
 ) -> List[Tuple[int, int, float]]:
     """GETPAIRS: edges of the not-yet-connected pairs with BCCP in the window.
 
     Only the pairs whose BCCP weight lies in ``[rho_lo, rho_hi)`` are
     materialized (as point-index edges); everything else is pruned using the
-    bounding-sphere lower/upper bounds of Figure 3.
+    bounding-sphere lower/upper bounds of Figure 3, evaluated for the whole
+    frontier per round.
 
     The window tests are guarded against floating-point disagreement between
     the sphere-based bounds and the vectorized BCCP kernel: the upper-bound
@@ -145,6 +184,7 @@ def _get_pairs(
     boundary) is still retrieved when its endpoints are not yet connected, so
     no edge can be lost to rounding at a window boundary.
     """
+    flat = tree.flat
     tracker = current_tracker()
     edges: List[Tuple[int, int, float]] = []
     rho_lo_slack = rho_lo - 1e-9 * rho_lo - 1e-12
@@ -156,46 +196,32 @@ def _get_pairs(
             return True
         return not union_find.connected(result.point_a, result.point_b)
 
-    def find_pair(p: KDNode, q: KDNode) -> None:
-        stack: List[Tuple[KDNode, KDNode]] = [(p, q)]
-        while stack:
-            a, b = stack.pop()
-            tracker.add(1, 0, phase="wspd")
-            if lower_bound(a, b) >= rho_hi:
-                continue
-            if upper_bound(a, b) < rho_lo_slack:
-                continue
-            if nodes_fully_connected(union_find, a, b):
-                continue
-            if a.sphere.diameter < b.sphere.diameter:
-                a, b = b, a
-            if predicate(a, b):
-                result = cache.get(a, b)
-                if in_window(result):
-                    edges.append(result.as_edge())
-                continue
-            if a.is_leaf:
-                a, b = b, a
-            if a.is_leaf:
-                # Duplicate points: both singletons, zero-diameter, not
-                # separated only in pathological floating-point cases.
-                result = cache.get(a, b)
-                if in_window(result):
-                    edges.append(result.as_edge())
-                continue
-            stack.append((a.left, b))
-            stack.append((a.right, b))
+    def retrieve(a_ids: np.ndarray, b_ids: np.ndarray) -> None:
+        for a_id, b_id in zip(a_ids.tolist(), b_ids.tolist()):
+            result = cache.get(tree.node(a_id), tree.node(b_id))
+            if in_window(result):
+                edges.append(result.as_edge())
 
-    def visit(node: KDNode) -> None:
-        if node.is_leaf:
-            return
-        if nodes_fully_connected(union_find, node, node):
-            return
-        find_pair(node.left, node.right)
-        visit(node.left)
-        visit(node.right)
-
-    visit(tree.root)
+    a, b = _seed_pairs(flat, root_min, root_max, 0)
+    while a.size:
+        tracker.add(float(a.size), 0, phase="wspd")
+        keep = lower_bound(a, b) < rho_hi
+        a, b = a[keep], b[keep]
+        if a.size == 0:
+            break
+        keep = upper_bound(a, b) >= rho_lo_slack
+        a, b = a[keep], b[keep]
+        if a.size == 0:
+            break
+        keep = ~pairs_fully_connected(root_min, root_max, a, b)
+        a, b = a[keep], b[keep]
+        if a.size == 0:
+            break
+        _, sep_a, sep_b, dup_a, dup_b, a, b = frontier_step(flat, a, b, predicate)
+        retrieve(sep_a, sep_b)
+        # Duplicate points: both singletons, zero-diameter, not separated
+        # only in pathological floating-point cases.
+        retrieve(dup_a, dup_b)
     return edges
 
 
@@ -231,13 +257,10 @@ def memogfk_mst(
         distance evaluations, maximum number of edges materialized in any
         round).
     """
-    if separation == "geometric":
-        predicate: SeparationPredicate = lambda a, b: well_separated(a, b, s)
-    elif separation == "hdbscan":
-        predicate = hdbscan_well_separated
-    else:
+    if separation not in ("geometric", "hdbscan"):
         raise ValueError("separation must be 'geometric' or 'hdbscan'")
-    if tree.leaf_size != 1 and any(leaf.size > 1 for leaf in tree.leaves()):
+    flat = tree.flat
+    if tree.leaf_size != 1 and int(flat.node_sizes[flat.leaf_ids()].max()) > 1:
         raise ValueError(
             "MemoGFK requires a kd-tree built with leaf_size=1 (pairs inside a "
             "multi-point leaf would never be enumerated)"
@@ -248,11 +271,12 @@ def memogfk_mst(
     union_find = UnionFind(n)
     output = EdgeList()
     if core_distances is None:
-        lower_bound, upper_bound = _euclidean_bounds()
+        lower_bound, upper_bound = _euclidean_bounds(flat)
     else:
         if not tree.has_core_distances:
             tree.annotate_core_distances(np.asarray(core_distances, dtype=np.float64))
-        lower_bound, upper_bound = _mutual_reachability_bounds()
+        lower_bound, upper_bound = _mutual_reachability_bounds(flat)
+    predicate = separation_mask(flat, separation, s)
 
     beta = initial_beta
     rho_lo = 0.0
@@ -266,9 +290,21 @@ def memogfk_mst(
         # One round costs O(log n) depth: the two pruned traversals recurse to
         # tree depth and the Kruskal batch contributes another log factor.
         tracker.add(0.0, 2.0 * log_n, phase="wspd")
-        rho_hi = _get_rho(tree, beta, union_find, predicate, lower_bound)
+        # The union-find only changes in the Kruskal step, so one component
+        # snapshot is valid for both traversals of the round.
+        root_min, root_max = connectivity_snapshot(flat, union_find)
+        rho_hi = _get_rho(flat, beta, root_min, root_max, predicate, lower_bound)
         batch = _get_pairs(
-            tree, rho_lo, rho_hi, union_find, predicate, cache, lower_bound, upper_bound
+            tree,
+            rho_lo,
+            rho_hi,
+            union_find,
+            root_min,
+            root_max,
+            predicate,
+            cache,
+            lower_bound,
+            upper_bound,
         )
         max_materialized = max(max_materialized, len(batch))
         total_materialized += len(batch)

@@ -4,6 +4,12 @@ The core distance of a point ``p`` for a given ``minPts`` is the distance from
 ``p`` to its ``minPts``-nearest neighbour, counting ``p`` itself (so
 ``minPts = 1`` gives core distance 0 for every point and HDBSCAN* degenerates
 to the EMST, Appendix D).
+
+The ``"kdtree"`` method rides the same flat array engine as every other
+traversal in the library: the all-points query runs as batched frontier
+traversals of :class:`repro.spatial.flat.FlatKDTree`, and the resulting core
+distances are what :meth:`KDTree.annotate_core_distances` folds back into the
+tree's ``cd_min`` / ``cd_max`` arrays for the HDBSCAN* separation tests.
 """
 
 from __future__ import annotations
@@ -35,9 +41,9 @@ def core_distances(
     min_pts:
         The HDBSCAN* ``minPts`` parameter (``1 <= minPts <= n``).
     method:
-        ``"bruteforce"`` (chunked exact brute force; fastest at reproduction
-        scale because it is fully vectorized) or ``"kdtree"`` (the kd-tree
-        traversal the paper uses).
+        ``"bruteforce"`` (chunked exact brute force, O(n^2) but one matrix
+        product per chunk) or ``"kdtree"`` (the batched flat-tree traversal
+        the paper's algorithm uses; subquadratic, so it wins as n grows).
     tree:
         Optional pre-built kd-tree reused when ``method="kdtree"``.
     num_threads:

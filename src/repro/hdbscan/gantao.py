@@ -9,6 +9,11 @@ those edges.  As in the paper's implementation, the MST step reuses the
 MemoGFK machinery (pairs are retrieved round by round rather than
 materialized), so the only difference from HDBSCAN*-MemoGFK is the separation
 predicate — which is exactly the comparison the paper's experiments isolate.
+
+Every stage runs on the flat array engine: the kd-tree is built once as a
+:class:`~repro.spatial.flat.FlatKDTree`, its ``cd_min`` / ``cd_max`` arrays
+are annotated with one vectorized sweep, and the MemoGFK window traversals
+evaluate the separation and ρ-window tests over whole node frontiers at once.
 """
 
 from __future__ import annotations

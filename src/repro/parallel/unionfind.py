@@ -66,6 +66,26 @@ class UnionFind:
         self._num_components -= 1
         return True
 
+    def roots(self) -> np.ndarray:
+        """Representative of every element at once, by vectorized pointer jumping.
+
+        Runs ``roots = parent[roots]`` sweeps until a fixed point (a constant
+        number of rounds given the path compression performed by scalar finds)
+        and fully compresses the forest as a side effect.  The GFK/MemoGFK
+        connectivity filters snapshot components once per round with this
+        instead of calling :meth:`find` per point of every node pair.
+        """
+        current_tracker().add(self.size, 1.0)
+        parent = self._parent
+        roots = parent.copy()
+        while True:
+            hop = parent[roots]
+            if np.array_equal(hop, roots):
+                break
+            roots = hop
+        self._parent[:] = roots
+        return roots
+
     def component_labels(self) -> np.ndarray:
         """Array mapping every element to its component representative."""
-        return np.array([self.find(i) for i in range(self.size)], dtype=np.int64)
+        return self.roots()

@@ -1,16 +1,23 @@
-"""Spatial data structures: kd-tree, k-nearest-neighbour queries, Delaunay.
+"""Spatial data structures: flat kd-tree engine, k-NN queries, Delaunay.
 
-The paper's algorithms are all driven by a spatial-median kd-tree (Section 2.3)
-whose nodes carry bounding-sphere information (and, for HDBSCAN*, minimum and
-maximum core distances).  The same tree is used for WSPD construction, for the
-pruned traversals of MemoGFK, and for k-NN / core-distance queries.
+The paper's algorithms are all driven by a spatial-median kd-tree (Section
+2.3) whose nodes carry bounding-sphere information (and, for HDBSCAN*,
+minimum and maximum core distances).  The tree is stored as the array-native
+:class:`FlatKDTree` — a permutation of point indices plus parallel per-node
+arrays — which WSPD construction, the pruned traversals of MemoGFK and the
+batched k-NN / core-distance queries all drive with vectorized frontier
+operations.  :class:`KDTree` / :class:`KDNode` are the node-view
+compatibility layer over the same storage; :mod:`repro.spatial.legacy` keeps
+the original object tree as a benchmark baseline.
 """
 
+from repro.spatial.flat import FlatKDTree
 from repro.spatial.kdtree import KDTree, KDNode
 from repro.spatial.knn import knn, knn_bruteforce, knn_distances
 from repro.spatial.delaunay import delaunay_edges
 
 __all__ = [
+    "FlatKDTree",
     "KDTree",
     "KDNode",
     "knn",

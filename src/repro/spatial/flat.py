@@ -1,0 +1,437 @@
+"""Flat, structure-of-arrays kd-tree: the array-native spatial engine.
+
+The paper's algorithms all bottom out in traversals of a spatial-median
+kd-tree (Section 2.3).  The original reproduction stored that tree as linked
+``KDNode`` Python objects, which makes every hot path pay per-node Python
+dispatch.  :class:`FlatKDTree` stores the *same* tree as a handful of parallel
+NumPy arrays instead — the layout scikit-learn's neighbor trees use — so whole
+frontiers of nodes can be tested, pruned and expanded with single array
+operations:
+
+* ``perm`` — a permutation of ``0..n-1``; every node owns the contiguous
+  slice ``perm[node_start[v]:node_end[v]]`` of point indices;
+* ``node_lower`` / ``node_upper`` — per-node axis-aligned bounding boxes;
+* ``node_center`` / ``node_radius`` — the circumscribing bounding spheres
+  (center = box center, radius = half the box diagonal, as in the paper);
+* ``left_child`` / ``right_child`` — child node ids (``-1`` marks a leaf);
+* ``cd_min`` / ``cd_max`` — per-node core-distance extrema, filled in by
+  :meth:`annotate_core_distances` (the HDBSCAN* separation needs them).
+
+Construction is iterative and level-synchronous: every level of the tree is
+split with a constant number of vectorized passes (segmented bounding boxes
+via ``ufunc.reduceat``, segmented stable partitions via ``np.lexsort``), so
+the build itself is array-native too.  The split rule is exactly the one the
+paper (and the previous object-based implementation) uses: split the widest
+dimension of the node's bounding box at its midpoint, falling back to an
+object median when the spatial median is degenerate and to a positional halve
+when all points coincide.
+
+Because the whole structure is a few flat arrays it is cheap to pickle and to
+share across processes, which the node-object tree was not — this is the
+storage layer that future sharding/multiprocessing builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.parallel.scheduler import current_tracker
+
+
+def _segment_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s + c) for s, c in zip(starts, counts)]``."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.cumsum(counts) - counts
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(offsets, counts)
+    out += np.repeat(starts, counts)
+    return out
+
+
+class FlatKDTree:
+    """Spatial-median kd-tree stored as structure-of-arrays.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` float64 array (callers normalize through
+        :func:`repro.core.points.as_points`).
+    leaf_size:
+        Maximum number of points in a leaf (>= 1).
+    """
+
+    __slots__ = (
+        "points",
+        "leaf_size",
+        "perm",
+        "node_lower",
+        "node_upper",
+        "node_center",
+        "node_radius",
+        "node_start",
+        "node_end",
+        "left_child",
+        "right_child",
+        "cd_min",
+        "cd_max",
+        "num_nodes",
+        "levels",
+    )
+
+    def __init__(self, points: np.ndarray, *, leaf_size: int = 1) -> None:
+        if leaf_size < 1:
+            raise InvalidParameterError("leaf_size must be >= 1")
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise InvalidParameterError("points must be an (n, d) array")
+        self.points = points
+        self.leaf_size = leaf_size
+        self.cd_min: Optional[np.ndarray] = None
+        self.cd_max: Optional[np.ndarray] = None
+        n = points.shape[0]
+        log_n = max(math.log2(n), 1.0) if n > 0 else 1.0
+        current_tracker().add(n * log_n, log_n**2, phase="build-tree")
+        self._build()
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self) -> None:
+        points = self.points
+        n, d = points.shape
+        leaf_size = self.leaf_size
+        cap = max(2 * n, 1)
+
+        perm = np.arange(n, dtype=np.int64)
+        node_lower = np.empty((cap, d), dtype=np.float64)
+        node_upper = np.empty((cap, d), dtype=np.float64)
+        node_start = np.empty(cap, dtype=np.int64)
+        node_end = np.empty(cap, dtype=np.int64)
+        left_child = np.full(cap, -1, dtype=np.int64)
+        right_child = np.full(cap, -1, dtype=np.int64)
+
+        node_start[0] = 0
+        node_end[0] = n
+        count = 1
+        levels: List[np.ndarray] = []
+        active = np.array([0], dtype=np.int64)
+
+        while active.size:
+            levels.append(active)
+            starts = node_start[active]
+            sizes = node_end[active] - starts
+
+            # Segmented bounding boxes of every node on this level.
+            gidx = _segment_ranges(starts, sizes)
+            offsets = np.cumsum(sizes) - sizes
+            pts = points[perm[gidx]]
+            node_lower[active] = np.minimum.reduceat(pts, offsets, axis=0)
+            node_upper[active] = np.maximum.reduceat(pts, offsets, axis=0)
+
+            split = np.flatnonzero(sizes > leaf_size)
+            if split.size == 0:
+                break
+
+            # Restrict the element gather to the nodes being split.
+            s_ids = active[split]
+            s_starts = starts[split]
+            s_sizes = sizes[split]
+            s_total = int(s_sizes.sum())
+            seg = np.repeat(np.arange(split.size, dtype=np.int64), s_sizes)
+            local = np.arange(s_total, dtype=np.int64) - np.repeat(
+                np.cumsum(s_sizes) - s_sizes, s_sizes
+            )
+            sgidx = np.repeat(s_starts, s_sizes) + local
+
+            extent = node_upper[s_ids] - node_lower[s_ids]
+            dim = np.argmax(extent, axis=1)
+            width = extent[np.arange(split.size), dim]
+            mid = (
+                node_lower[s_ids][np.arange(split.size), dim]
+                + node_upper[s_ids][np.arange(split.size), dim]
+            ) * 0.5
+
+            coord = points[perm[sgidx], np.repeat(dim, s_sizes)]
+            left_flag = coord < np.repeat(mid, s_sizes)
+            n_left = np.bincount(
+                seg, weights=left_flag, minlength=split.size
+            ).astype(np.int64)
+            half = s_sizes // 2
+            half_per_elem = np.repeat(half, s_sizes)
+
+            # Degenerate splits, mirroring the object-tree rules exactly:
+            # zero-width nodes (all points identical on the split axis *and*
+            # every other axis, since this is the widest one) are halved in
+            # positional order; a degenerate spatial median (all points on one
+            # side of the midpoint) falls back to the object median, i.e. a
+            # stable sort by coordinate split at the halfway rank.
+            flat_case = width <= 0.0
+            degen = (~flat_case) & ((n_left == 0) | (n_left == s_sizes))
+            secondary = local.copy()
+            if flat_case.any():
+                mask = flat_case[seg]
+                left_flag[mask] = local[mask] < half_per_elem[mask]
+            if degen.any():
+                order = np.lexsort((local, coord, seg))
+                rank = np.empty(s_total, dtype=np.int64)
+                rank[order] = local
+                mask = degen[seg]
+                left_flag[mask] = rank[mask] < half_per_elem[mask]
+                secondary[mask] = rank[mask]
+            n_left = np.where(flat_case | degen, half, n_left)
+
+            # Segmented stable partition: within each segment left points keep
+            # their relative order, then right points keep theirs (matching
+            # ``indices[mask]`` / ``indices[~mask]`` of the object tree).
+            new_order = np.lexsort((secondary, ~left_flag, seg))
+            perm[sgidx] = perm[sgidx[new_order]]
+
+            # Allocate children: ids are assigned level by level, parent
+            # before children, left before right.
+            n_split = split.size
+            left_ids = count + 2 * np.arange(n_split, dtype=np.int64)
+            right_ids = left_ids + 1
+            count += 2 * n_split
+            left_child[s_ids] = left_ids
+            right_child[s_ids] = right_ids
+            cut = s_starts + n_left
+            node_start[left_ids] = s_starts
+            node_end[left_ids] = cut
+            node_start[right_ids] = cut
+            node_end[right_ids] = s_starts + s_sizes
+
+            nxt = np.empty(2 * n_split, dtype=np.int64)
+            nxt[0::2] = left_ids
+            nxt[1::2] = right_ids
+            active = nxt
+
+        self.perm = perm
+        self.num_nodes = count
+        self.node_lower = node_lower[:count]
+        self.node_upper = node_upper[:count]
+        self.node_start = node_start[:count]
+        self.node_end = node_end[:count]
+        self.left_child = left_child[:count]
+        self.right_child = right_child[:count]
+        extent = self.node_upper - self.node_lower
+        self.node_center = (self.node_lower + self.node_upper) * 0.5
+        self.node_radius = 0.5 * np.sqrt(np.einsum("ij,ij->i", extent, extent))
+        self.levels = levels
+
+    # -- structural accessors -------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        return int(self.points.shape[1])
+
+    @property
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (root alone has height 0)."""
+        return len(self.levels) - 1
+
+    @property
+    def node_sizes(self) -> np.ndarray:
+        return self.node_end - self.node_start
+
+    def point_indices(self, node_id: int) -> np.ndarray:
+        """Point indices owned by ``node_id`` (a view into ``perm``)."""
+        return self.perm[self.node_start[node_id] : self.node_end[node_id]]
+
+    def leaf_ids(self) -> np.ndarray:
+        return np.flatnonzero(self.left_child < 0)
+
+    def is_leaf(self, node_ids: np.ndarray) -> np.ndarray:
+        return self.left_child[node_ids] < 0
+
+    # -- segmented / tree-structured reductions --------------------------------
+
+    def node_value_ranges(self, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-node ``(min, max)`` of a per-point value array, for all nodes.
+
+        Leaf extrema come from one segmented reduction over ``perm`` (leaves
+        tile the permutation), and internal nodes are filled by a vectorized
+        bottom-up sweep over the recorded levels.  This one primitive powers
+        both the core-distance annotation and the per-round connectivity
+        snapshots of the GFK/MemoGFK filters.
+        """
+        values = np.asarray(values)
+        if values.shape[0] != self.size:
+            raise InvalidParameterError("values must have one entry per point")
+        by_pos = values[self.perm]
+        out_min = np.empty(self.num_nodes, dtype=values.dtype)
+        out_max = np.empty(self.num_nodes, dtype=values.dtype)
+
+        leaves = self.leaf_ids()
+        order = np.argsort(self.node_start[leaves], kind="stable")
+        leaves = leaves[order]
+        offsets = self.node_start[leaves]
+        out_min[leaves] = np.minimum.reduceat(by_pos, offsets)
+        out_max[leaves] = np.maximum.reduceat(by_pos, offsets)
+
+        for level in reversed(self.levels[:-1]):
+            internal = level[self.left_child[level] >= 0]
+            if internal.size == 0:
+                continue
+            left = self.left_child[internal]
+            right = self.right_child[internal]
+            out_min[internal] = np.minimum(out_min[left], out_min[right])
+            out_max[internal] = np.maximum(out_max[left], out_max[right])
+        return out_min, out_max
+
+    # -- core-distance annotation (HDBSCAN*) ----------------------------------
+
+    def annotate_core_distances(self, core_distances: np.ndarray) -> None:
+        """Fill ``cd_min`` / ``cd_max`` for every node (one vectorized sweep)."""
+        core_distances = np.asarray(core_distances, dtype=np.float64)
+        if core_distances.shape != (self.size,):
+            raise InvalidParameterError("core_distances must have one value per point")
+        current_tracker().add(
+            self.num_nodes, max(math.log2(self.size + 1), 1.0), phase="core-dist"
+        )
+        self.cd_min, self.cd_max = self.node_value_ranges(core_distances)
+
+    # -- batched geometric tests ----------------------------------------------
+
+    def min_distances_to_points(
+        self, queries: np.ndarray, node_ids: np.ndarray
+    ) -> np.ndarray:
+        """Minimum box-to-point distance for parallel arrays of (query, node)."""
+        gap = np.maximum(
+            np.maximum(
+                self.node_lower[node_ids] - queries, queries - self.node_upper[node_ids]
+            ),
+            0.0,
+        )
+        return np.sqrt(np.einsum("ij,ij->i", gap, gap))
+
+    # -- batched k-nearest-neighbour traversal ---------------------------------
+
+    def query_knn(
+        self, queries: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact k-NN of a block of queries by one batched tree traversal.
+
+        The traversal is level-synchronous over a frontier of (query, node)
+        pairs: every iteration prunes the whole frontier against the current
+        per-query k-th-distance bounds with array comparisons, folds all leaf
+        candidates into the per-query top-k with one segmented merge, and
+        expands the surviving internal pairs.  A preliminary vectorized
+        root-to-leaf descent seeds the bounds so pruning is effective from the
+        first frontier iteration.
+
+        Returns ``(indices, distances)`` of shape ``(len(queries), k)`` with
+        neighbours sorted by increasing distance.
+        """
+        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        nq = queries.shape[0]
+        if k < 1:
+            raise InvalidParameterError("k must be >= 1")
+        if k > self.size:
+            raise InvalidParameterError(
+                f"k={k} exceeds the number of points {self.size}"
+            )
+        best_dist = np.full((nq, k), np.inf)
+        best_idx = np.full((nq, k), -1, dtype=np.int64)
+        bound = np.full(nq, np.inf)
+        if nq == 0:
+            return best_idx, best_dist
+
+        # Seed pass: descend every query to its home leaf and fold that leaf's
+        # points into the top-k, so ``bound`` starts tight.
+        seed_leaf = self._descend_to_leaf(queries)
+        q_all = np.arange(nq, dtype=np.int64)
+        self._fold_leaf_candidates(
+            queries, q_all, seed_leaf, best_dist, best_idx, bound, k
+        )
+
+        # Main frontier traversal from the root.
+        frontier_q = q_all
+        frontier_n = np.zeros(nq, dtype=np.int64)
+        while frontier_q.size:
+            md = self.min_distances_to_points(queries[frontier_q], frontier_n)
+            keep = md < bound[frontier_q]
+            frontier_q = frontier_q[keep]
+            frontier_n = frontier_n[keep]
+            if frontier_q.size == 0:
+                break
+            leaf = self.left_child[frontier_n] < 0
+            if leaf.any():
+                lq = frontier_q[leaf]
+                ln = frontier_n[leaf]
+                fresh = ln != seed_leaf[lq]  # the seed leaf was already folded
+                if fresh.any():
+                    self._fold_leaf_candidates(
+                        queries, lq[fresh], ln[fresh], best_dist, best_idx, bound, k
+                    )
+            iq = frontier_q[~leaf]
+            inode = frontier_n[~leaf]
+            frontier_q = np.concatenate([iq, iq])
+            frontier_n = np.concatenate(
+                [self.left_child[inode], self.right_child[inode]]
+            )
+        return best_idx, best_dist
+
+    def _descend_to_leaf(self, queries: np.ndarray) -> np.ndarray:
+        """Vectorized root-to-leaf descent choosing the nearer child."""
+        node = np.zeros(queries.shape[0], dtype=np.int64)
+        while True:
+            internal = np.flatnonzero(self.left_child[node] >= 0)
+            if internal.size == 0:
+                return node
+            left = self.left_child[node[internal]]
+            right = self.right_child[node[internal]]
+            dl = self.min_distances_to_points(queries[internal], left)
+            dr = self.min_distances_to_points(queries[internal], right)
+            node[internal] = np.where(dl <= dr, left, right)
+
+    def _fold_leaf_candidates(
+        self,
+        queries: np.ndarray,
+        pair_q: np.ndarray,
+        pair_n: np.ndarray,
+        best_dist: np.ndarray,
+        best_idx: np.ndarray,
+        bound: np.ndarray,
+        k: int,
+    ) -> None:
+        """Merge the points of leaf pairs into the per-query top-k arrays."""
+        counts = self.node_end[pair_n] - self.node_start[pair_n]
+        cand_q = np.repeat(pair_q, counts)
+        cand_i = self.perm[_segment_ranges(self.node_start[pair_n], counts)]
+        diff = self.points[cand_i] - queries[cand_q]
+        cand_d = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+        # Keep at most k candidates per query before the padded merge.
+        order = np.lexsort((cand_d, cand_q))
+        cand_q = cand_q[order]
+        cand_d = cand_d[order]
+        cand_i = cand_i[order]
+        uq, grp_start, grp_counts = np.unique(
+            cand_q, return_index=True, return_counts=True
+        )
+        within = np.arange(cand_q.shape[0], dtype=np.int64) - np.repeat(
+            grp_start, grp_counts
+        )
+        keep = within < k
+        rows = np.repeat(np.arange(uq.shape[0], dtype=np.int64), grp_counts)[keep]
+        cols = within[keep]
+        padded_d = np.full((uq.shape[0], k), np.inf)
+        padded_i = np.full((uq.shape[0], k), -1, dtype=np.int64)
+        padded_d[rows, cols] = cand_d[keep]
+        padded_i[rows, cols] = cand_i[keep]
+
+        merged_d = np.concatenate([best_dist[uq], padded_d], axis=1)
+        merged_i = np.concatenate([best_idx[uq], padded_i], axis=1)
+        sel = np.argsort(merged_d, axis=1, kind="stable")[:, :k]
+        best_dist[uq] = np.take_along_axis(merged_d, sel, axis=1)
+        best_idx[uq] = np.take_along_axis(merged_i, sel, axis=1)
+        bound[uq] = best_dist[uq, k - 1]

@@ -1,24 +1,23 @@
-"""Spatial-median kd-tree with per-node bounding statistics.
+"""Node-view compatibility layer over the flat structure-of-arrays kd-tree.
 
-This is the tree described in Section 2.3 / 3.1.1 of the paper: it is built by
-recursively splitting the widest dimension of a node's bounding box at its
-midpoint ("spatial median").  Every node stores
+The tree described in Section 2.3 / 3.1.1 of the paper — spatial-median
+splits, per-node bounding boxes and spheres, optional ``cd_min`` / ``cd_max``
+core-distance annotations — is *stored* as the array-native
+:class:`repro.spatial.flat.FlatKDTree`.  This module keeps the original
+object-style API on top of it: :class:`KDTree` owns a flat tree, and
+:class:`KDNode` is a lightweight **view** onto one node id whose attributes
+(``indices``, ``box``, ``sphere``, ``left``, ``right``, ``cd_min`` …) read
+straight out of the flat arrays.
 
-* the indices of the points it contains,
-* its axis-aligned bounding box and the circumscribing bounding sphere,
-* its diameter (the sphere diameter, ``A_diam`` in the paper), and
-* once :meth:`KDTree.annotate_core_distances` has been called, the minimum and
-  maximum core distance of its points (``cd_min(A)`` / ``cd_max(A)``), which
-  the HDBSCAN* notion of well-separation needs.
-
-The construction is written as the parallel algorithm (children built
-independently) but executes sequentially; the work–depth tracker is charged
-O(n log n) work and O(log^2 n) depth for the build.
+Hot paths never touch these views: the WSPD, GFK/MemoGFK and k-NN traversals
+drive the flat arrays in batch form.  The views exist so that algorithm code
+that genuinely works pair-at-a-time (BCCP kernels, the dual-tree Borůvka and
+OPTICS baselines, the test-suite's structural checks) keeps its natural
+object-shaped interface.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Iterator, List, Optional
 
 import numpy as np
@@ -26,46 +25,86 @@ import numpy as np
 from repro.core.bounding import BoundingBox, BoundingSphere
 from repro.core.errors import InvalidParameterError, NotComputedError
 from repro.core.points import as_points
-from repro.parallel.scheduler import current_tracker
+from repro.spatial.flat import FlatKDTree
 
 
 class KDNode:
-    """One node of the kd-tree; a leaf when it has no children."""
+    """View onto one node of a :class:`FlatKDTree` (a leaf when childless).
 
-    __slots__ = (
-        "node_id",
-        "indices",
-        "box",
-        "sphere",
-        "left",
-        "right",
-        "cd_min",
-        "cd_max",
-    )
+    Views are created on demand and cached by the owning :class:`KDTree`, so
+    ``node.left is tree.node(node.left.node_id)`` always holds and repeated
+    attribute access does not rebuild boxes or spheres.
+    """
 
-    def __init__(self, node_id: int, indices: np.ndarray, box: BoundingBox) -> None:
+    __slots__ = ("_tree", "node_id", "_box", "_sphere")
+
+    def __init__(self, tree: "KDTree", node_id: int) -> None:
+        self._tree = tree
         self.node_id = node_id
-        self.indices = indices
-        self.box = box
-        self.sphere: BoundingSphere = box.to_sphere()
-        self.left: Optional[KDNode] = None
-        self.right: Optional[KDNode] = None
-        self.cd_min: Optional[float] = None
-        self.cd_max: Optional[float] = None
+        self._box: Optional[BoundingBox] = None
+        self._sphere: Optional[BoundingSphere] = None
+
+    @property
+    def _flat(self) -> FlatKDTree:
+        return self._tree.flat
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Point indices owned by this node (a view into the permutation)."""
+        return self._flat.point_indices(self.node_id)
+
+    @property
+    def box(self) -> BoundingBox:
+        if self._box is None:
+            flat = self._flat
+            self._box = BoundingBox(
+                flat.node_lower[self.node_id], flat.node_upper[self.node_id]
+            )
+        return self._box
+
+    @property
+    def sphere(self) -> BoundingSphere:
+        if self._sphere is None:
+            flat = self._flat
+            self._sphere = BoundingSphere(
+                flat.node_center[self.node_id], float(flat.node_radius[self.node_id])
+            )
+        return self._sphere
+
+    @property
+    def left(self) -> Optional["KDNode"]:
+        child = int(self._flat.left_child[self.node_id])
+        return None if child < 0 else self._tree.node(child)
+
+    @property
+    def right(self) -> Optional["KDNode"]:
+        child = int(self._flat.right_child[self.node_id])
+        return None if child < 0 else self._tree.node(child)
+
+    @property
+    def cd_min(self) -> Optional[float]:
+        values = self._flat.cd_min
+        return None if values is None else float(values[self.node_id])
+
+    @property
+    def cd_max(self) -> Optional[float]:
+        values = self._flat.cd_max
+        return None if values is None else float(values[self.node_id])
 
     @property
     def size(self) -> int:
         """Number of points contained in this node."""
-        return int(self.indices.shape[0])
+        flat = self._flat
+        return int(flat.node_end[self.node_id] - flat.node_start[self.node_id])
 
     @property
     def is_leaf(self) -> bool:
-        return self.left is None
+        return int(self._flat.left_child[self.node_id]) < 0
 
     @property
     def diameter(self) -> float:
         """Diameter of the node's bounding sphere (``A_diam`` in the paper)."""
-        return self.sphere.diameter
+        return 2.0 * float(self._flat.node_radius[self.node_id])
 
     def children(self) -> List["KDNode"]:
         if self.is_leaf:
@@ -88,6 +127,10 @@ class KDTree:
         Maximum number of points in a leaf.  The paper builds WSPD trees with
         one point per leaf; k-NN queries are usually faster with slightly
         larger leaves, so the default is configurable.
+
+    The underlying storage is the flat array engine, exposed as ``tree.flat``;
+    the batch traversals in :mod:`repro.spatial.knn`, :mod:`repro.wspd` and
+    :mod:`repro.emst` drive it directly.
     """
 
     def __init__(self, points, *, leaf_size: int = 1) -> None:
@@ -95,67 +138,27 @@ class KDTree:
             raise InvalidParameterError("leaf_size must be >= 1")
         self.points = as_points(points)
         self.leaf_size = leaf_size
-        self._nodes: List[KDNode] = []
+        self.flat = FlatKDTree(self.points, leaf_size=leaf_size)
+        self._views: dict = {}
         self._core_distances: Optional[np.ndarray] = None
-        n = self.points.shape[0]
-        tracker = current_tracker()
-        tracker.add(n * max(math.log2(n), 1.0), max(math.log2(n), 1.0) ** 2, phase="build-tree")
-        self.root = self._build(np.arange(n, dtype=np.int64))
-
-    # -- construction --------------------------------------------------------
-
-    def _new_node(self, indices: np.ndarray) -> KDNode:
-        box = BoundingBox.of_points(self.points[indices])
-        node = KDNode(len(self._nodes), indices, box)
-        self._nodes.append(node)
-        return node
-
-    def _build(self, indices: np.ndarray) -> KDNode:
-        node = self._new_node(indices)
-        stack = [node]
-        while stack:
-            current = stack.pop()
-            if current.size <= self.leaf_size:
-                continue
-            left_idx, right_idx = self._split(current)
-            if left_idx is None:
-                continue
-            current.left = self._new_node(left_idx)
-            current.right = self._new_node(right_idx)
-            stack.append(current.left)
-            stack.append(current.right)
-        return node
-
-    def _split(self, node: KDNode):
-        """Split ``node`` along the widest dimension at the spatial median."""
-        coords = self.points[node.indices]
-        extent = node.box.extent
-        dimension = int(np.argmax(extent))
-        if extent[dimension] <= 0.0:
-            # All points identical: split the index array in half so duplicate
-            # points still terminate at singleton leaves.
-            if node.size <= self.leaf_size:
-                return None, None
-            half = node.size // 2
-            return node.indices[:half], node.indices[half:]
-        midpoint = (node.box.lower[dimension] + node.box.upper[dimension]) * 0.5
-        mask = coords[:, dimension] < midpoint
-        left = node.indices[mask]
-        right = node.indices[~mask]
-        if left.size == 0 or right.size == 0:
-            # Degenerate spatial median (e.g. many duplicates at the midpoint):
-            # fall back to an object median so progress is guaranteed.
-            order = np.argsort(coords[:, dimension], kind="stable")
-            half = node.size // 2
-            left = node.indices[order[:half]]
-            right = node.indices[order[half:]]
-        return left, right
 
     # -- structural accessors -------------------------------------------------
 
+    def node(self, node_id: int) -> KDNode:
+        """The (cached) view onto node ``node_id``."""
+        view = self._views.get(node_id)
+        if view is None:
+            view = KDNode(self, node_id)
+            self._views[node_id] = view
+        return view
+
+    @property
+    def root(self) -> KDNode:
+        return self.node(0)
+
     @property
     def num_nodes(self) -> int:
-        return len(self._nodes)
+        return self.flat.num_nodes
 
     @property
     def size(self) -> int:
@@ -166,21 +169,15 @@ class KDTree:
         return int(self.points.shape[1])
 
     def nodes(self) -> Iterator[KDNode]:
-        """Iterate over all nodes (construction order: parent before children)."""
-        return iter(self._nodes)
+        """Iterate over all nodes (id order: parent before children)."""
+        return (self.node(i) for i in range(self.flat.num_nodes))
 
     def leaves(self) -> Iterator[KDNode]:
-        return (node for node in self._nodes if node.is_leaf)
+        return (self.node(int(i)) for i in self.flat.leaf_ids())
 
     def height(self) -> int:
         """Length of the longest root-to-leaf path (root alone has height 0)."""
-
-        def walk(node: KDNode) -> int:
-            if node.is_leaf:
-                return 0
-            return 1 + max(walk(node.left), walk(node.right))
-
-        return walk(self.root)
+        return self.flat.height
 
     def node_points(self, node: KDNode) -> np.ndarray:
         """Coordinate array of the points contained in ``node``."""
@@ -199,19 +196,8 @@ class KDTree:
             raise InvalidParameterError(
                 "core_distances must have one value per point"
             )
+        self.flat.annotate_core_distances(core_distances)
         self._core_distances = core_distances
-        tracker = current_tracker()
-        tracker.add(self.num_nodes, max(math.log2(self.size + 1), 1.0), phase="core-dist")
-        # Children were appended after their parent, so a reverse sweep over
-        # the construction order visits children before parents.
-        for node in reversed(self._nodes):
-            if node.is_leaf:
-                values = core_distances[node.indices]
-                node.cd_min = float(values.min())
-                node.cd_max = float(values.max())
-            else:
-                node.cd_min = min(node.left.cd_min, node.right.cd_min)
-                node.cd_max = max(node.left.cd_max, node.right.cd_max)
 
     @property
     def core_distances(self) -> np.ndarray:

@@ -15,9 +15,20 @@ from repro.wspd.separation import (
     geometrically_separated,
     mutually_unreachable,
     hdbscan_well_separated,
+    node_distances,
+    node_max_distances,
+    well_separated_mask,
+    geometrically_separated_mask,
+    mutually_unreachable_mask,
+    hdbscan_well_separated_mask,
 )
 from repro.wspd.bccp import BCCPResult, bccp, bccp_star, BCCPCache
-from repro.wspd.wspd import WellSeparatedPair, compute_wspd, count_wspd_pairs
+from repro.wspd.wspd import (
+    WellSeparatedPair,
+    compute_wspd,
+    compute_wspd_ids,
+    count_wspd_pairs,
+)
 
 __all__ = [
     "node_distance",
@@ -26,11 +37,18 @@ __all__ = [
     "geometrically_separated",
     "mutually_unreachable",
     "hdbscan_well_separated",
+    "node_distances",
+    "node_max_distances",
+    "well_separated_mask",
+    "geometrically_separated_mask",
+    "mutually_unreachable_mask",
+    "hdbscan_well_separated_mask",
     "BCCPResult",
     "bccp",
     "bccp_star",
     "BCCPCache",
     "WellSeparatedPair",
     "compute_wspd",
+    "compute_wspd_ids",
     "count_wspd_pairs",
 ]

@@ -16,6 +16,13 @@ The HDBSCAN* notion of well-separation (``hdbscan_well_separated``) is the
 disjunction of the last two; because the WSPD recursion stops as soon as a
 pair is well-separated, the weaker (disjunctive) predicate terminates earlier
 and produces fewer pairs — the source of the paper's space savings.
+
+Every predicate exists in two forms: a scalar form over :class:`KDNode` views
+(used by pair-at-a-time callers and the tests) and a ``*_mask`` form over
+parallel arrays of node ids of a :class:`~repro.spatial.flat.FlatKDTree`,
+which evaluates the predicate for a whole traversal frontier with a handful
+of array operations.  Both forms apply the identical floating-point formulas
+to the identical stored centers/radii, so they agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import NotComputedError
+from repro.spatial.flat import FlatKDTree
 from repro.spatial.kdtree import KDNode
 
 
@@ -66,3 +74,68 @@ def hdbscan_well_separated(a: KDNode, b: KDNode) -> bool:
     if geometrically_separated(a, b):
         return True
     return mutually_unreachable(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Array forms over flat-tree node-id frontiers
+# ---------------------------------------------------------------------------
+
+def center_gaps(flat: FlatKDTree, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Distances between the bounding-sphere centers of node-id arrays."""
+    diff = flat.node_center[a] - flat.node_center[b]
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def node_distances(flat: FlatKDTree, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``d(A, B)`` for parallel node-id arrays (sphere minimum distances)."""
+    return np.maximum(
+        center_gaps(flat, a, b) - flat.node_radius[a] - flat.node_radius[b], 0.0
+    )
+
+
+def node_max_distances(flat: FlatKDTree, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``d_max(A, B)`` for parallel node-id arrays."""
+    return center_gaps(flat, a, b) + flat.node_radius[a] + flat.node_radius[b]
+
+
+def well_separated_mask(
+    flat: FlatKDTree, a: np.ndarray, b: np.ndarray, s: float = 2.0
+) -> np.ndarray:
+    """Classical well-separation of every pair in a frontier at once."""
+    r = np.maximum(flat.node_radius[a], flat.node_radius[b])
+    return center_gaps(flat, a, b) - 2.0 * r >= s * r
+
+
+def geometrically_separated_mask(
+    flat: FlatKDTree, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """``d(A, B) >= max(A_diam, B_diam)`` over a frontier of node pairs."""
+    diameters = 2.0 * np.maximum(flat.node_radius[a], flat.node_radius[b])
+    return node_distances(flat, a, b) >= diameters
+
+
+def mutually_unreachable_mask(
+    flat: FlatKDTree, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Mutual-unreachability of every pair in a frontier at once."""
+    if flat.cd_min is None or flat.cd_max is None:
+        raise NotComputedError(
+            "mutually_unreachable requires core-distance annotations on the tree"
+        )
+    lhs = np.maximum(
+        node_distances(flat, a, b), np.maximum(flat.cd_min[a], flat.cd_min[b])
+    )
+    rhs = np.maximum(
+        2.0 * np.maximum(flat.node_radius[a], flat.node_radius[b]),
+        np.maximum(flat.cd_max[a], flat.cd_max[b]),
+    )
+    return lhs >= rhs
+
+
+def hdbscan_well_separated_mask(
+    flat: FlatKDTree, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Disjunctive HDBSCAN* separation over a frontier of node pairs."""
+    return geometrically_separated_mask(flat, a, b) | mutually_unreachable_mask(
+        flat, a, b
+    )

@@ -1,11 +1,16 @@
 """Well-separated pair decomposition (Algorithm 1 of the paper).
 
-``compute_wspd`` walks the kd-tree exactly as the paper's pseudocode does:
+The decomposition walks the kd-tree exactly as the paper's pseudocode does:
 for every internal node it calls FIND_PAIR on its two children; FIND_PAIR
 records the pair if it is well-separated, and otherwise splits the child with
-the larger bounding sphere and recurses on both halves.  The recursion is
-executed iteratively with an explicit stack (the paper spawns parallel tasks
-at the same places; the work–depth tracker is charged accordingly).
+the larger bounding sphere and recurses on both halves.
+
+The walk is executed *frontier-at-a-time* over the flat array engine: every
+round holds the whole set of pending (A, B) pairs as two node-id arrays,
+evaluates the separation predicate for all of them with one vectorized mask,
+records the separated pairs, and expands the rest — the same visits the
+paper's parallel recursion performs, charged identically to the work–depth
+tracker, but with NumPy array operations in place of per-node Python calls.
 
 Two separation criteria are supported via ``separation``:
 
@@ -18,12 +23,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Tuple
+
+import numpy as np
 
 from repro.core.errors import InvalidParameterError, NotComputedError
 from repro.parallel.scheduler import current_tracker
+from repro.spatial.flat import FlatKDTree
 from repro.spatial.kdtree import KDNode, KDTree
-from repro.wspd.separation import hdbscan_well_separated, well_separated
+from repro.wspd.separation import (
+    hdbscan_well_separated_mask,
+    well_separated_mask,
+)
 
 
 @dataclass(frozen=True)
@@ -39,20 +50,113 @@ class WellSeparatedPair:
         return self.node_a.size + self.node_b.size
 
 
-def _separation_predicate(
-    tree: KDTree, separation: str, s: float
-) -> Callable[[KDNode, KDNode], bool]:
+PairMask = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def separation_mask(
+    flat: FlatKDTree, separation: str, s: float
+) -> PairMask:
+    """Vectorized separation predicate over node-id arrays of ``flat``."""
     if separation == "geometric":
-        return lambda a, b: well_separated(a, b, s)
+        return lambda a, b: well_separated_mask(flat, a, b, s)
     if separation == "hdbscan":
-        if not tree.has_core_distances:
+        if flat.cd_min is None:
             raise NotComputedError(
                 "hdbscan separation requires annotate_core_distances() on the tree"
             )
-        return hdbscan_well_separated
+        return lambda a, b: hdbscan_well_separated_mask(flat, a, b)
     raise InvalidParameterError(
         f"separation must be 'geometric' or 'hdbscan', got {separation!r}"
     )
+
+
+def frontier_step(
+    flat: FlatKDTree, a: np.ndarray, b: np.ndarray, predicate: PairMask
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One FIND_PAIR round over a frontier of pending node pairs.
+
+    Orients every pair so the node with the larger bounding sphere comes
+    first, evaluates the separation ``predicate`` for the whole frontier, and
+    splits it three ways: the separated pairs, the both-leaf pairs (duplicate
+    points — unsplittable yet not separated), and the expansion of everything
+    else (larger node replaced by its two children).  This is the single
+    traversal kernel shared by the WSPD construction and the MemoGFK
+    GETRHO / GETPAIRS sweeps, which keeps the three in floating-point
+    lockstep.
+
+    Returns ``(separated, sep_a, sep_b, dup_a, dup_b, next_a, next_b)``.
+    ``separated`` is a mask over the *input* frontier order (preserved by the
+    orientation swap), so symmetric per-pair values computed before the call
+    — e.g. the ρ lower bounds — can be gathered with it.
+    """
+    left_child = flat.left_child
+    right_child = flat.right_child
+    swap = flat.node_radius[a] < flat.node_radius[b]
+    a, b = np.where(swap, b, a), np.where(swap, a, b)
+    separated = predicate(a, b)
+    sep_a, sep_b = a[separated], b[separated]
+    a, b = a[~separated], b[~separated]
+    # Split the node with the larger bounding sphere.  A leaf cannot be
+    # split; in that case split the other node instead (this only happens
+    # with duplicate points).
+    a_leaf = left_child[a] < 0
+    a, b = np.where(a_leaf, b, a), np.where(a_leaf, a, b)
+    both_leaf = left_child[a] < 0
+    dup_a, dup_b = a[both_leaf], b[both_leaf]
+    a, b = a[~both_leaf], b[~both_leaf]
+    next_a = np.concatenate([left_child[a], right_child[a]])
+    next_b = np.concatenate([b, b])
+    return separated, sep_a, sep_b, dup_a, dup_b, next_a, next_b
+
+
+def _check_wspd_tree(tree: KDTree) -> None:
+    if tree.leaf_size != 1 and int(tree.flat.node_sizes[tree.flat.leaf_ids()].max()) > 1:
+        raise InvalidParameterError(
+            "the WSPD requires a kd-tree built with leaf_size=1: pairs of points "
+            "inside a multi-point leaf would never be covered by the decomposition"
+        )
+
+
+def iterate_wspd_ids(
+    flat: FlatKDTree,
+    *,
+    separation: str = "geometric",
+    s: float = 2.0,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield the WSPD of ``flat`` as batches of node-id array pairs.
+
+    Each yielded ``(a_ids, b_ids)`` batch holds the pairs recorded during one
+    frontier round; concatenating all batches gives the full decomposition.
+    This is the array-native core that :func:`iterate_wspd`,
+    :func:`compute_wspd_ids` and the GFK driver all share.
+    """
+    predicate = separation_mask(flat, separation, s)
+    tracker = current_tracker()
+    n = max(flat.size, 2)
+    log_n = max(math.log2(n), 1.0)
+    tracker.add(0.0, log_n, phase="wspd")
+
+    # Stage 1 (WSPD procedure): one FIND_PAIR call per internal node.
+    internal = np.flatnonzero(flat.left_child >= 0)
+    tracker.add(float(internal.size), log_n, phase="wspd")
+    if internal.size == 0:
+        return
+
+    # Stage 2 (FIND_PAIR): one frontier of pending pairs in place of the
+    # parallel recursion.  Every frontier element is an independent parallel
+    # task in the modelled algorithm, so only work (not depth) is charged per
+    # visit; the O(log n) recursion depth was charged once above.
+    a = flat.left_child[internal]
+    b = flat.right_child[internal]
+    while a.size:
+        tracker.add(float(a.size), 0, phase="wspd")
+        _, sep_a, sep_b, dup_a, dup_b, a, b = frontier_step(flat, a, b, predicate)
+        if sep_a.size:
+            yield sep_a, sep_b
+        if dup_a.size:
+            # Both singletons and not well separated: duplicates.  Record
+            # them anyway so the decomposition covers the pair.
+            yield dup_a, dup_b
 
 
 def iterate_wspd(
@@ -64,48 +168,31 @@ def iterate_wspd(
     """Yield the WSPD pairs of ``tree`` one at a time (Algorithm 1).
 
     The generator form lets MemoGFK-style callers consume pairs without ever
-    materializing the full decomposition.
+    materializing the full decomposition; internally pairs are produced a
+    vectorized frontier round at a time.
     """
-    predicate = _separation_predicate(tree, separation, s)
-    if tree.leaf_size != 1 and any(leaf.size > 1 for leaf in tree.leaves()):
-        raise InvalidParameterError(
-            "the WSPD requires a kd-tree built with leaf_size=1: pairs of points "
-            "inside a multi-point leaf would never be covered by the decomposition"
-        )
-    tracker = current_tracker()
-    n = max(tree.size, 2)
-    tracker.add(0.0, max(math.log2(n), 1.0), phase="wspd")
+    _check_wspd_tree(tree)
+    for a_ids, b_ids in iterate_wspd_ids(tree.flat, separation=separation, s=s):
+        for a_id, b_id in zip(a_ids.tolist(), b_ids.tolist()):
+            yield WellSeparatedPair(tree.node(a_id), tree.node(b_id))
 
-    # Stage 1 (WSPD procedure): one FIND_PAIR call per internal node.
-    internal_nodes = [node for node in tree.nodes() if not node.is_leaf]
-    tracker.add(len(internal_nodes), max(math.log2(n), 1.0), phase="wspd")
 
-    for node in internal_nodes:
-        # Stage 2 (FIND_PAIR): explicit stack in place of parallel recursion.
-        # Each stack element is an independent parallel task in the modelled
-        # algorithm, so only work (not depth) is charged per visit; the
-        # O(log n) recursion depth was charged once above.
-        stack: List[Tuple[KDNode, KDNode]] = [(node.left, node.right)]
-        while stack:
-            p, q = stack.pop()
-            tracker.add(1, 0, phase="wspd")
-            if p.sphere.diameter < q.sphere.diameter:
-                p, q = q, p
-            if predicate(p, q):
-                yield WellSeparatedPair(p, q)
-            else:
-                # Split the node with the larger bounding sphere.  A leaf
-                # cannot be split; in that case split the other node instead
-                # (this only happens with duplicate points).
-                if p.is_leaf:
-                    p, q = q, p
-                if p.is_leaf:
-                    # Both singletons and not well separated: duplicates.
-                    # Record them anyway so the decomposition covers the pair.
-                    yield WellSeparatedPair(p, q)
-                    continue
-                stack.append((p.left, q))
-                stack.append((p.right, q))
+def compute_wspd_ids(
+    tree: KDTree,
+    *,
+    separation: str = "geometric",
+    s: float = 2.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The full decomposition as two parallel node-id arrays."""
+    _check_wspd_tree(tree)
+    batches = list(iterate_wspd_ids(tree.flat, separation=separation, s=s))
+    if not batches:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return (
+        np.concatenate([batch[0] for batch in batches]),
+        np.concatenate([batch[1] for batch in batches]),
+    )
 
 
 def compute_wspd(
@@ -114,7 +201,7 @@ def compute_wspd(
     separation: str = "geometric",
     s: float = 2.0,
 ) -> List[WellSeparatedPair]:
-    """Materialize the full list of WSPD pairs (what the GFK baseline needs)."""
+    """Materialize the full list of WSPD pairs (what the naive baseline needs)."""
     return list(iterate_wspd(tree, separation=separation, s=s))
 
 
@@ -125,10 +212,11 @@ def count_wspd_pairs(
     s: float = 2.0,
 ) -> int:
     """Number of pairs the decomposition produces, without storing them."""
-    count = 0
-    for _ in iterate_wspd(tree, separation=separation, s=s):
-        count += 1
-    return count
+    _check_wspd_tree(tree)
+    return sum(
+        int(batch[0].size)
+        for batch in iterate_wspd_ids(tree.flat, separation=separation, s=s)
+    )
 
 
 def validate_wspd_realization(tree: KDTree, pairs: List[WellSeparatedPair]) -> bool:

@@ -1,0 +1,171 @@
+"""Tests for the flat structure-of-arrays kd-tree engine."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.parallel.unionfind import UnionFind
+from repro.spatial import FlatKDTree, KDTree
+from repro.spatial.legacy import LegacyKDTree, legacy_knn
+from repro.wspd import compute_wspd_ids
+
+
+def exact_knn_reference(points, queries, k):
+    diffs = queries[:, None, :] - points[None, :, :]
+    full = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
+    return np.sort(full, axis=1)[:, :k]
+
+
+class TestFlatConstruction:
+    def test_perm_is_a_permutation(self, small_points_2d):
+        flat = FlatKDTree(small_points_2d, leaf_size=4)
+        assert sorted(flat.perm.tolist()) == list(range(len(small_points_2d)))
+
+    def test_leaves_tile_the_permutation(self, small_points_3d):
+        flat = FlatKDTree(small_points_3d, leaf_size=2)
+        leaves = flat.leaf_ids()
+        order = np.argsort(flat.node_start[leaves])
+        starts = flat.node_start[leaves][order]
+        ends = flat.node_end[leaves][order]
+        assert starts[0] == 0
+        assert ends[-1] == len(small_points_3d)
+        assert np.array_equal(starts[1:], ends[:-1])
+
+    def test_bounding_arrays_are_tight(self, small_points_3d):
+        flat = FlatKDTree(small_points_3d, leaf_size=4)
+        for node in range(flat.num_nodes):
+            segment = small_points_3d[flat.point_indices(node)]
+            assert np.allclose(flat.node_lower[node], segment.min(axis=0))
+            assert np.allclose(flat.node_upper[node], segment.max(axis=0))
+
+    def test_children_partition_parent_segment(self, small_points_2d):
+        flat = FlatKDTree(small_points_2d, leaf_size=1)
+        for node in range(flat.num_nodes):
+            left = int(flat.left_child[node])
+            right = int(flat.right_child[node])
+            if left < 0:
+                continue
+            assert flat.node_start[left] == flat.node_start[node]
+            assert flat.node_end[left] == flat.node_start[right]
+            assert flat.node_end[right] == flat.node_end[node]
+
+    def test_same_structure_as_legacy_object_tree(self, small_points_2d):
+        """Both engines implement the identical spatial-median split rule."""
+        flat = FlatKDTree(small_points_2d, leaf_size=3)
+        legacy = LegacyKDTree(small_points_2d, leaf_size=3)
+        flat_leaves = sorted(
+            tuple(sorted(flat.point_indices(int(i)).tolist()))
+            for i in flat.leaf_ids()
+        )
+        legacy_leaves = sorted(
+            tuple(sorted(node.indices.tolist()))
+            for node in legacy._nodes
+            if node.is_leaf
+        )
+        assert flat_leaves == legacy_leaves
+
+    def test_duplicate_points_terminate(self):
+        flat = FlatKDTree(np.zeros((16, 3)), leaf_size=1)
+        assert np.all(flat.node_sizes[flat.leaf_ids()] == 1)
+
+    def test_single_point(self):
+        flat = FlatKDTree(np.array([[1.0, 2.0]]))
+        assert flat.num_nodes == 1
+        assert flat.height == 0
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(InvalidParameterError):
+            FlatKDTree(np.zeros((4, 2)), leaf_size=0)
+
+    def test_pickle_roundtrip(self, small_points_2d):
+        """Flat arrays are picklable/shareable, unlike node-object trees."""
+        flat = FlatKDTree(small_points_2d, leaf_size=4)
+        flat.annotate_core_distances(np.random.default_rng(0).random(len(small_points_2d)))
+        clone = pickle.loads(pickle.dumps(flat))
+        assert np.array_equal(clone.perm, flat.perm)
+        assert np.array_equal(clone.left_child, flat.left_child)
+        assert np.array_equal(clone.cd_min, flat.cd_min)
+
+
+class TestBatchKnn:
+    def test_exact_against_direct_reference(self, small_points_3d):
+        flat = FlatKDTree(small_points_3d, leaf_size=8)
+        _, distances = flat.query_knn(small_points_3d, 5)
+        reference = exact_knn_reference(small_points_3d, small_points_3d, 5)
+        assert np.allclose(distances, reference, rtol=1e-12, atol=0)
+
+    def test_matches_legacy_traversal(self, small_points_2d):
+        flat = FlatKDTree(small_points_2d, leaf_size=8)
+        legacy = LegacyKDTree(small_points_2d, leaf_size=8)
+        _, flat_d = flat.query_knn(small_points_2d, 6)
+        _, legacy_d = legacy_knn(legacy, 6)
+        assert np.allclose(flat_d, legacy_d, rtol=1e-12, atol=0)
+
+    def test_indices_consistent_with_distances(self, small_points_2d):
+        flat = FlatKDTree(small_points_2d, leaf_size=4)
+        indices, distances = flat.query_knn(small_points_2d, 4)
+        gathered = small_points_2d[indices] - small_points_2d[:, None, :]
+        recomputed = np.sqrt(np.einsum("ijk,ijk->ij", gathered, gathered))
+        assert np.allclose(recomputed, distances, rtol=1e-12, atol=0)
+
+    def test_external_queries(self, small_points_2d):
+        flat = FlatKDTree(small_points_2d, leaf_size=4)
+        queries = np.random.default_rng(9).random((13, 2))
+        _, distances = flat.query_knn(queries, 3)
+        reference = exact_knn_reference(small_points_2d, queries, 3)
+        assert np.allclose(distances, reference, rtol=1e-12, atol=0)
+
+    def test_k_equals_n_on_tiny_leaves(self):
+        points = np.random.default_rng(4).random((12, 2))
+        flat = FlatKDTree(points, leaf_size=1)
+        _, distances = flat.query_knn(points, 12)
+        assert np.allclose(
+            distances, exact_knn_reference(points, points, 12), rtol=1e-12, atol=0
+        )
+
+    def test_duplicates(self):
+        points = np.zeros((10, 2))
+        flat = FlatKDTree(points, leaf_size=2)
+        _, distances = flat.query_knn(points, 4)
+        assert np.allclose(distances, 0.0)
+
+
+class TestTreeReductions:
+    def test_node_value_ranges_match_bruteforce(self, small_points_2d):
+        flat = FlatKDTree(small_points_2d, leaf_size=2)
+        values = np.random.default_rng(5).random(len(small_points_2d))
+        lo, hi = flat.node_value_ranges(values)
+        for node in range(flat.num_nodes):
+            segment = values[flat.point_indices(node)]
+            assert lo[node] == pytest.approx(segment.min())
+            assert hi[node] == pytest.approx(segment.max())
+
+    def test_connectivity_snapshot_detects_components(self, small_points_2d):
+        from repro.emst.gfk import connectivity_snapshot, pairs_fully_connected
+
+        n = len(small_points_2d)
+        flat = FlatKDTree(small_points_2d, leaf_size=1)
+        union_find = UnionFind(n)
+        for i in range(n - 1):
+            union_find.union(i, i + 1)
+        root_min, root_max = connectivity_snapshot(flat, union_find)
+        assert np.all(root_min == root_max)
+        every_pair_a = np.arange(flat.num_nodes, dtype=np.int64)
+        connected = pairs_fully_connected(root_min, root_max, every_pair_a, every_pair_a)
+        assert bool(connected.all())
+
+
+class TestWspdIds:
+    def test_id_pairs_match_object_pairs(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=1)
+        from repro.wspd import compute_wspd
+
+        object_pairs = {
+            (pair.node_a.node_id, pair.node_b.node_id)
+            for pair in compute_wspd(tree)
+        }
+        a_ids, b_ids = compute_wspd_ids(tree)
+        id_pairs = set(zip(a_ids.tolist(), b_ids.tolist()))
+        assert id_pairs == object_pairs

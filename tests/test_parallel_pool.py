@@ -1,0 +1,77 @@
+"""Tests for the thread-pool helper and threaded k-NN agreement."""
+
+import threading
+
+import numpy as np
+
+from repro.parallel.pool import parallel_map
+from repro.spatial import KDTree, knn
+
+
+class TestParallelMap:
+    def test_sequential_path_preserves_order(self):
+        assert parallel_map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+
+    def test_empty_input(self):
+        assert parallel_map(lambda x: x, []) == []
+        assert parallel_map(lambda x: x, [], num_threads=4) == []
+
+    def test_threaded_path_preserves_order(self):
+        items = list(range(50))
+        result = parallel_map(lambda x: x * x, items, num_threads=4)
+        assert result == [x * x for x in items]
+
+    def test_threaded_path_actually_uses_worker_threads(self):
+        seen = set()
+
+        def record(x):
+            seen.add(threading.current_thread().name)
+            return x
+
+        parallel_map(record, list(range(64)), num_threads=4)
+        assert any(name != threading.main_thread().name for name in seen)
+
+    def test_chunk_threshold_degrades_to_sequential(self):
+        seen = set()
+
+        def record(x):
+            seen.add(threading.current_thread().name)
+            return x
+
+        # Fewer items than chunk_threshold: must not spin up a pool.
+        parallel_map(record, [1, 2], num_threads=8, chunk_threshold=5)
+        assert seen == {threading.main_thread().name}
+
+    def test_num_threads_none_zero_one_are_sequential(self):
+        for num_threads in (None, 0, 1):
+            assert parallel_map(lambda x: -x, [1, 2, 3], num_threads=num_threads) == [
+                -1,
+                -2,
+                -3,
+            ]
+
+    def test_generator_input(self):
+        assert parallel_map(lambda x: x + 1, (x for x in range(5)), num_threads=2) == [
+            1,
+            2,
+            3,
+            4,
+            5,
+        ]
+
+
+class TestThreadedKnn:
+    def test_two_threads_agree_with_sequential(self, small_points_3d):
+        tree = KDTree(small_points_3d, leaf_size=8)
+        seq_idx, seq_dist = knn(tree, 5)
+        par_idx, par_dist = knn(tree, 5, num_threads=2)
+        assert np.array_equal(seq_idx, par_idx)
+        assert np.array_equal(seq_dist, par_dist)
+
+    def test_two_threads_agree_on_external_queries(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=4)
+        queries = np.random.default_rng(3).random((700, 2))
+        seq_idx, seq_dist = knn(tree, 3, queries=queries)
+        par_idx, par_dist = knn(tree, 3, queries=queries, num_threads=2)
+        assert np.array_equal(seq_idx, par_idx)
+        assert np.array_equal(seq_dist, par_dist)
