@@ -1,0 +1,43 @@
+"""Growable NumPy buffer support shared by the array-backed containers.
+
+:class:`~repro.mst.edges.EdgeList` and
+:class:`~repro.dendrogram.structure.Dendrogram` both store their contents as
+parallel flat arrays that grow by capacity doubling; this module holds the one
+copy of that growth routine.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def ensure_capacity(obj, names: Sequence[str], count: int, needed: int) -> None:
+    """Grow the named parallel buffer attributes of ``obj`` to ``needed`` slots.
+
+    ``count`` is the number of live entries to preserve.  Buffers grow by
+    doubling, so amortized append cost stays constant.
+    """
+    capacity = int(getattr(obj, names[0]).shape[0])
+    if needed <= capacity:
+        return
+    while capacity < needed:
+        capacity *= 2
+    for name in names:
+        old = getattr(obj, name)
+        grown = np.empty(capacity, dtype=old.dtype)
+        grown[:count] = old[:count]
+        setattr(obj, name, grown)
+
+
+def readonly_view(array: np.ndarray, count: int) -> np.ndarray:
+    """A non-writeable length-``count`` view of a live buffer.
+
+    Containers hand out zero-copy views of their storage; marking them
+    read-only turns accidental caller mutation into an error instead of
+    silent corruption of the container's contents.
+    """
+    view = array[:count]
+    view.flags.writeable = False
+    return view

@@ -51,6 +51,34 @@ def cross_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.sqrt(sq)
 
 
+def exact_edge_weights(
+    points: np.ndarray,
+    index_a: np.ndarray,
+    index_b: np.ndarray,
+    core_distances=None,
+) -> np.ndarray:
+    """Cancellation-safe edge weights for parallel arrays of point indices.
+
+    The matrix kernels (:func:`cross_distances` and the batched BCCP kernel)
+    use the ``|x|^2 + |y|^2 - 2 x.y`` expansion, which loses a few digits to
+    cancellation; MST edge weights must be exact, so the winning pairs are
+    re-evaluated with a direct difference-and-norm pass.  With
+    ``core_distances`` the returned weight is the mutual reachability distance
+    ``max(cd(u), cd(v), d(u, v))``.  This is the single exact kernel shared by
+    the scalar and batched BCCP/BCCP* paths.
+    """
+    index_a = np.asarray(index_a, dtype=np.int64)
+    index_b = np.asarray(index_b, dtype=np.int64)
+    diff = points[index_a] - points[index_b]
+    # Batched row-wise dot products (BLAS), bit-identical to the historical
+    # per-edge ``np.linalg.norm(diff)`` — a SIMD ``einsum`` sum is not.
+    weights = np.sqrt(np.matmul(diff[:, None, :], diff[:, :, None])[:, 0, 0])
+    if core_distances is not None:
+        np.maximum(weights, core_distances[index_a], out=weights)
+        np.maximum(weights, core_distances[index_b], out=weights)
+    return weights
+
+
 def closest_pair_bruteforce(a: np.ndarray, b: np.ndarray):
     """Bichromatic closest pair by exhaustive search.
 

@@ -5,6 +5,13 @@ sequential baseline: sort the tree edges by weight and process them in
 increasing order, merging the clusters of the two endpoints with a union-find
 structure.  The order of the merges *is* the dendrogram.
 
+The construction is array-backed end to end: the edge batch is argsorted once
+(stable), the merge sweep runs over plain index arrays with an inlined
+union-find (no per-edge dict probes or tracker dispatch), cluster → dendrogram
+node bindings and cluster sizes live in flat arrays indexed by union-find
+root, and the finished merge columns are appended to the
+:class:`~repro.dendrogram.structure.Dendrogram` with one bulk call.
+
 The construction is made *ordered* (Section 4.1) with the local rule the paper
 uses: for the internal node created by edge ``(u, v)``, the child cluster
 containing the endpoint with the smaller unweighted distance from the starting
@@ -16,39 +23,55 @@ Prim's visiting order from the starting vertex.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
 from repro.dendrogram.structure import Dendrogram
+from repro.mst.edges import coerce_edge_arrays
 from repro.parallel.scheduler import current_tracker
-from repro.parallel.unionfind import UnionFind
 
 
-def tree_vertex_distances(
-    edges: Sequence[Tuple[int, int, float]], num_points: int, start: int
-) -> np.ndarray:
+def tree_vertex_distances(edges, num_points: int, start: int) -> np.ndarray:
     """Unweighted hop distance of every vertex from ``start`` in the tree.
 
     This is the "vertex distance" of Section 4.2; it is computed once and
-    shared by the ordered-dendrogram constructions.
+    shared by the ordered-dendrogram constructions.  The tree is folded into
+    CSR adjacency (degree counting + one stable argsort of the doubled
+    endpoint array) and the BFS expands a whole frontier per round with
+    vectorized neighbour gathers — no per-vertex Python adjacency lists.
     """
-    adjacency: List[List[int]] = [[] for _ in range(num_points)]
-    for u, v, _ in edges:
-        adjacency[int(u)].append(int(v))
-        adjacency[int(v)].append(int(u))
+    u, v, _ = coerce_edge_arrays(edges)
+    heads = np.concatenate([u, v])
+    tails = np.concatenate([v, u])
+    degrees = np.bincount(heads, minlength=num_points)
+    indptr = np.zeros(num_points + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    neighbours = tails[np.argsort(heads, kind="stable")]
+
     distances = np.full(num_points, -1, dtype=np.int64)
     distances[start] = 0
-    frontier = [start]
-    while frontier:
-        next_frontier: List[int] = []
-        for vertex in frontier:
-            for neighbor in adjacency[vertex]:
-                if distances[neighbor] < 0:
-                    distances[neighbor] = distances[vertex] + 1
-                    next_frontier.append(neighbor)
-        frontier = next_frontier
+    frontier = np.array([start], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        gather = np.arange(total, dtype=np.int64)
+        gather += np.repeat(starts - (np.cumsum(counts) - counts), counts)
+        candidates = neighbours[gather]
+        fresh = candidates[distances[candidates] < 0]
+        if fresh.size == 0:
+            break
+        # A vertex can be reached from two frontier vertices only in a graph
+        # with cycles; for the trees handled here ``fresh`` is duplicate-free,
+        # but ``unique`` keeps the function correct on any graph.
+        frontier = np.unique(fresh)
+        distances[frontier] = level
     return distances
 
 
@@ -70,8 +93,106 @@ def _ordered_children(
     return node_v, node_u
 
 
+def merge_edges_bottom_up(
+    dendrogram: Dendrogram,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    edge_w: np.ndarray,
+    cluster_of: np.ndarray,
+    vertex_distance: np.ndarray,
+) -> int:
+    """Array union-find merge sweep shared by the bottom-up constructions.
+
+    Processes the edges in non-decreasing weight order (stable argsort, so
+    ties keep input order), merging the clusters of the endpoints and
+    recording one internal node per accepted merge; returns the id of the last
+    node created (-1 when no merge happened).  ``cluster_of[x]`` maps a vertex
+    to the dendrogram node currently representing its cluster — a leaf id for
+    a bare vertex, or the root of an already-built subproblem dendrogram
+    (vertices sharing a representative belong to one contracted supernode).
+
+    The union-find runs over the *representative* ids: local indices are
+    assigned by sorting the unique representatives, and the parent/rank/
+    binding/size state lives in flat arrays — the sweep touches no dicts.
+    """
+    m = int(edge_u.shape[0])
+    if m == 0:
+        return -1
+    order = np.argsort(edge_w, kind="stable")
+    rep_u = cluster_of[edge_u]
+    rep_v = cluster_of[edge_v]
+    supernodes = np.unique(np.concatenate([rep_u, rep_v]))
+    local_u = np.searchsorted(supernodes, rep_u)[order].tolist()
+    local_v = np.searchsorted(supernodes, rep_v)[order].tolist()
+    su_sorted = edge_u[order]
+    sv_sorted = edge_v[order]
+    su = su_sorted.tolist()
+    sv = sv_sorted.tolist()
+
+    # Per-supernode state: union-find parent/rank, the dendrogram node bound
+    # to each live root, and its leaf count.
+    parent = list(range(len(supernodes)))
+    rank = [0] * len(supernodes)
+    binding = supernodes.tolist()
+    sizes = dendrogram.node_sizes(supernodes).tolist()
+    # Scalar indexing into a Python list is several times faster than into an
+    # ndarray, but converting the full per-point array only pays off when the
+    # subproblem touches a comparable number of vertices.
+    vd = vertex_distance.tolist() if vertex_distance.shape[0] <= 4 * m else vertex_distance
+
+    out_left = np.empty(m, dtype=np.int64)
+    out_right = np.empty(m, dtype=np.int64)
+    out_size = np.empty(m, dtype=np.int64)
+    accepted = np.ones(m, dtype=bool)
+    next_id = dendrogram.num_points + dendrogram.num_internal
+    created = 0
+    for index in range(m):
+        x = local_u[index]
+        while parent[x] != x:
+            parent[x] = x = parent[parent[x]]
+        y = local_v[index]
+        while parent[y] != y:
+            parent[y] = y = parent[parent[y]]
+        if x == y:
+            # Cannot happen for a valid tree unless two supernodes were
+            # already merged through another edge of equal weight touching
+            # the same contracted component; skip defensively.
+            accepted[index] = False
+            continue
+        node_u = binding[x]
+        node_v = binding[y]
+        u = su[index]
+        v = sv[index]
+        if vd[u] <= vd[v]:
+            out_left[created] = node_u
+            out_right[created] = node_v
+        else:
+            out_left[created] = node_v
+            out_right[created] = node_u
+        if rank[x] < rank[y]:
+            x, y = y, x
+        elif rank[x] == rank[y]:
+            rank[x] += 1
+        parent[y] = x
+        sizes[x] = out_size[created] = sizes[x] + sizes[y]
+        binding[x] = next_id + created
+        created += 1
+
+    if created == 0:
+        return -1
+    first_id = dendrogram.add_internal_batch(
+        out_left[:created],
+        out_right[:created],
+        edge_w[order][accepted],
+        su_sorted[accepted],
+        sv_sorted[accepted],
+        out_size[:created],
+    )
+    return first_id + created - 1
+
+
 def dendrogram_sequential(
-    edges: Iterable[Tuple[int, int, float]],
+    edges,
     num_points: int,
     *,
     start: int = 0,
@@ -82,7 +203,8 @@ def dendrogram_sequential(
     Parameters
     ----------
     edges:
-        The ``num_points - 1`` spanning-tree edges.
+        The ``num_points - 1`` spanning-tree edges (any edge collection
+        accepted by :func:`repro.mst.edges.coerce_edge_arrays`).
     num_points:
         Number of points/leaves.
     start:
@@ -90,42 +212,31 @@ def dendrogram_sequential(
     vertex_distance:
         Precomputed hop distances from ``start`` (computed if omitted).
     """
-    edge_list = [(int(u), int(v), float(w)) for u, v, w in edges]
     if num_points < 1:
         raise InvalidParameterError("num_points must be >= 1")
+    edge_u, edge_v, edge_w = coerce_edge_arrays(edges)
     dendrogram = Dendrogram(num_points)
     if num_points == 1:
         return dendrogram
-    if len(edge_list) != num_points - 1:
+    if edge_u.shape[0] != num_points - 1:
         raise InvalidParameterError(
             f"a spanning tree over {num_points} points needs {num_points - 1} edges, "
-            f"got {len(edge_list)}"
+            f"got {edge_u.shape[0]}"
         )
     if vertex_distance is None:
-        vertex_distance = tree_vertex_distances(edge_list, num_points, start)
+        vertex_distance = tree_vertex_distances(
+            (edge_u, edge_v, edge_w), num_points, start
+        )
 
-    tracker = current_tracker()
     n = num_points
-    tracker.add(n * max(math.log2(n), 1.0), n, phase="dendrogram")
-
-    order = sorted(range(len(edge_list)), key=lambda index: edge_list[index][2])
-    union_find = UnionFind(num_points)
-    cluster_node: Dict[int, int] = {}
-
-    last_node = -1
-    for index in order:
-        u, v, weight = edge_list[index]
-        root_u = union_find.find(u)
-        root_v = union_find.find(v)
-        # A component never merged before is a singleton, so its dendrogram
-        # node is simply the leaf id of its only vertex (the union-find root).
-        node_u = cluster_node.get(root_u, root_u)
-        node_v = cluster_node.get(root_v, root_v)
-        left, right = _ordered_children(node_u, node_v, u, v, vertex_distance)
-        new_node = dendrogram.add_internal(left, right, weight, (u, v))
-        union_find.union(u, v)
-        cluster_node[union_find.find(u)] = new_node
-        last_node = new_node
-
-    dendrogram.set_root(last_node)
+    current_tracker().add(n * max(math.log2(n), 1.0), n, phase="dendrogram")
+    root = merge_edges_bottom_up(
+        dendrogram,
+        edge_u,
+        edge_v,
+        edge_w,
+        np.arange(num_points, dtype=np.int64),
+        vertex_distance,
+    )
+    dendrogram.set_root(root)
     return dendrogram

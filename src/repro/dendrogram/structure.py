@@ -6,6 +6,13 @@ Each internal node corresponds to one spanning-tree edge: removing that edge
 splits the node's cluster into its two children, and the node's *height* is
 the weight of the removed edge.
 
+Internal nodes are stored in structure-of-arrays form — growable NumPy
+buffers for children, heights, subtree sizes and originating edges — so the
+array-native constructions append whole batches of merges with one
+:meth:`Dendrogram.add_internal_batch` call, and whole-column operations
+(linkage export, parent arrays, validity checks, :meth:`node_sizes`) run as
+single array passes.
+
 Ordered dendrograms additionally fix the left/right order of every node's
 children so that the in-order traversal of the leaves equals the Prim-order
 traversal of the underlying tree from a chosen starting vertex (Section 4.1).
@@ -13,11 +20,14 @@ traversal of the underlying tree from a chosen starting vertex (Section 4.1).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.buffers import ensure_capacity
 from repro.core.errors import InvalidParameterError
+
+_INITIAL_CAPACITY = 16
 
 
 class Dendrogram:
@@ -31,14 +41,27 @@ class Dendrogram:
         if num_points < 1:
             raise InvalidParameterError("a dendrogram needs at least one point")
         self.num_points = num_points
-        self._left: List[int] = []
-        self._right: List[int] = []
-        self._height: List[float] = []
-        self._size: List[int] = []
-        self._edge: List[Tuple[int, int]] = []
+        # A complete dendrogram has exactly ``num_points - 1`` internal nodes,
+        # so sizing the buffers up front makes growth the exception.
+        capacity = max(num_points - 1, _INITIAL_CAPACITY)
+        self._left = np.empty(capacity, dtype=np.int64)
+        self._right = np.empty(capacity, dtype=np.int64)
+        self._height = np.empty(capacity, dtype=np.float64)
+        self._size = np.empty(capacity, dtype=np.int64)
+        self._edge_u = np.empty(capacity, dtype=np.int64)
+        self._edge_v = np.empty(capacity, dtype=np.int64)
+        self._count = 0
         self.root: Optional[int] = 0 if num_points == 1 else None
 
     # -- construction ---------------------------------------------------------
+
+    def _reserve(self, extra: int) -> None:
+        ensure_capacity(
+            self,
+            ("_left", "_right", "_height", "_size", "_edge_u", "_edge_v"),
+            self._count,
+            self._count + extra,
+        )
 
     def add_internal(
         self,
@@ -48,13 +71,46 @@ class Dendrogram:
         edge: Tuple[int, int],
     ) -> int:
         """Add an internal node merging ``left`` and ``right``; return its id."""
-        node_id = self.num_points + len(self._left)
-        self._left.append(int(left))
-        self._right.append(int(right))
-        self._height.append(float(height))
-        self._size.append(self.node_size(left) + self.node_size(right))
-        self._edge.append((int(edge[0]), int(edge[1])))
+        self._reserve(1)
+        index = self._count
+        node_id = self.num_points + index
+        self._left[index] = left
+        self._right[index] = right
+        self._height[index] = height
+        self._size[index] = self.node_size(int(left)) + self.node_size(int(right))
+        self._edge_u[index] = edge[0]
+        self._edge_v[index] = edge[1]
+        self._count = index + 1
         return node_id
+
+    def add_internal_batch(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        height: np.ndarray,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        sizes: np.ndarray,
+    ) -> int:
+        """Append a whole batch of internal nodes; return the first new id.
+
+        ``sizes`` must hold each new node's leaf count (the array-backed
+        constructions track cluster sizes in their merge sweeps, so recomputing
+        them here would be redundant).  Children may reference nodes created
+        earlier in the same batch, exactly like repeated :meth:`add_internal`
+        calls.
+        """
+        m = int(len(left))
+        self._reserve(m)
+        start = self._count
+        self._left[start : start + m] = left
+        self._right[start : start + m] = right
+        self._height[start : start + m] = height
+        self._size[start : start + m] = sizes
+        self._edge_u[start : start + m] = edge_u
+        self._edge_v[start : start + m] = edge_v
+        self._count = start + m
+        return self.num_points + start
 
     def set_root(self, node_id: int) -> None:
         self.root = int(node_id)
@@ -63,7 +119,7 @@ class Dendrogram:
 
     @property
     def num_internal(self) -> int:
-        return len(self._left)
+        return self._count
 
     def is_leaf(self, node_id: int) -> bool:
         return node_id < self.num_points
@@ -71,29 +127,38 @@ class Dendrogram:
     def children(self, node_id: int) -> Tuple[int, int]:
         """(left, right) child ids of an internal node."""
         index = self._internal_index(node_id)
-        return self._left[index], self._right[index]
+        return int(self._left[index]), int(self._right[index])
 
     def height(self, node_id: int) -> float:
         """Height (weight of the removed edge) of an internal node."""
-        return self._height[self._internal_index(node_id)]
+        return float(self._height[self._internal_index(node_id)])
 
     def edge(self, node_id: int) -> Tuple[int, int]:
         """The spanning-tree edge whose removal created this internal node."""
-        return self._edge[self._internal_index(node_id)]
+        index = self._internal_index(node_id)
+        return int(self._edge_u[index]), int(self._edge_v[index])
 
     def node_size(self, node_id: int) -> int:
         """Number of leaves under ``node_id``."""
         if self.is_leaf(node_id):
             return 1
-        return self._size[self._internal_index(node_id)]
+        return int(self._size[self._internal_index(node_id)])
+
+    def node_sizes(self, node_ids: np.ndarray) -> np.ndarray:
+        """Leaf counts of a whole array of node ids at once."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        sizes = np.ones(node_ids.shape[0], dtype=np.int64)
+        internal = node_ids >= self.num_points
+        sizes[internal] = self._size[node_ids[internal] - self.num_points]
+        return sizes
 
     def heights(self) -> np.ndarray:
         """Heights of all internal nodes (construction order)."""
-        return np.asarray(self._height, dtype=np.float64)
+        return self._height[: self._count].copy()
 
     def _internal_index(self, node_id: int) -> int:
         index = node_id - self.num_points
-        if index < 0 or index >= len(self._left):
+        if index < 0 or index >= self._count:
             raise InvalidParameterError(f"node {node_id} is not an internal node")
         return index
 
@@ -103,34 +168,36 @@ class Dendrogram:
         """Leaf ids in dendrogram (in-order / left-to-right) order."""
         if self.root is None:
             raise InvalidParameterError("dendrogram has no root; construction incomplete")
+        n = self.num_points
+        left = self._left
+        right = self._right
         order: List[int] = []
-        stack: List[Tuple[int, bool]] = [(self.root, False)]
+        stack: List[int] = [self.root]
         while stack:
-            node_id, expanded = stack.pop()
-            if self.is_leaf(node_id):
+            node_id = stack.pop()
+            if node_id < n:
                 order.append(node_id)
                 continue
-            left, right = self.children(node_id)
+            index = node_id - n
             # In-order on a full binary tree: everything in the left subtree,
             # then everything in the right subtree (the internal node itself
             # carries no leaf).
-            stack.append((right, False))
-            stack.append((left, False))
+            stack.append(int(right[index]))
+            stack.append(int(left[index]))
         return order
 
     def parent_array(self) -> np.ndarray:
         """Parent id of every node (-1 for the root)."""
-        total = self.num_points + self.num_internal
+        total = self.num_points + self._count
         parents = np.full(total, -1, dtype=np.int64)
-        for index in range(self.num_internal):
-            node_id = self.num_points + index
-            parents[self._left[index]] = node_id
-            parents[self._right[index]] = node_id
+        ids = self.num_points + np.arange(self._count, dtype=np.int64)
+        parents[self._left[: self._count]] = ids
+        parents[self._right[: self._count]] = ids
         return parents
 
     def iter_internal(self) -> Iterator[int]:
         """Iterate over internal node ids in construction order."""
-        for index in range(self.num_internal):
+        for index in range(self._count):
             yield self.num_points + index
 
     # -- validation and comparison --------------------------------------------
@@ -150,9 +217,12 @@ class Dendrogram:
         root_count = int(np.sum(parents == -1))
         if root_count != 1 or parents[self.root] != -1:
             return False
-        for node_id in self.iter_internal():
-            for child in self.children(node_id):
-                if not self.is_leaf(child) and self.height(child) > self.height(node_id) + 1e-12:
+        heights = self._height[: self._count]
+        for child_column in (self._left[: self._count], self._right[: self._count]):
+            internal_child = child_column >= self.num_points
+            if internal_child.any():
+                child_heights = heights[child_column[internal_child] - self.num_points]
+                if (child_heights > heights[internal_child] + 1e-12).any():
                     return False
         return True
 
@@ -165,12 +235,12 @@ class Dendrogram:
         :func:`repro.dendrogram.sequential.dendrogram_sequential` when a SciPy
         compatible matrix is required).
         """
-        matrix = np.empty((self.num_internal, 4), dtype=np.float64)
-        for index in range(self.num_internal):
-            matrix[index, 0] = self._left[index]
-            matrix[index, 1] = self._right[index]
-            matrix[index, 2] = self._height[index]
-            matrix[index, 3] = self._size[index]
+        count = self._count
+        matrix = np.empty((count, 4), dtype=np.float64)
+        matrix[:, 0] = self._left[:count]
+        matrix[:, 1] = self._right[:count]
+        matrix[:, 2] = self._height[:count]
+        matrix[:, 3] = self._size[:count]
         return matrix
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -17,6 +17,17 @@ Two variants are provided:
   the splice is represented directly: the supernode's dendrogram id *is* the
   light component's dendrogram root.
 
+The recursion is array-native: a subproblem is three parallel edge arrays,
+the vertex → supernode map is one flat ``cluster_of`` array shared by the
+whole recursion (every subproblem overwrites only its own vertices, and
+leaves them bound to its finished root), light components are grouped with a
+stable argsort of their union-find labels (first-occurrence component order,
+matching the previous semisort grouping), and supernode redirections are
+applied through a reusable identity ``remap`` array instead of per-vertex
+dict rebuilds.  The base case shares the bulk merge sweep
+(:func:`repro.dendrogram.sequential.merge_edges_bottom_up`) with the
+sequential construction.
+
 Both constructions honour the ordered-dendrogram rule (the child cluster
 attached to the endpoint closer to the starting vertex goes left), so their
 in-order leaf traversal equals Prim's visiting order from that vertex.
@@ -25,149 +36,143 @@ in-order leaf traversal equals Prim's visiting order from that vertex.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
 from repro.dendrogram.sequential import (
     _ordered_children,
+    merge_edges_bottom_up,
     tree_vertex_distances,
 )
 from repro.dendrogram.structure import Dendrogram
+from repro.mst.edges import coerce_edge_arrays
 from repro.parallel.scheduler import current_tracker
-from repro.parallel.semisort import semisort
 from repro.parallel.unionfind import UnionFind
 
 Edge = Tuple[int, int, float]
 
 
-def _bottom_up_merge(
-    edges: Sequence[Edge],
-    representative: Dict[int, int],
-    dendrogram: Dendrogram,
-    vertex_distance: np.ndarray,
-) -> int:
-    """Merge the clusters spanned by ``edges`` bottom-up; return the root id.
+def _light_component_slices(
+    labels: np.ndarray,
+) -> List[np.ndarray]:
+    """Group edge positions by component label, ordered by first occurrence.
 
-    ``representative`` maps every vertex appearing in ``edges`` to the
-    dendrogram node currently representing its cluster (a leaf id for a bare
-    vertex, or the root of an already-built light-subproblem dendrogram).
-    Distinct vertices sharing a representative belong to the same contracted
-    supernode, so the union-find operates over representative ids.
+    Equivalent to the previous dict-based semisort: each group keeps its
+    edges in input order, and groups appear in the order their label is first
+    seen.  One stable argsort + one pass over the unique labels replaces the
+    per-edge dict traffic.
     """
-    supernodes = {representative[u] for u, _, _ in edges} | {
-        representative[v] for _, v, _ in edges
-    }
-    local_index = {supernode: index for index, supernode in enumerate(supernodes)}
-    union_find = UnionFind(len(local_index))
-    cluster_node: Dict[int, int] = {}
-
-    last_node = -1
-    for u, v, weight in sorted(edges, key=lambda edge: edge[2]):
-        root_u = union_find.find(local_index[representative[u]])
-        root_v = union_find.find(local_index[representative[v]])
-        if root_u == root_v:
-            # Cannot happen for a valid tree unless two supernodes were
-            # already merged through another edge of equal weight touching
-            # the same contracted component; skip defensively.
-            continue
-        node_u = cluster_node.get(root_u, representative[u])
-        node_v = cluster_node.get(root_v, representative[v])
-        left, right = _ordered_children(node_u, node_v, u, v, vertex_distance)
-        new_node = dendrogram.add_internal(left, right, weight, (u, v))
-        union_find.union(local_index[representative[u]], local_index[representative[v]])
-        cluster_node[union_find.find(local_index[representative[u]])] = new_node
-        last_node = new_node
-    return last_node
+    order = np.argsort(labels, kind="stable")
+    unique_labels, group_starts, group_counts = np.unique(
+        labels[order], return_index=True, return_counts=True
+    )
+    _, first_seen = np.unique(labels, return_index=True)
+    groups = []
+    for rank in np.argsort(first_seen, kind="stable"):
+        start = group_starts[rank]
+        groups.append(order[start : start + group_counts[rank]])
+    return groups
 
 
 def _build_recursive(
-    edges: List[Edge],
-    representative: Dict[int, int],
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    edge_w: np.ndarray,
+    cluster_of: np.ndarray,
+    remap: np.ndarray,
     dendrogram: Dendrogram,
     vertex_distance: np.ndarray,
     heavy_fraction: float,
     base_size: int,
-    depth: int,
 ) -> int:
-    """Heavy/light recursion; returns the dendrogram root of this subproblem."""
-    tracker = current_tracker()
-    m = len(edges)
-    tracker.add(m, max(math.log2(m + 1), 1.0), phase="dendrogram")
+    """Heavy/light recursion; returns the dendrogram root of this subproblem.
 
-    if m <= base_size:
-        return _bottom_up_merge(edges, representative, dendrogram, vertex_distance)
+    Postcondition: ``cluster_of[x] == root`` for every vertex ``x`` touched by
+    this subproblem's edges, so callers can redirect whole supernodes with a
+    single remap application.
+    """
+    tracker = current_tracker()
+    m = int(edge_u.shape[0])
+    tracker.add(m, max(math.log2(m + 1), 1.0), phase="dendrogram")
+    verts = np.unique(np.concatenate([edge_u, edge_v]))
+
+    num_heavy = max(1, int(m * heavy_fraction))
+    threshold_index = m - num_heavy
+    if m <= base_size or threshold_index <= 0:
+        # Small subproblem, or every edge would be "heavy" and recursing
+        # would not shrink the problem: run the bottom-up merge sweep.
+        root = merge_edges_bottom_up(
+            dendrogram, edge_u, edge_v, edge_w, cluster_of, vertex_distance
+        )
+        cluster_of[verts] = root
+        return root
 
     # Heavy edges: the heaviest ``heavy_fraction`` of this subproblem's edges
     # (at least one).  Parallel selection in the paper; a partial sort here.
-    num_heavy = max(1, int(m * heavy_fraction))
-    weights = np.array([w for _, _, w in edges])
-    threshold_index = m - num_heavy
-    if threshold_index <= 0:
-        # Every edge would be "heavy"; recursing would not shrink the problem.
-        return _bottom_up_merge(edges, representative, dendrogram, vertex_distance)
-    order = np.argpartition(weights, threshold_index - 1)
-    light_indices = order[:threshold_index]
-    heavy_indices = order[threshold_index:]
-    light_edges = [edges[i] for i in light_indices]
-    heavy_edges = [edges[i] for i in heavy_indices]
+    order = np.argpartition(edge_w, threshold_index - 1)
+    light = order[:threshold_index]
+    heavy = order[threshold_index:]
+    light_u, light_v, light_w = edge_u[light], edge_v[light], edge_w[light]
 
     # Light components: connected components induced by the light edges over
     # the contracted supernodes (vertices sharing a representative are one
     # supernode already).
-    supernodes = {representative[u] for u, _, _ in edges} | {
-        representative[v] for _, v, _ in edges
-    }
-    local_index = {supernode: index for index, supernode in enumerate(supernodes)}
-    union_find = UnionFind(len(local_index))
-    for u, v, _ in light_edges:
-        union_find.union(local_index[representative[u]], local_index[representative[v]])
-
-    grouped = semisort(
-        light_edges,
-        key=lambda edge: union_find.find(local_index[representative[edge[0]]]),
-        phase="dendrogram",
+    rep_u = cluster_of[light_u]
+    rep_v = cluster_of[light_v]
+    supernodes = np.unique(np.concatenate([rep_u, rep_v]))
+    union_find = UnionFind(int(supernodes.shape[0]))
+    union_find.union_many(
+        np.searchsorted(supernodes, rep_u), np.searchsorted(supernodes, rep_v)
     )
+    labels = union_find.roots()[np.searchsorted(supernodes, rep_u)]
 
     # Recursively build every light subproblem; its root becomes the
     # representative of every supernode the component absorbed.  The remap is
     # applied at the supernode level: a vertex that only touches heavy edges
     # may share its supernode with vertices inside a light component, and it
     # must follow that supernode into the component's new root.
-    supernode_remap: Dict[int, int] = {}
-    for component_edges in grouped.values():
-        root = _build_recursive(
-            list(component_edges),
-            representative,
+    absorbed_all: List[np.ndarray] = []
+    for positions in _light_component_slices(labels):
+        absorbed = np.unique(
+            np.concatenate([rep_u[positions], rep_v[positions]])
+        )
+        component_root = _build_recursive(
+            light_u[positions],
+            light_v[positions],
+            light_w[positions],
+            cluster_of,
+            remap,
             dendrogram,
             vertex_distance,
             heavy_fraction,
             base_size,
-            depth + 1,
         )
-        for u, v, _ in component_edges:
-            supernode_remap[representative[u]] = root
-            supernode_remap[representative[v]] = root
-    updated_representative = {
-        vertex: supernode_remap.get(supernode, supernode)
-        for vertex, supernode in representative.items()
-    }
+        remap[absorbed] = component_root
+        absorbed_all.append(absorbed)
+    cluster_of[verts] = remap[cluster_of[verts]]
+    for absorbed in absorbed_all:
+        remap[absorbed] = absorbed  # restore the identity for reuse
 
     # The heavy subproblem operates on the contracted vertices.
-    return _build_recursive(
-        heavy_edges,
-        updated_representative,
+    root = _build_recursive(
+        edge_u[heavy],
+        edge_v[heavy],
+        edge_w[heavy],
+        cluster_of,
+        remap,
         dendrogram,
         vertex_distance,
         heavy_fraction,
         base_size,
-        depth + 1,
     )
+    cluster_of[verts] = root
+    return root
 
 
 def dendrogram_topdown(
-    edges: Iterable[Edge],
+    edges,
     num_points: int,
     *,
     start: int = 0,
@@ -180,7 +185,8 @@ def dendrogram_topdown(
     Parameters
     ----------
     edges:
-        The ``num_points - 1`` spanning-tree edges.
+        The ``num_points - 1`` spanning-tree edges (any edge collection
+        accepted by :func:`repro.mst.edges.coerce_edge_arrays`).
     num_points:
         Number of points/leaves.
     start:
@@ -194,42 +200,43 @@ def dendrogram_topdown(
     vertex_distance:
         Precomputed hop distances from ``start``.
     """
-    edge_list = [(int(u), int(v), float(w)) for u, v, w in edges]
     if num_points < 1:
         raise InvalidParameterError("num_points must be >= 1")
+    edge_u, edge_v, edge_w = coerce_edge_arrays(edges)
     dendrogram = Dendrogram(num_points)
     if num_points == 1:
         return dendrogram
-    if len(edge_list) != num_points - 1:
+    if edge_u.shape[0] != num_points - 1:
         raise InvalidParameterError(
             f"a spanning tree over {num_points} points needs {num_points - 1} edges, "
-            f"got {len(edge_list)}"
+            f"got {edge_u.shape[0]}"
         )
     if not 0.0 < heavy_fraction <= 1.0:
         raise InvalidParameterError("heavy_fraction must be in (0, 1]")
     if vertex_distance is None:
-        vertex_distance = tree_vertex_distances(edge_list, num_points, start)
+        vertex_distance = tree_vertex_distances(
+            (edge_u, edge_v, edge_w), num_points, start
+        )
 
-    representative = {}
-    for u, v, _ in edge_list:
-        representative[u] = u
-        representative[v] = v
-
+    cluster_of = np.arange(num_points, dtype=np.int64)
+    remap = np.arange(2 * num_points - 1, dtype=np.int64)
     root = _build_recursive(
-        edge_list,
-        representative,
+        edge_u,
+        edge_v,
+        edge_w,
+        cluster_of,
+        remap,
         dendrogram,
         vertex_distance,
         heavy_fraction,
         max(base_size, 1),
-        0,
     )
     dendrogram.set_root(root)
     return dendrogram
 
 
 def dendrogram_topdown_simple(
-    edges: Iterable[Edge],
+    edges,
     num_points: int,
     *,
     start: int = 0,
@@ -240,7 +247,7 @@ def dendrogram_topdown_simple(
     Worst-case O(n^2); used as an independent reference implementation and for
     small inputs.
     """
-    edge_list = [(int(u), int(v), float(w)) for u, v, w in edges]
+    edge_list = [(int(u), int(v), float(w)) for u, v, w in zip(*coerce_edge_arrays(edges))]
     if num_points < 1:
         raise InvalidParameterError("num_points must be >= 1")
     dendrogram = Dendrogram(num_points)

@@ -17,9 +17,12 @@ so the cardinality split, the ``rho_hi`` reduction and the connectivity filter
 of step 5 are all single vectorized passes: connectivity is snapshotted once
 per round as per-node component ranges (one union-find root sweep plus one
 bottom-up tree reduction), and a pair is fully connected exactly when both
-nodes are root-uniform with the same root.  BCCP results are cached across
-rounds, and pairs filtered in step 5 may never have their BCCP computed at
-all — that is the saving over EMST-Naive.
+nodes are root-uniform with the same root.  Step 3 submits the whole cheap
+frontier to the batched BCCP kernel through the array-backed
+:class:`~repro.wspd.bccp.BCCPCache` (one vectorized hit/miss partition, one
+size-class-grouped kernel call), so BCCP results are cached across rounds and
+pairs filtered in step 5 may never have their BCCP computed at all — that is
+the saving over EMST-Naive.
 """
 
 from __future__ import annotations
@@ -33,8 +36,7 @@ import numpy as np
 from repro.core.points import as_points
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
-from repro.mst.kruskal import kruskal_batch
-from repro.parallel.pool import parallel_map
+from repro.mst.kruskal import kruskal_batch_arrays
 from repro.parallel.scheduler import current_tracker
 from repro.parallel.unionfind import UnionFind
 from repro.spatial.flat import FlatKDTree
@@ -94,7 +96,9 @@ def emst_gfk(
         the sequential Chatterjee et al. schedule (used by the beta ablation
         benchmark).
     num_threads:
-        If > 1, BCCP evaluations within a round run on a thread pool.
+        Accepted for API compatibility.  BCCP evaluations are submitted to
+        the batched array kernel a whole round at a time, which outruns the
+        former per-pair thread pool, so the value is unused.
     """
     if beta_growth not in ("double", "increment"):
         raise ValueError("beta_growth must be 'double' or 'increment'")
@@ -140,20 +144,13 @@ def emst_gfk(
 
         cheap_a, cheap_b = pair_a[cheap], pair_b[cheap]
         with tracker.parallel("gfk-bccp"):
-            bccp_results = parallel_map(
-                lambda pair: cache.get(tree.node(int(pair[0])), tree.node(int(pair[1]))),
-                list(zip(cheap_a.tolist(), cheap_b.tolist())),
-                num_threads=num_threads,
-            )
-        light = []
-        heavy_mask = np.zeros(cheap_a.size, dtype=bool)
-        for position, result in enumerate(bccp_results):
-            if result.distance <= rho_hi:
-                light.append(result)
-            else:
-                heavy_mask[position] = True
+            point_a, point_b, weight = cache.get_batch(cheap_a, cheap_b)
+        light = weight <= rho_hi
+        heavy_mask = ~light
 
-        kruskal_batch((r.as_edge() for r in light), output, union_find)
+        kruskal_batch_arrays(
+            point_a[light], point_b[light], weight[light], output, union_find
+        )
 
         remaining_a = np.concatenate([cheap_a[heavy_mask], exp_a])
         remaining_b = np.concatenate([cheap_b[heavy_mask], exp_b])

@@ -19,10 +19,13 @@ Connectivity is snapshotted once per round (a union-find root sweep folded
 into per-node component ranges), which is sound because the union-find only
 changes in the Kruskal step between traversals.
 
-The retrieved edges form one Kruskal batch; ``beta`` doubles and
-``rho_lo = rho_hi`` for the next round.  The same engine, parameterized by the
-separation predicate and the BCCP cache, also powers the HDBSCAN*-MemoGFK
-algorithm (geometric-or-mutually-unreachable separation, BCCP* distances).
+GETPAIRS collects the surviving node pairs during the traversal and submits
+the whole round to the batched BCCP kernel through the array-backed cache in
+one call; the retrieved edge arrays form one vectorized Kruskal batch,
+``beta`` doubles and ``rho_lo = rho_hi`` for the next round.  The same
+engine, parameterized by the separation predicate and the BCCP cache, also
+powers the HDBSCAN*-MemoGFK algorithm (geometric-or-mutually-unreachable
+separation, BCCP* distances).
 """
 
 from __future__ import annotations
@@ -34,10 +37,10 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.points import as_points
-from repro.emst.gfk import connectivity_snapshot, pairs_fully_connected
+from repro.emst.gfk import pairs_fully_connected
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
-from repro.mst.kruskal import kruskal_batch
+from repro.mst.kruskal import kruskal_batch_arrays
 from repro.parallel.scheduler import current_tracker
 from repro.parallel.unionfind import UnionFind
 from repro.spatial.flat import FlatKDTree
@@ -162,20 +165,25 @@ def _get_pairs(
     tree: KDTree,
     rho_lo: float,
     rho_hi: float,
-    union_find: UnionFind,
+    point_roots: np.ndarray,
     root_min: np.ndarray,
     root_max: np.ndarray,
     predicate: PairMask,
     cache: BCCPCache,
     lower_bound: BoundMask,
     upper_bound: BoundMask,
-) -> List[Tuple[int, int, float]]:
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """GETPAIRS: edges of the not-yet-connected pairs with BCCP in the window.
 
     Only the pairs whose BCCP weight lies in ``[rho_lo, rho_hi)`` are
-    materialized (as point-index edges); everything else is pruned using the
-    bounding-sphere lower/upper bounds of Figure 3, evaluated for the whole
-    frontier per round.
+    materialized (as point-index edge arrays); everything else is pruned using
+    the bounding-sphere lower/upper bounds of Figure 3, evaluated for the
+    whole frontier per round.  The traversal itself only *collects* the
+    surviving node pairs; the round's entire collection is then submitted to
+    the batched BCCP kernel with one :meth:`BCCPCache.get_batch` call and the
+    window test is applied as a single mask.  ``point_roots`` is the per-point
+    union-find snapshot of this round (the union-find only changes in the
+    Kruskal step, so it is exact throughout the traversal).
 
     The window tests are guarded against floating-point disagreement between
     the sphere-based bounds and the vectorized BCCP kernel: the upper-bound
@@ -186,21 +194,9 @@ def _get_pairs(
     """
     flat = tree.flat
     tracker = current_tracker()
-    edges: List[Tuple[int, int, float]] = []
     rho_lo_slack = rho_lo - 1e-9 * rho_lo - 1e-12
-
-    def in_window(result) -> bool:
-        if result.distance >= rho_hi:
-            return False
-        if result.distance >= rho_lo:
-            return True
-        return not union_find.connected(result.point_a, result.point_b)
-
-    def retrieve(a_ids: np.ndarray, b_ids: np.ndarray) -> None:
-        for a_id, b_id in zip(a_ids.tolist(), b_ids.tolist()):
-            result = cache.get(tree.node(a_id), tree.node(b_id))
-            if in_window(result):
-                edges.append(result.as_edge())
+    collected_a: List[np.ndarray] = []
+    collected_b: List[np.ndarray] = []
 
     a, b = _seed_pairs(flat, root_min, root_max, 0)
     while a.size:
@@ -218,11 +214,25 @@ def _get_pairs(
         if a.size == 0:
             break
         _, sep_a, sep_b, dup_a, dup_b, a, b = frontier_step(flat, a, b, predicate)
-        retrieve(sep_a, sep_b)
+        if sep_a.size:
+            collected_a.append(sep_a)
+            collected_b.append(sep_b)
         # Duplicate points: both singletons, zero-diameter, not separated
         # only in pathological floating-point cases.
-        retrieve(dup_a, dup_b)
-    return edges
+        if dup_a.size:
+            collected_a.append(dup_a)
+            collected_b.append(dup_b)
+
+    if not collected_a:
+        empty_idx = np.empty(0, dtype=np.int64)
+        return empty_idx, empty_idx.copy(), np.empty(0, dtype=np.float64)
+    point_a, point_b, weight = cache.get_batch(
+        np.concatenate(collected_a), np.concatenate(collected_b)
+    )
+    in_window = (weight < rho_hi) & (
+        (weight >= rho_lo) | (point_roots[point_a] != point_roots[point_b])
+    )
+    return point_a[in_window], point_b[in_window], weight[in_window]
 
 
 def memogfk_mst(
@@ -291,14 +301,16 @@ def memogfk_mst(
         # tree depth and the Kruskal batch contributes another log factor.
         tracker.add(0.0, 2.0 * log_n, phase="wspd")
         # The union-find only changes in the Kruskal step, so one component
-        # snapshot is valid for both traversals of the round.
-        root_min, root_max = connectivity_snapshot(flat, union_find)
+        # snapshot (per-point roots folded into per-node root ranges) is valid
+        # for both traversals of the round.
+        point_roots = union_find.roots()
+        root_min, root_max = flat.node_value_ranges(point_roots)
         rho_hi = _get_rho(flat, beta, root_min, root_max, predicate, lower_bound)
-        batch = _get_pairs(
+        batch_u, batch_v, batch_w = _get_pairs(
             tree,
             rho_lo,
             rho_hi,
-            union_find,
+            point_roots,
             root_min,
             root_max,
             predicate,
@@ -306,9 +318,9 @@ def memogfk_mst(
             lower_bound,
             upper_bound,
         )
-        max_materialized = max(max_materialized, len(batch))
-        total_materialized += len(batch)
-        kruskal_batch(batch, output, union_find)
+        max_materialized = max(max_materialized, int(batch_u.size))
+        total_materialized += int(batch_u.size)
+        kruskal_batch_arrays(batch_u, batch_v, batch_w, output, union_find)
         beta *= 2
         rho_lo = rho_hi
         if math.isinf(rho_hi) and len(output) < n - 1:

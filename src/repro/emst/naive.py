@@ -16,11 +16,10 @@ from repro.core.points import as_points
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
 from repro.mst.kruskal import kruskal
-from repro.parallel.pool import parallel_map
 from repro.parallel.scheduler import current_tracker
 from repro.spatial.kdtree import KDTree
 from repro.wspd.bccp import BCCPCache
-from repro.wspd.wspd import compute_wspd
+from repro.wspd.wspd import compute_wspd_ids
 
 
 def emst_naive(
@@ -38,7 +37,9 @@ def emst_naive(
     leaf_size:
         kd-tree leaf size used for the WSPD (the paper uses 1).
     num_threads:
-        If > 1, BCCP evaluations are dispatched on a thread pool.
+        Accepted for API compatibility.  All BCCPs are evaluated by one
+        size-class-batched array kernel call, which outruns the former
+        per-pair thread pool, so the value is unused.
     """
     data = as_points(points, min_points=1)
     n = data.shape[0]
@@ -51,28 +52,23 @@ def emst_naive(
     timings["build-tree"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    pairs = compute_wspd(tree, separation="geometric")
+    pair_a, pair_b = compute_wspd_ids(tree, separation="geometric")
     timings["wspd"] = time.perf_counter() - start
 
     start = time.perf_counter()
     cache = BCCPCache(tree)
     tracker = current_tracker()
     with tracker.parallel("naive-bccp"):
-        results = parallel_map(
-            lambda pair: cache.get(pair.node_a, pair.node_b),
-            pairs,
-            num_threads=num_threads,
-        )
+        point_a, point_b, weights = cache.get_batch(pair_a, pair_b)
     timings["bccp"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    edges = ((r.point_a, r.point_b, r.distance) for r in results)
-    tree_edges = kruskal(edges, n)
+    tree_edges = kruskal((point_a, point_b, weights), n)
     timings["kruskal"] = time.perf_counter() - start
 
     stats = {
-        "wspd_pairs": len(pairs),
-        "pairs_materialized": len(pairs),
+        "wspd_pairs": int(pair_a.size),
+        "pairs_materialized": int(pair_a.size),
         "bccp_calls": cache.num_bccp_calls,
         "distance_evaluations": cache.num_distance_evaluations,
     }

@@ -12,8 +12,10 @@ predicate — which is exactly the comparison the paper's experiments isolate.
 
 Every stage runs on the flat array engine: the kd-tree is built once as a
 :class:`~repro.spatial.flat.FlatKDTree`, its ``cd_min`` / ``cd_max`` arrays
-are annotated with one vectorized sweep, and the MemoGFK window traversals
-evaluate the separation and ρ-window tests over whole node frontiers at once.
+are annotated with one vectorized sweep, the MemoGFK window traversals
+evaluate the separation and ρ-window tests over whole node frontiers at once,
+and each round's surviving pairs are resolved by the batched BCCP* size-class
+kernel through the array-backed cache (one call per round).
 """
 
 from __future__ import annotations

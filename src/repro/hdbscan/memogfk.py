@@ -6,7 +6,9 @@ new notion of well-separation — a pair is well-separated when it is
 *geometrically separated* **or** *mutually unreachable* — so the recursion
 terminates earlier and far fewer pairs are ever generated (Theorem 3.2 proves
 the MST over the resulting BCCP* edges is still an MST of the full mutual
-reachability graph; Theorem 3.3 gives the O(n · minPts) space bound).
+reachability graph; Theorem 3.3 gives the O(n · minPts) space bound).  Like
+the EMST drivers, each round's retrieved pairs go through the batched BCCP*
+kernel and the vectorized Kruskal batch in whole-array form.
 """
 
 from __future__ import annotations

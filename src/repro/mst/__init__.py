@@ -6,8 +6,14 @@ shared union-find (the subroutine of GFK / MemoGFK), plus Borůvka and Prim
 implementations used as independent references and by the baselines.
 """
 
-from repro.mst.edges import Edge, EdgeList, edges_from_arrays, total_weight
-from repro.mst.kruskal import kruskal, kruskal_batch
+from repro.mst.edges import (
+    Edge,
+    EdgeList,
+    coerce_edge_arrays,
+    edges_from_arrays,
+    total_weight,
+)
+from repro.mst.kruskal import kruskal, kruskal_batch, kruskal_batch_arrays
 from repro.mst.boruvka import boruvka
 from repro.mst.prim import prim, prim_order
 from repro.mst.validation import is_spanning_tree
@@ -15,10 +21,12 @@ from repro.mst.validation import is_spanning_tree
 __all__ = [
     "Edge",
     "EdgeList",
+    "coerce_edge_arrays",
     "edges_from_arrays",
     "total_weight",
     "kruskal",
     "kruskal_batch",
+    "kruskal_batch_arrays",
     "boruvka",
     "prim",
     "prim_order",

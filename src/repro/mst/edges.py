@@ -1,16 +1,23 @@
 """Edge containers shared by the MST code and the clustering layers.
 
-Edges are stored in structure-of-arrays form (:class:`EdgeList`) because the
-downstream consumers (Kruskal batches, dendrogram construction, reachability
-plots) all want NumPy-sortable weight arrays; a scalar :class:`Edge` named
-tuple is provided for readability at API boundaries.
+Edges are stored in structure-of-arrays form (:class:`EdgeList`) backed by
+growable NumPy buffers (capacity doubling, like a C++ vector), because the
+downstream consumers — Kruskal batches, dendrogram construction, reachability
+plots — all want whole weight/endpoint arrays rather than Python objects.
+Array-producing stages append whole batches with :meth:`EdgeList.extend_arrays`
+and consumers read zero-copy views via :meth:`EdgeList.as_arrays`; a scalar
+:class:`Edge` named tuple is provided for readability at API boundaries.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, NamedTuple, Tuple
+from typing import Iterable, Iterator, NamedTuple, Tuple
 
 import numpy as np
+
+from repro.core.buffers import ensure_capacity, readonly_view
+
+_INITIAL_CAPACITY = 16
 
 
 class Edge(NamedTuple):
@@ -22,52 +29,98 @@ class Edge(NamedTuple):
 
 
 class EdgeList:
-    """A growable structure-of-arrays edge container."""
+    """A growable structure-of-arrays edge container (NumPy buffers)."""
+
+    __slots__ = ("_u", "_v", "_w", "_n")
 
     def __init__(self, edges: Iterable[Tuple[int, int, float]] = ()) -> None:
-        self._u: List[int] = []
-        self._v: List[int] = []
-        self._w: List[float] = []
-        for u, v, w in edges:
-            self.append(u, v, w)
+        self._u = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._v = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._w = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._n = 0
+        self.extend(edges)
+
+    # -- growth ----------------------------------------------------------------
+
+    def _reserve(self, extra: int) -> None:
+        ensure_capacity(self, ("_u", "_v", "_w"), self._n, self._n + extra)
+
+    # -- construction ----------------------------------------------------------
 
     def append(self, u: int, v: int, weight: float) -> None:
-        self._u.append(int(u))
-        self._v.append(int(v))
-        self._w.append(float(weight))
+        self._reserve(1)
+        n = self._n
+        self._u[n] = u
+        self._v[n] = v
+        self._w[n] = weight
+        self._n = n + 1
 
     def extend(self, edges: Iterable[Tuple[int, int, float]]) -> None:
+        if isinstance(edges, EdgeList):
+            u, v, w = edges.as_arrays()
+            self.extend_arrays(u, v, w)
+            return
         for u, v, w in edges:
             self.append(u, v, w)
 
+    def extend_arrays(self, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> None:
+        """Append a whole batch of edges given as parallel arrays."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        w = np.asarray(w, dtype=np.float64)
+        if u.shape != v.shape or u.shape != w.shape or u.ndim != 1:
+            raise ValueError("endpoint and weight arrays must be parallel 1-d arrays")
+        m = u.shape[0]
+        self._reserve(m)
+        n = self._n
+        self._u[n : n + m] = u
+        self._v[n : n + m] = v
+        self._w[n : n + m] = w
+        self._n = n + m
+
+    # -- scalar access ---------------------------------------------------------
+
     def __len__(self) -> int:
-        return len(self._w)
+        return self._n
 
     def __iter__(self) -> Iterator[Edge]:
-        for u, v, w in zip(self._u, self._v, self._w):
-            yield Edge(u, v, w)
+        u, v, w = self.as_arrays()
+        for i in range(self._n):
+            yield Edge(int(u[i]), int(v[i]), float(w[i]))
 
     def __getitem__(self, index: int) -> Edge:
-        return Edge(self._u[index], self._v[index], self._w[index])
+        if not -self._n <= index < self._n:
+            raise IndexError("edge index out of range")
+        index %= self._n
+        return Edge(int(self._u[index]), int(self._v[index]), float(self._w[index]))
+
+    # -- array access ----------------------------------------------------------
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(u, v, weight)`` read-only views over the live buffers."""
+        n = self._n
+        return (
+            readonly_view(self._u, n),
+            readonly_view(self._v, n),
+            readonly_view(self._w, n),
+        )
 
     @property
     def endpoints(self) -> np.ndarray:
         """``(m, 2)`` integer array of endpoints."""
-        return np.column_stack(
-            [np.asarray(self._u, dtype=np.int64), np.asarray(self._v, dtype=np.int64)]
-        ) if self._u else np.empty((0, 2), dtype=np.int64)
+        return np.column_stack([self._u[: self._n], self._v[: self._n]])
 
     @property
     def weights(self) -> np.ndarray:
-        """``(m,)`` float array of weights."""
-        return np.asarray(self._w, dtype=np.float64)
+        """``(m,)`` float array of weights (a read-only view)."""
+        return readonly_view(self._w, self._n)
 
     def sorted_by_weight(self) -> "EdgeList":
         """A new edge list sorted by non-decreasing weight (stable)."""
-        order = np.argsort(self.weights, kind="stable")
+        u, v, w = self.as_arrays()
+        order = np.argsort(w, kind="stable")
         result = EdgeList()
-        for index in order:
-            result.append(self._u[index], self._v[index], self._w[index])
+        result.extend_arrays(u[order], v[order], w[order])
         return result
 
     def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -81,11 +134,44 @@ def edges_from_arrays(endpoints: np.ndarray, weights: np.ndarray) -> EdgeList:
     if endpoints.shape[0] != weights.shape[0]:
         raise ValueError("endpoints and weights must have the same length")
     edge_list = EdgeList()
-    for (u, v), w in zip(endpoints, weights):
-        edge_list.append(int(u), int(v), float(w))
+    edge_list.extend_arrays(endpoints[:, 0], endpoints[:, 1], weights)
     return edge_list
+
+
+def coerce_edge_arrays(edges) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalize any edge collection to ``(u, v, weight)`` arrays.
+
+    Accepts an :class:`EdgeList` (zero-copy views), a ``(u, v, w)`` tuple of
+    parallel arrays, or any iterable of ``(u, v, weight)`` tuples.
+    """
+    if isinstance(edges, EdgeList):
+        return edges.as_arrays()
+    if (
+        isinstance(edges, tuple)
+        and len(edges) == 3
+        and all(isinstance(part, np.ndarray) for part in edges)
+    ):
+        u, v, w = edges
+        return (
+            np.asarray(u, dtype=np.int64),
+            np.asarray(v, dtype=np.int64),
+            np.asarray(w, dtype=np.float64),
+        )
+    materialized = list(edges)
+    if not materialized:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    u = np.fromiter((edge[0] for edge in materialized), dtype=np.int64, count=len(materialized))
+    v = np.fromiter((edge[1] for edge in materialized), dtype=np.int64, count=len(materialized))
+    w = np.fromiter((edge[2] for edge in materialized), dtype=np.float64, count=len(materialized))
+    return u, v, w
 
 
 def total_weight(edges: Iterable[Edge]) -> float:
     """Sum of edge weights (the quantity MSTs of the same graph share)."""
-    return float(sum(edge.weight for edge in edges))
+    if isinstance(edges, EdgeList):
+        return float(edges.weights.sum())
+    return float(sum(edge[2] for edge in edges))

@@ -6,48 +6,76 @@ previously processed batch, sorts the batch, and unions across a *shared*
 union-find structure, appending accepted edges to a shared output list.
 ``kruskal`` is the classic single-shot version used by the naive EMST, the
 Delaunay EMST, and various baselines.
+
+The batch path is array-native: the batch's weight array is argsorted once
+(stable, so ties keep their input order exactly like the previous per-tuple
+``list.sort``), the union sweep runs over the sorted index arrays via
+:meth:`repro.parallel.unionfind.UnionFind.union_many`, and the accepted edges
+are appended to the output with one ``extend_arrays`` call — no per-edge tuple
+unpacking or Python sort keys anywhere.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.mst.edges import EdgeList
+from repro.mst.edges import EdgeList, coerce_edge_arrays
 from repro.parallel.scheduler import current_tracker
 from repro.parallel.unionfind import UnionFind
 
+EdgeBatch = Union[
+    "EdgeList", Tuple[np.ndarray, np.ndarray, np.ndarray], Iterable[Tuple[int, int, float]]
+]
 
-def kruskal_batch(
-    edges: Iterable[Tuple[int, int, float]],
+
+def kruskal_batch_arrays(
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
     output: EdgeList,
     union_find: UnionFind,
 ) -> int:
-    """Process one batch of edges with a shared union-find.
+    """Process one batch of edges given as parallel arrays.
 
     Returns the number of edges accepted into ``output``.  The caller is
     responsible for only passing batches in non-decreasing weight order across
     calls (GFK/MemoGFK guarantee this by construction).
     """
-    batch = list(edges)
-    m = len(batch)
+    m = int(u.shape[0])
     if m == 0:
         return 0
     tracker = current_tracker()
     tracker.add(m * max(math.log2(m), 1.0), max(math.log2(m), 1.0), phase="kruskal")
-    batch.sort(key=lambda edge: edge[2])
-    accepted = 0
-    for u, v, weight in batch:
-        if union_find.union(int(u), int(v)):
-            output.append(int(u), int(v), float(weight))
-            accepted += 1
-    return accepted
+    order = np.argsort(w, kind="stable")
+    su = u[order]
+    sv = v[order]
+    accepted = union_find.union_many(su, sv)
+    count = int(np.count_nonzero(accepted))
+    if count:
+        output.extend_arrays(su[accepted], sv[accepted], w[order][accepted])
+    return count
+
+
+def kruskal_batch(
+    edges: EdgeBatch,
+    output: EdgeList,
+    union_find: UnionFind,
+) -> int:
+    """Process one batch of edges with a shared union-find.
+
+    ``edges`` may be an :class:`EdgeList`, a ``(u, v, w)`` tuple of parallel
+    arrays, or any iterable of ``(u, v, weight)`` tuples; see
+    :func:`kruskal_batch_arrays` for the batching contract.
+    """
+    u, v, w = coerce_edge_arrays(edges)
+    return kruskal_batch_arrays(u, v, w, output, union_find)
 
 
 def kruskal(
-    edges: Iterable[Tuple[int, int, float]],
+    edges: EdgeBatch,
     num_vertices: int,
     *,
     union_find: Optional[UnionFind] = None,

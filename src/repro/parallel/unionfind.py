@@ -66,6 +66,56 @@ class UnionFind:
         self._num_components -= 1
         return True
 
+    def union_many(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Union parallel arrays of pairs in order; return the accepted mask.
+
+        Semantically identical to calling :meth:`union` per pair (the sweep is
+        inherently sequential — each union can change the outcome of the
+        next), but the loop runs over plain Python ints from the input arrays
+        with inlined find/path-halving, and the work is charged to the tracker
+        once for the whole batch instead of per find.  This is the union sweep
+        of the vectorized Kruskal batches and the array-backed dendrogram
+        constructions.
+        """
+        m = int(len(u))
+        accepted = np.zeros(m, dtype=bool)
+        if m == 0:
+            return accepted
+        current_tracker().add(2.0 * m, 1.0)
+        parent = self._parent
+        rank = self._rank
+        merged = 0
+        u_list = np.asarray(u, dtype=np.int64).tolist()
+        v_list = np.asarray(v, dtype=np.int64).tolist()
+        for index in range(m):
+            x = u_list[index]
+            while True:
+                p = parent[x]
+                if p == x:
+                    break
+                gp = parent[p]
+                parent[x] = gp  # path halving
+                x = gp
+            y = v_list[index]
+            while True:
+                p = parent[y]
+                if p == y:
+                    break
+                gp = parent[p]
+                parent[y] = gp
+                y = gp
+            if x == y:
+                continue
+            if rank[x] < rank[y]:
+                x, y = y, x
+            parent[y] = x
+            if rank[x] == rank[y]:
+                rank[x] += 1
+            accepted[index] = True
+            merged += 1
+        self._num_components -= merged
+        return accepted
+
     def roots(self) -> np.ndarray:
         """Representative of every element at once, by vectorized pointer jumping.
 

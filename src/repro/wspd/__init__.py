@@ -22,7 +22,7 @@ from repro.wspd.separation import (
     mutually_unreachable_mask,
     hdbscan_well_separated_mask,
 )
-from repro.wspd.bccp import BCCPResult, bccp, bccp_star, BCCPCache
+from repro.wspd.bccp import BCCPResult, bccp, bccp_star, bccp_batch, BCCPCache
 from repro.wspd.wspd import (
     WellSeparatedPair,
     compute_wspd,
@@ -46,6 +46,7 @@ __all__ = [
     "BCCPResult",
     "bccp",
     "bccp_star",
+    "bccp_batch",
     "BCCPCache",
     "WellSeparatedPair",
     "compute_wspd",

@@ -1,4 +1,4 @@
-"""Tests for BCCP / BCCP* and the BCCP cache."""
+"""Tests for BCCP / BCCP*, the batched kernel, and the BCCP cache."""
 
 import numpy as np
 import pytest
@@ -6,7 +6,8 @@ import pytest
 from repro.core.distance import closest_pair_bruteforce, cross_distances, euclidean
 from repro.hdbscan import core_distances
 from repro.spatial import KDTree
-from repro.wspd import BCCPCache, bccp, bccp_star
+from repro.wspd import BCCPCache, bccp, bccp_batch, bccp_star
+from repro.wspd.wspd import compute_wspd_ids
 
 
 def _split_nodes(points, leaf_size=32):
@@ -81,13 +82,147 @@ class TestBCCPStar:
         )
 
 
+def _random_frontier(tree, rng, num_pairs):
+    """Random node-id pairs with distinct ids (a frontier-shaped workload)."""
+    num_nodes = tree.flat.num_nodes
+    a = rng.integers(0, num_nodes, size=num_pairs)
+    b = rng.integers(0, num_nodes, size=num_pairs)
+    keep = a != b
+    return a[keep].astype(np.int64), b[keep].astype(np.int64)
+
+
+class TestBCCPBatch:
+    def test_matches_scalar_on_random_frontiers(self):
+        rng = np.random.default_rng(0)
+        points = rng.random((200, 3))
+        tree = KDTree(points, leaf_size=1)
+        for seed in range(3):
+            a_ids, b_ids = _random_frontier(tree, np.random.default_rng(seed), 300)
+            pa, pb, w = bccp_batch(tree.flat, a_ids, b_ids)
+            for i in range(a_ids.size):
+                ref = bccp(tree, tree.node(int(a_ids[i])), tree.node(int(b_ids[i])))
+                assert (int(pa[i]), int(pb[i])) == (ref.point_a, ref.point_b)
+                assert float(w[i]) == ref.distance
+
+    def test_matches_scalar_star_on_random_frontiers(self):
+        rng = np.random.default_rng(1)
+        points = rng.random((150, 2))
+        core = core_distances(points, 5)
+        tree = KDTree(points, leaf_size=1)
+        a_ids, b_ids = _random_frontier(tree, rng, 250)
+        pa, pb, w = bccp_batch(tree.flat, a_ids, b_ids, core)
+        for i in range(a_ids.size):
+            ref = bccp_star(
+                tree, tree.node(int(a_ids[i])), tree.node(int(b_ids[i])), core
+            )
+            assert (int(pa[i]), int(pb[i])) == (ref.point_a, ref.point_b)
+            assert float(w[i]) == ref.distance
+
+    def test_matches_scalar_on_wspd_pairs(self):
+        points = np.random.default_rng(2).random((120, 2))
+        tree = KDTree(points, leaf_size=1)
+        a_ids, b_ids = compute_wspd_ids(tree)
+        pa, pb, w = bccp_batch(tree.flat, a_ids, b_ids)
+        for i in range(a_ids.size):
+            ref = bccp(tree, tree.node(int(a_ids[i])), tree.node(int(b_ids[i])))
+            assert (int(pa[i]), int(pb[i])) == (ref.point_a, ref.point_b)
+            assert float(w[i]) == ref.distance
+
+    def test_duplicate_points_tie_breaking(self):
+        # All-identical points: every candidate distance ties at zero and the
+        # batched argmin must pick the same (row-major first) entry as the
+        # scalar kernel.
+        points = np.zeros((16, 2))
+        tree = KDTree(points, leaf_size=1)
+        a_ids, b_ids = _random_frontier(tree, np.random.default_rng(3), 60)
+        pa, pb, w = bccp_batch(tree.flat, a_ids, b_ids)
+        for i in range(a_ids.size):
+            ref = bccp(tree, tree.node(int(a_ids[i])), tree.node(int(b_ids[i])))
+            assert (int(pa[i]), int(pb[i])) == (ref.point_a, ref.point_b)
+            assert float(w[i]) == 0.0
+
+    def test_empty_input(self):
+        points = np.random.default_rng(4).random((10, 2))
+        tree = KDTree(points, leaf_size=1)
+        empty = np.empty(0, dtype=np.int64)
+        pa, pb, w = bccp_batch(tree.flat, empty, empty)
+        assert pa.size == pb.size == w.size == 0
+
+    def test_only_large_pairs(self):
+        # Both nodes big enough that the pair takes the unpadded large-pair
+        # path (regression: this used to crash the empty small-class loop).
+        points = np.random.default_rng(8).random((400, 2))
+        tree = KDTree(points, leaf_size=1)
+        flat = tree.flat
+        a = np.array([flat.left_child[0]], dtype=np.int64)
+        b = np.array([flat.right_child[0]], dtype=np.int64)
+        assert int(flat.node_sizes[a[0]] * flat.node_sizes[b[0]]) >= 16_384
+        pa, pb, w = bccp_batch(flat, a, b)
+        ref = bccp(tree, tree.node(int(a[0])), tree.node(int(b[0])))
+        assert (int(pa[0]), int(pb[0]), float(w[0])) == (
+            ref.point_a,
+            ref.point_b,
+            ref.distance,
+        )
+
+
 class TestBCCPCache:
+    def test_get_batch_matches_scalar_gets(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=1)
+        rng = np.random.default_rng(5)
+        a_ids, b_ids = _random_frontier(tree, rng, 120)
+        batch_cache = BCCPCache(tree)
+        pa, pb, w = batch_cache.get_batch(a_ids, b_ids)
+        scalar_cache = BCCPCache(tree)
+        for i in range(a_ids.size):
+            ref = scalar_cache.get(tree.node(int(a_ids[i])), tree.node(int(b_ids[i])))
+            assert (int(pa[i]), int(pb[i]), float(w[i])) == (
+                ref.point_a,
+                ref.point_b,
+                ref.distance,
+            )
+        assert batch_cache.num_bccp_calls == scalar_cache.num_bccp_calls
+        assert (
+            batch_cache.num_distance_evaluations
+            == scalar_cache.num_distance_evaluations
+        )
+
+    def test_get_batch_hit_miss_partition(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=1)
+        cache = BCCPCache(tree)
+        rng = np.random.default_rng(6)
+        first_a, first_b = _random_frontier(tree, rng, 80)
+        cache.get_batch(first_a, first_b)
+        calls_after_first = cache.num_bccp_calls
+        # Re-submit the same pairs (some swapped) mixed with fresh ones: only
+        # the fresh unique pairs may trigger kernel evaluations.
+        fresh_a, fresh_b = _random_frontier(tree, np.random.default_rng(7), 40)
+        mixed_a = np.concatenate([first_b, fresh_a])  # swapped orientation
+        mixed_b = np.concatenate([first_a, fresh_b])
+        cache.get_batch(mixed_a, mixed_b)
+        known = set(zip(*(np.minimum(first_a, first_b), np.maximum(first_a, first_b))))
+        fresh_keys = set(
+            zip(*(np.minimum(fresh_a, fresh_b), np.maximum(fresh_a, fresh_b)))
+        )
+        expected_new = len(fresh_keys - known)
+        assert cache.num_bccp_calls == calls_after_first + expected_new
+
+    def test_get_batch_duplicate_pairs_evaluated_once(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=1)
+        cache = BCCPCache(tree)
+        a = np.array([1, 2, 1, 2, 1], dtype=np.int64)
+        b = np.array([2, 1, 2, 1, 2], dtype=np.int64)
+        pa, pb, w = cache.get_batch(a, b)
+        assert cache.num_bccp_calls == 1
+        assert np.unique(pa).size == 1 and np.unique(pb).size == 1
+        assert np.unique(w).size == 1
+
     def test_caches_results(self, small_points_2d):
         tree, left, right = _split_nodes(small_points_2d)
         cache = BCCPCache(tree)
         first = cache.get(left, right)
         second = cache.get(left, right)
-        assert first is second
+        assert first == second
         assert cache.num_bccp_calls == 1
 
     def test_symmetric_key(self, small_points_2d):

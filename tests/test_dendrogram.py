@@ -103,6 +103,54 @@ class TestVertexDistances:
         assert distances[0] == 1
         assert all(distances[i] == 2 for i in (1, 2, 4, 5))
 
+    def test_matches_bfs_reference_on_random_trees(self):
+        # Reference: textbook adjacency-list BFS.
+        for seed in range(3):
+            n = 200
+            edges = random_tree_edges(n, seed)
+            adjacency = [[] for _ in range(n)]
+            for u, v, _ in edges:
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+            expected = np.full(n, -1)
+            expected[0] = 0
+            frontier = [0]
+            while frontier:
+                nxt = []
+                for vertex in frontier:
+                    for neighbor in adjacency[vertex]:
+                        if expected[neighbor] < 0:
+                            expected[neighbor] = expected[vertex] + 1
+                            nxt.append(neighbor)
+                frontier = nxt
+            assert np.array_equal(tree_vertex_distances(edges, n, 0), expected)
+
+    def test_accepts_array_input(self):
+        edges = [(i, i + 1, 1.0) for i in range(4)]
+        u = np.array([e[0] for e in edges])
+        v = np.array([e[1] for e in edges])
+        w = np.array([e[2] for e in edges])
+        assert np.array_equal(
+            tree_vertex_distances((u, v, w), 5, 2),
+            tree_vertex_distances(edges, 5, 2),
+        )
+
+
+class TestEdgeInputForms:
+    @pytest.mark.parametrize("builder", BUILDERS, ids=lambda f: f.__name__)
+    def test_edgelist_and_tuples_build_identical_dendrograms(self, builder):
+        from repro.mst import EdgeList
+
+        n = 60
+        tuple_edges = random_tree_edges(n, seed=20)
+        edge_list = EdgeList(tuple_edges)
+        from_tuples = builder(tuple_edges, n)
+        from_edgelist = builder(edge_list, n)
+        assert np.array_equal(
+            from_tuples.to_linkage_matrix(), from_edgelist.to_linkage_matrix()
+        )
+        assert from_tuples.root == from_edgelist.root
+
 
 class TestConstruction:
     @pytest.mark.parametrize("builder", BUILDERS, ids=lambda f: f.__name__)

@@ -79,6 +79,49 @@ class TestEdgeList:
         edges = EdgeList([(0, 1, 1.5), (1, 2, 2.5)])
         assert total_weight(edges) == pytest.approx(4.0)
 
+    def test_extend_arrays(self):
+        edges = EdgeList([(0, 1, 2.0)])
+        edges.extend_arrays(
+            np.array([1, 2]), np.array([2, 3]), np.array([0.5, 1.5])
+        )
+        assert len(edges) == 3
+        assert edges[2] == (2, 3, 1.5)
+        u, v, w = edges.as_arrays()
+        assert np.array_equal(u, [0, 1, 2])
+        assert np.array_equal(v, [1, 2, 3])
+        assert np.array_equal(w, [2.0, 0.5, 1.5])
+
+    def test_extend_arrays_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            EdgeList().extend_arrays(np.zeros(2), np.zeros(2), np.zeros(3))
+
+    def test_growth_preserves_contents(self):
+        edges = EdgeList()
+        for i in range(1000):  # force several buffer reallocations
+            edges.append(i, i + 1, float(i))
+        u, v, w = edges.as_arrays()
+        assert np.array_equal(u, np.arange(1000))
+        assert np.array_equal(w, np.arange(1000.0))
+
+    def test_extend_from_edgelist(self):
+        first = EdgeList([(0, 1, 1.0), (1, 2, 2.0)])
+        second = EdgeList([(2, 3, 3.0)])
+        second.extend(first)
+        assert len(second) == 3
+        assert second[1] == (0, 1, 1.0)
+
+    def test_construct_from_ndarray_rows(self):
+        edges = EdgeList(np.array([[0, 1, 0.5], [1, 2, 0.3]]))
+        assert len(edges) == 2
+        assert edges[1] == (1, 2, 0.3)
+
+    def test_array_views_are_read_only(self):
+        edges = EdgeList([(0, 1, 1.0)])
+        u, v, w = edges.as_arrays()
+        for view in (u, v, w, edges.weights):
+            with pytest.raises(ValueError):
+                view[0] = 0
+
 
 class TestKruskal:
     def test_known_tiny_graph(self):
@@ -129,6 +172,48 @@ class TestKruskal:
         for batch in (edges[:third], edges[third : 2 * third], edges[2 * third :]):
             kruskal_batch(batch, output, union_find)
         assert total_weight(output) == pytest.approx(single)
+
+    def test_accepts_array_batches(self):
+        edges = random_graph_edges(30, 100, seed=5)
+        u = np.array([e[0] for e in edges], dtype=np.int64)
+        v = np.array([e[1] for e in edges], dtype=np.int64)
+        w = np.array([e[2] for e in edges])
+        from_arrays = kruskal((u, v, w), 30)
+        from_tuples = kruskal(edges, 30)
+        assert np.array_equal(from_arrays.endpoints, from_tuples.endpoints)
+        assert np.array_equal(from_arrays.weights, from_tuples.weights)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_property_batched_prefix_equals_single_shot(self, seed):
+        """Any weight-ordered batch split accepts exactly the same edges.
+
+        This is the contract GFK/MemoGFK rely on: cutting a sorted edge
+        sequence into arbitrary batches processed against one shared
+        union-find yields the same forest (same edges, same order) as one
+        single-shot Kruskal run.
+        """
+        rng = np.random.default_rng(seed)
+        num_vertices = 40 + 10 * seed
+        edges = sorted(
+            random_graph_edges(num_vertices, 150, seed=seed), key=lambda e: e[2]
+        )
+        reference = kruskal(edges, num_vertices)
+
+        cuts = np.sort(rng.integers(0, len(edges), size=rng.integers(1, 6)))
+        union_find = UnionFind(num_vertices)
+        output = EdgeList()
+        previous = 0
+        for cut in list(cuts) + [len(edges)]:
+            kruskal_batch(edges[previous:cut], output, union_find)
+            previous = cut
+        assert np.array_equal(output.endpoints, reference.endpoints)
+        assert np.array_equal(output.weights, reference.weights)
+
+    def test_equal_weight_ties_keep_input_order(self):
+        # Stable sorting: among equal weights the earlier edge wins.
+        edges = [(0, 1, 1.0), (2, 3, 1.0), (1, 2, 1.0), (0, 3, 1.0)]
+        tree = kruskal(edges, 4)
+        assert [tuple(e) for e in tree.endpoints] == [(0, 1), (2, 3), (1, 2)]
 
 
 class TestBoruvka:
