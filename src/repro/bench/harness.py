@@ -1,13 +1,23 @@
 """Measurement and scaling-simulation helpers for the benchmark drivers.
 
 Absolute running times are measured directly (single-threaded wall clock).
-Multi-thread scaling curves — the paper's Figures 6, 7, 9 and 10 and the
-"48 cores" columns of its tables — are produced by instrumenting a run with a
-:class:`~repro.parallel.scheduler.WorkDepthTracker` and evaluating Brent's
-bound ``T_p = W/p + D`` for each thread count, calibrated so that ``T_1``
-equals the measured single-thread time (see DESIGN.md, "Parallelism model").
-The paper's "48h" configuration (48 cores with hyper-threading) is modelled as
-48 physical cores with a 1.35x effective-parallelism bonus.
+Two kinds of multi-thread scaling curve are available:
+
+* :func:`scaling_curve` — the *simulated* curve: a run is instrumented with a
+  :class:`~repro.parallel.scheduler.WorkDepthTracker` and Brent's bound
+  ``T_p = W/p + D`` is evaluated for each thread count, calibrated so that
+  ``T_1`` equals the measured single-thread time (see DESIGN.md,
+  "Parallelism model").  This reproduces the *shape* of the paper's Figures
+  6, 7, 9, 10 out to 48 cores regardless of the local machine.  The paper's
+  "48h" configuration (48 cores with hyper-threading) is modelled as 48
+  physical cores with a 1.35x effective-parallelism bonus.
+* :func:`measured_scaling_curve` — the *measured* curve: the function is
+  actually re-run with ``num_threads=p`` for each requested count, sharding
+  its batched kernels across the persistent worker pool of
+  :mod:`repro.parallel.pool`, and real wall-clock times are recorded.  This
+  is what ``benchmarks/bench_parallel_scaling.py`` reports; because the
+  sharded kernels are deterministic, the per-count results can be asserted
+  byte-identical while the times scale.
 """
 
 from __future__ import annotations
@@ -20,6 +30,10 @@ from repro.parallel.scheduler import WorkDepthTracker, simulated_time, use_track
 #: Thread counts reported in the paper's scaling figures; the final entry is
 #: the hyper-threaded configuration ("48h").
 THREAD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 24, 36, 48, 96)
+
+#: Thread counts for measured (real wall-clock) scaling runs: small powers of
+#: two that commodity CI machines and laptops can actually provide.
+MEASURED_THREAD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
 
 
 def measure(function: Callable, *args, **kwargs) -> Tuple[object, float]:
@@ -89,6 +103,47 @@ def scaling_curve(
         "thread_counts": list(thread_counts),
         "times": times,
         "speedups": speedups,
+    }
+
+
+def measured_scaling_curve(
+    function: Callable,
+    *args,
+    thread_counts: Sequence[int] = MEASURED_THREAD_COUNTS,
+    repeats: int = 1,
+    **kwargs,
+) -> Dict[str, object]:
+    """Real wall-clock self-relative scaling of a ``num_threads``-aware call.
+
+    Runs ``function(*args, num_threads=p, **kwargs)`` for every ``p`` in
+    ``thread_counts`` (``repeats`` times each, keeping the fastest), so every
+    entry is a *measured* time with the worker pool actually sized to ``p`` —
+    the counterpart to the Brent-bound simulation of :func:`scaling_curve`.
+
+    Returns a dict with ``thread_counts``, ``times``, ``speedups``
+    (``T_1 / T_p``) and ``results`` (one per thread count, in order, so
+    callers can assert the outputs identical across counts).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    times: List[float] = []
+    results: List[object] = []
+    for processors in thread_counts:
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            result, elapsed = measure(
+                function, *args, num_threads=processors, **kwargs
+            )
+            best = min(best, elapsed)
+        times.append(best)
+        results.append(result)
+    t1 = times[0]
+    return {
+        "thread_counts": list(thread_counts),
+        "times": times,
+        "speedups": [t1 / t for t in times],
+        "results": results,
     }
 
 

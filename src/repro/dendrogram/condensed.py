@@ -12,13 +12,22 @@ and (2) selecting the set of condensed clusters with maximum total
 Density here is expressed as ``lambda = 1 / height`` (height being the mutual
 reachability distance at which a split happens), following the standard
 formulation.
+
+The implementation is array-native end to end: subtree membership comes from
+the dendrogram's precomputed leaf spans (one slice per shed subtree instead
+of a per-node stack walk), the condensed records accumulate in columnar
+buffers, per-cluster stabilities are one segmented ``bincount``, and the EOM
+selection resolves nearest-selected-ancestors with single id-ordered array
+scans — no recursion anywhere, so arbitrarily deep (chain-shaped)
+dendrograms condense without ever approaching a ``RecursionError``, and the
+clustering tail is no longer an object-at-a-time stage.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -43,45 +52,143 @@ class CondensedEdge:
     child_is_cluster: bool
 
 
-@dataclass
-class CondensedTree:
-    """Condensed dendrogram plus per-cluster bookkeeping."""
+class _EdgeColumns:
+    """Columnar accumulator for condensed-tree records.
 
-    num_points: int
-    min_cluster_size: int
-    edges: List[CondensedEdge] = field(default_factory=list)
-    birth_lambda: Dict[int, float] = field(default_factory=dict)
-    parent_of_cluster: Dict[int, int] = field(default_factory=dict)
+    Records arrive either one cluster-child at a time or as whole arrays of
+    point fallouts (the leaves of a shed subtree); both append to per-column
+    array lists that are concatenated once at the end.
+    """
+
+    def __init__(self) -> None:
+        self.parents: List[np.ndarray] = []
+        self.children: List[np.ndarray] = []
+        self.lambdas: List[np.ndarray] = []
+        self.sizes: List[np.ndarray] = []
+        self.is_cluster: List[np.ndarray] = []
+
+    def add_points(self, cluster: int, points: np.ndarray, lambda_value: float) -> None:
+        count = int(points.shape[0])
+        self.parents.append(np.full(count, cluster, dtype=np.int64))
+        self.children.append(np.asarray(points, dtype=np.int64))
+        self.lambdas.append(np.full(count, lambda_value, dtype=np.float64))
+        self.sizes.append(np.ones(count, dtype=np.int64))
+        self.is_cluster.append(np.zeros(count, dtype=bool))
+
+    def add_cluster(
+        self, cluster: int, child_cluster: int, lambda_value: float, size: int
+    ) -> None:
+        self.parents.append(np.array([cluster], dtype=np.int64))
+        self.children.append(np.array([child_cluster], dtype=np.int64))
+        self.lambdas.append(np.array([lambda_value], dtype=np.float64))
+        self.sizes.append(np.array([size], dtype=np.int64))
+        self.is_cluster.append(np.array([True]))
+
+    def concatenate(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if not self.parents:
+            empty_i = np.empty(0, dtype=np.int64)
+            return (
+                empty_i,
+                empty_i.copy(),
+                np.empty(0, dtype=np.float64),
+                empty_i.copy(),
+                np.empty(0, dtype=bool),
+            )
+        return (
+            np.concatenate(self.parents),
+            np.concatenate(self.children),
+            np.concatenate(self.lambdas),
+            np.concatenate(self.sizes),
+            np.concatenate(self.is_cluster),
+        )
+
+
+class CondensedTree:
+    """Condensed dendrogram stored as parallel record columns.
+
+    ``edge_*`` columns hold one entry per condensed record (cluster children
+    and point fallouts interleaved in construction order).  The historical
+    ``edges`` list-of-:class:`CondensedEdge` view is materialized on demand
+    for compatibility; all internal computation runs on the columns.
+    """
+
+    def __init__(
+        self,
+        num_points: int,
+        min_cluster_size: int,
+        edge_parent: np.ndarray,
+        edge_child: np.ndarray,
+        edge_lambda: np.ndarray,
+        edge_size: np.ndarray,
+        edge_is_cluster: np.ndarray,
+        birth_lambda: Dict[int, float],
+        parent_of_cluster: Dict[int, int],
+    ) -> None:
+        self.num_points = num_points
+        self.min_cluster_size = min_cluster_size
+        self.edge_parent = edge_parent
+        self.edge_child = edge_child
+        self.edge_lambda = edge_lambda
+        self.edge_size = edge_size
+        self.edge_is_cluster = edge_is_cluster
+        self.birth_lambda = birth_lambda
+        self.parent_of_cluster = parent_of_cluster
 
     @property
     def num_clusters(self) -> int:
         return len(self.birth_lambda)
 
+    @property
+    def edges(self) -> List[CondensedEdge]:
+        """Record objects in construction order (compatibility view)."""
+        return [
+            CondensedEdge(int(p), int(c), float(lam), int(s), bool(flag))
+            for p, c, lam, s, flag in zip(
+                self.edge_parent.tolist(),
+                self.edge_child.tolist(),
+                self.edge_lambda.tolist(),
+                self.edge_size.tolist(),
+                self.edge_is_cluster.tolist(),
+            )
+        ]
+
     def cluster_ids(self) -> List[int]:
         return sorted(self.birth_lambda)
 
     def children_clusters(self, cluster: int) -> List[int]:
-        return [
-            edge.child
-            for edge in self.edges
-            if edge.parent_cluster == cluster and edge.child_is_cluster
-        ]
+        mask = self.edge_is_cluster & (self.edge_parent == cluster)
+        return self.edge_child[mask].tolist()
+
+    def births(self) -> np.ndarray:
+        """Birth lambda of every cluster, indexed by consecutive cluster id."""
+        count = self.num_clusters
+        births = np.zeros(count, dtype=np.float64)
+        for cluster, birth in self.birth_lambda.items():
+            births[cluster] = birth
+        return births
+
+    def stabilities(self) -> np.ndarray:
+        """Excess-of-mass stability of every cluster with one segmented sum.
+
+        Stability of a cluster is the sum over its records of
+        ``(lambda_leave - lambda_birth) * child_size``; records that never
+        leave (infinite lambda) are capped at the cluster's own birth level,
+        matching the classic formulation for all-duplicate clusters.  The
+        ``bincount`` accumulates contributions in record order, so the sums
+        match the historical per-edge loop bit for bit.
+        """
+        count = self.num_clusters
+        if count == 0 or self.edge_parent.size == 0:
+            return np.zeros(count, dtype=np.float64)
+        births = self.births()
+        birth_of_record = births[self.edge_parent]
+        leave = np.where(np.isinf(self.edge_lambda), birth_of_record, self.edge_lambda)
+        contributions = (leave - birth_of_record) * self.edge_size
+        return np.bincount(self.edge_parent, weights=contributions, minlength=count)
 
     def stability(self, cluster: int) -> float:
         """Excess-of-mass stability: sum over members of (lambda_leave - lambda_birth)."""
-        birth = self.birth_lambda[cluster]
-        total = 0.0
-        for edge in self.edges:
-            if edge.parent_cluster != cluster:
-                continue
-            leave = edge.lambda_value
-            if math.isinf(leave):
-                # Points that never separate before the densest level: cap at
-                # the largest finite lambda seen in the cluster (standard
-                # practice; an all-duplicate cluster has unbounded density).
-                leave = birth
-            total += (leave - birth) * edge.child_size
-        return total
+        return float(self.stabilities()[cluster])
 
 
 def _lambda_of_height(height: float) -> float:
@@ -96,33 +203,40 @@ def condense_dendrogram(
     Walking from the root down, a split into two children both of size at
     least ``min_cluster_size`` creates two new clusters; otherwise the large
     side keeps the parent's cluster identity and the points of the small side
-    "fall out" of the cluster at the split's density level.
+    "fall out" of the cluster at the split's density level.  The walk is an
+    explicit iterative stack over dendrogram nodes; the points of a shed
+    subtree come from the dendrogram's leaf spans as one array slice, so no
+    step recurses or touches leaves one at a time.
     """
     if min_cluster_size < 1:
         raise InvalidParameterError("min_cluster_size must be >= 1")
     n = dendrogram.num_points
-    tree = CondensedTree(num_points=n, min_cluster_size=min_cluster_size)
     if n == 1:
-        tree.birth_lambda[0] = 0.0
-        tree.edges.append(CondensedEdge(0, 0, math.inf, 1, False))
-        return tree
+        return CondensedTree(
+            num_points=1,
+            min_cluster_size=min_cluster_size,
+            edge_parent=np.zeros(1, dtype=np.int64),
+            edge_child=np.zeros(1, dtype=np.int64),
+            edge_lambda=np.full(1, math.inf),
+            edge_size=np.ones(1, dtype=np.int64),
+            edge_is_cluster=np.zeros(1, dtype=bool),
+            birth_lambda={0: 0.0},
+            parent_of_cluster={},
+        )
     if dendrogram.root is None:
         raise InvalidParameterError("dendrogram has no root; construction incomplete")
 
-    root_cluster = 0
-    tree.birth_lambda[root_cluster] = 0.0
-    next_cluster_id = 1
+    order, first = dendrogram.leaf_spans()
 
-    def leaves_under(node_id: int) -> List[int]:
-        stack, members = [node_id], []
-        while stack:
-            current = stack.pop()
-            if dendrogram.is_leaf(current):
-                members.append(current)
-            else:
-                left, right = dendrogram.children(current)
-                stack.extend((left, right))
-        return members
+    def leaves_of(node_id: int) -> np.ndarray:
+        lo = int(first[node_id])
+        return order[lo : lo + dendrogram.node_size(node_id)]
+
+    root_cluster = 0
+    birth_lambda: Dict[int, float] = {root_cluster: 0.0}
+    parent_of_cluster: Dict[int, int] = {}
+    columns = _EdgeColumns()
+    next_cluster_id = 1
 
     # Each stack entry: (dendrogram node, condensed cluster it belongs to).
     stack: List[Tuple[int, int]] = [(dendrogram.root, root_cluster)]
@@ -132,7 +246,9 @@ def condense_dendrogram(
             # A singleton that reached the bottom of its cluster: it stays
             # until the maximum density, i.e. it leaves at lambda = infinity
             # (capped later during stability computation).
-            tree.edges.append(CondensedEdge(cluster, node_id, math.inf, 1, False))
+            columns.add_points(
+                cluster, np.array([node_id], dtype=np.int64), math.inf
+            )
             continue
         left, right = dendrogram.children(node_id)
         lambda_value = _lambda_of_height(dendrogram.height(node_id))
@@ -145,27 +261,34 @@ def condense_dendrogram(
             for child in (left, right):
                 child_cluster = next_cluster_id
                 next_cluster_id += 1
-                tree.birth_lambda[child_cluster] = lambda_value
-                tree.parent_of_cluster[child_cluster] = cluster
-                tree.edges.append(
-                    CondensedEdge(
-                        cluster,
-                        child_cluster,
-                        lambda_value,
-                        dendrogram.node_size(child),
-                        True,
-                    )
+                birth_lambda[child_cluster] = lambda_value
+                parent_of_cluster[child_cluster] = cluster
+                columns.add_cluster(
+                    cluster,
+                    child_cluster,
+                    lambda_value,
+                    dendrogram.node_size(child),
                 )
                 stack.append((child, child_cluster))
         elif big_left or big_right:
             survivor, shed = (left, right) if big_left else (right, left)
-            for point in leaves_under(shed):
-                tree.edges.append(CondensedEdge(cluster, point, lambda_value, 1, False))
+            columns.add_points(cluster, leaves_of(shed), lambda_value)
             stack.append((survivor, cluster))
         else:
-            for point in leaves_under(node_id):
-                tree.edges.append(CondensedEdge(cluster, point, lambda_value, 1, False))
-    return tree
+            columns.add_points(cluster, leaves_of(node_id), lambda_value)
+
+    parent, child, lam, size, is_cluster = columns.concatenate()
+    return CondensedTree(
+        num_points=n,
+        min_cluster_size=min_cluster_size,
+        edge_parent=parent,
+        edge_child=child,
+        edge_lambda=lam,
+        edge_size=size,
+        edge_is_cluster=is_cluster,
+        birth_lambda=birth_lambda,
+        parent_of_cluster=parent_of_cluster,
+    )
 
 
 def extract_eom_clusters(
@@ -178,59 +301,82 @@ def extract_eom_clusters(
     deselected).  The root cluster is only eligible when
     ``allow_single_cluster`` is true, as in the reference formulation.
 
+    Deselection and point assignment run as id-ordered array scans: cluster
+    ids are assigned parent-before-child, so one forward pass resolves every
+    cluster's nearest effectively-selected ancestor, and the point labels are
+    one vectorized gather over the condensed point records — the historical
+    per-point ancestor walks are gone.
+
     Returns ``(labels, stabilities)`` where ``labels[p]`` is the selected
     cluster's consecutive label for point ``p`` (or ``-1`` for noise) and
     ``stabilities`` maps each selected condensed-cluster id to its stability.
     """
-    cluster_ids = condensed.cluster_ids()
-    if not cluster_ids:
+    count = condensed.num_clusters
+    if count == 0:
         return np.full(condensed.num_points, -1, dtype=np.int64), {}
 
-    # Process deepest clusters first: children have larger ids than parents by
-    # construction, so reverse id order is a valid bottom-up order.
-    stability = {cluster: condensed.stability(cluster) for cluster in cluster_ids}
-    subtree_score: Dict[int, float] = {}
-    selected: Dict[int, bool] = {}
-    for cluster in sorted(cluster_ids, reverse=True):
-        children = condensed.children_clusters(cluster)
-        child_score = sum(subtree_score[child] for child in children)
+    parent_cl = np.full(count, -1, dtype=np.int64)
+    for child_cluster, parent_cluster in condensed.parent_of_cluster.items():
+        parent_cl[child_cluster] = parent_cluster
+    stability = condensed.stabilities()
+
+    children: List[List[int]] = [[] for _ in range(count)]
+    cluster_records = np.flatnonzero(condensed.edge_is_cluster)
+    for parent_cluster, child_cluster in zip(
+        condensed.edge_parent[cluster_records].tolist(),
+        condensed.edge_child[cluster_records].tolist(),
+    ):
+        children[parent_cluster].append(child_cluster)
+
+    # Bottom-up selection sweep (children have larger ids than parents by
+    # construction, so reverse id order is a valid bottom-up order).
+    selected = np.zeros(count, dtype=bool)
+    subtree_score = np.zeros(count, dtype=np.float64)
+    for cluster in range(count - 1, -1, -1):
+        child_score = 0.0
+        for child_cluster in children[cluster]:
+            child_score += subtree_score[child_cluster]
         is_root = cluster == 0
-        if (stability[cluster] >= child_score and not is_root) or (
-            is_root and allow_single_cluster and stability[cluster] >= child_score
-        ):
+        eligible = allow_single_cluster if is_root else True
+        if eligible and stability[cluster] >= child_score:
             selected[cluster] = True
             subtree_score[cluster] = stability[cluster]
-            # Deselect every descendant.
-            descendants = list(children)
-            while descendants:
-                descendant = descendants.pop()
-                selected[descendant] = False
-                descendants.extend(condensed.children_clusters(descendant))
         else:
-            selected[cluster] = False
-            subtree_score[cluster] = max(child_score, stability[cluster]) if is_root else child_score
+            subtree_score[cluster] = (
+                max(child_score, float(stability[cluster])) if is_root else child_score
+            )
 
-    chosen = [cluster for cluster in cluster_ids if selected.get(cluster)]
-    label_of_cluster = {cluster: label for label, cluster in enumerate(sorted(chosen))}
+    # Top-down scans (parents first): a selected ancestor deselects the whole
+    # subtree below it, and every cluster resolves its nearest effectively
+    # selected ancestor-or-self for point assignment.
+    has_selected_ancestor = np.zeros(count, dtype=bool)
+    for cluster in range(1, count):
+        parent_cluster = parent_cl[cluster]
+        has_selected_ancestor[cluster] = (
+            selected[parent_cluster] or has_selected_ancestor[parent_cluster]
+        )
+    effective = selected & ~has_selected_ancestor
+    home = np.full(count, -1, dtype=np.int64)
+    for cluster in range(count):
+        if effective[cluster]:
+            home[cluster] = cluster
+        elif parent_cl[cluster] >= 0:
+            home[cluster] = home[parent_cl[cluster]]
 
-    # A point belongs to the selected ancestor (if any) of the cluster it fell
-    # out of.
-    def selected_ancestor(cluster: int) -> Optional[int]:
-        current: Optional[int] = cluster
-        while current is not None:
-            if selected.get(current):
-                return current
-            current = condensed.parent_of_cluster.get(current)
-        return None
+    chosen = np.flatnonzero(effective)
+    label_of_cluster = np.full(count, -1, dtype=np.int64)
+    label_of_cluster[chosen] = np.arange(chosen.size, dtype=np.int64)
 
+    # A point belongs to the effectively selected ancestor (if any) of the
+    # cluster it fell out of: one gather over the point records.
     labels = np.full(condensed.num_points, -1, dtype=np.int64)
-    for edge in condensed.edges:
-        if edge.child_is_cluster:
-            continue
-        home = selected_ancestor(edge.parent_cluster)
-        if home is not None:
-            labels[edge.child] = label_of_cluster[home]
-    stabilities = {cluster: stability[cluster] for cluster in chosen}
+    point_records = ~condensed.edge_is_cluster
+    record_home = home[condensed.edge_parent[point_records]]
+    record_labels = np.where(
+        record_home >= 0, label_of_cluster[np.maximum(record_home, 0)], -1
+    )
+    labels[condensed.edge_child[point_records]] = record_labels
+    stabilities = {int(cluster): float(stability[cluster]) for cluster in chosen}
     return labels, stabilities
 
 

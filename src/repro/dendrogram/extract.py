@@ -16,25 +16,35 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Iterable, Tuple
+from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
 from repro.dendrogram.structure import Dendrogram
+from repro.parallel.primitives import segment_ranges
 from repro.parallel.unionfind import UnionFind
 
 
-def _label_subtree(dendrogram: Dendrogram, node_id: int, label: int, labels: np.ndarray) -> None:
-    stack = [node_id]
-    while stack:
-        current = stack.pop()
-        if dendrogram.is_leaf(current):
-            labels[current] = label
-            continue
-        left, right = dendrogram.children(current)
-        stack.append(left)
-        stack.append(right)
+def _label_cluster_roots(
+    dendrogram: Dendrogram, roots: Sequence[int], labels: np.ndarray
+) -> None:
+    """Assign label ``i`` to every leaf under ``roots[i]`` with one scatter.
+
+    Uses the dendrogram's precomputed leaf spans: the leaves of each root are
+    one contiguous slice of the in-order leaf sequence, so the whole labeling
+    is a segmented-iota gather plus a repeat — no per-node subtree walks, and
+    no recursion regardless of dendrogram depth.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    if roots.size == 0:
+        return
+    order, first = dendrogram.leaf_spans()
+    counts = dendrogram.node_sizes(roots)
+    positions = segment_ranges(first[roots], counts)
+    labels[order[positions]] = np.repeat(
+        np.arange(roots.size, dtype=np.int64), counts
+    )
 
 
 def clusters_at_height(dendrogram: Dendrogram, epsilon: float) -> np.ndarray:
@@ -42,8 +52,10 @@ def clusters_at_height(dendrogram: Dendrogram, epsilon: float) -> np.ndarray:
 
     Every maximal subtree whose root height is at most ``epsilon`` becomes one
     cluster; leaves split off above the cut become singleton clusters.  Labels
-    are consecutive integers starting at 0, ordered by the dendrogram's
-    left-to-right leaf order.
+    are consecutive integers starting at 0, in breadth-first order of the
+    cluster roots (the historical ordering).  The cut runs as a
+    level-synchronous frontier sweep over node-id arrays, and the labeling is
+    one spans-based scatter.
     """
     n = dendrogram.num_points
     labels = np.full(n, -1, dtype=np.int64)
@@ -53,17 +65,24 @@ def clusters_at_height(dendrogram: Dendrogram, epsilon: float) -> np.ndarray:
     if dendrogram.root is None:
         raise InvalidParameterError("dendrogram has no root; construction incomplete")
 
-    next_label = 0
-    stack = [dendrogram.root]
-    while stack:
-        node_id = stack.pop(0)
-        if dendrogram.is_leaf(node_id) or dendrogram.height(node_id) <= epsilon:
-            _label_subtree(dendrogram, node_id, next_label, labels)
-            next_label += 1
-            continue
-        left, right = dendrogram.children(node_id)
-        stack.append(left)
-        stack.append(right)
+    heights = dendrogram.heights()
+    left, right = dendrogram.children_arrays()
+    cluster_roots: list = []
+    frontier = np.array([dendrogram.root], dtype=np.int64)
+    while frontier.size:
+        internal = frontier >= n
+        below = np.zeros(frontier.shape[0], dtype=bool)
+        below[internal] = heights[frontier[internal] - n] <= epsilon
+        is_cluster = ~internal | below
+        cluster_roots.append(frontier[is_cluster])
+        expand = frontier[~is_cluster] - n
+        # Interleave children (left1, right1, left2, ...) so the concatenated
+        # per-level cluster roots reproduce the breadth-first label order.
+        nxt = np.empty(2 * expand.shape[0], dtype=np.int64)
+        nxt[0::2] = left[expand]
+        nxt[1::2] = right[expand]
+        frontier = nxt
+    _label_cluster_roots(dendrogram, np.concatenate(cluster_roots), labels)
     return labels
 
 
@@ -99,8 +118,7 @@ def cut_num_clusters(dendrogram: Dendrogram, num_clusters: int) -> np.ndarray:
         heapq.heappush(heap, (-height_of(right), right))
     clusters.extend(node_id for _, node_id in heap)
 
-    for label, node_id in enumerate(clusters):
-        _label_subtree(dendrogram, node_id, label, labels)
+    _label_cluster_roots(dendrogram, clusters, labels)
     return labels
 
 

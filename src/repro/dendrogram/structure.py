@@ -41,6 +41,7 @@ class Dendrogram:
         if num_points < 1:
             raise InvalidParameterError("a dendrogram needs at least one point")
         self.num_points = num_points
+        self._spans_cache: Optional[Tuple[int, int, np.ndarray, np.ndarray]] = None
         # A complete dendrogram has exactly ``num_points - 1`` internal nodes,
         # so sizing the buffers up front makes growth the exception.
         capacity = max(num_points - 1, _INITIAL_CAPACITY)
@@ -156,6 +157,15 @@ class Dendrogram:
         """Heights of all internal nodes (construction order)."""
         return self._height[: self._count].copy()
 
+    def children_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(left, right) child-id arrays of all internal nodes (views).
+
+        Row ``k`` belongs to internal node ``num_points + k``; array-native
+        traversals (e.g. the dendrogram-cut frontier sweep) index these
+        instead of calling :meth:`children` per node.
+        """
+        return self._left[: self._count], self._right[: self._count]
+
     def _internal_index(self, node_id: int) -> int:
         index = node_id - self.num_points
         if index < 0 or index >= self._count:
@@ -185,6 +195,60 @@ class Dendrogram:
             stack.append(int(right[index]))
             stack.append(int(left[index]))
         return order
+
+    def leaf_spans(self) -> Tuple[np.ndarray, np.ndarray]:
+        """In-order leaf sequence plus every node's contiguous span in it.
+
+        Returns ``(order, first)`` where ``order`` lists the leaf ids in
+        dendrogram (left-to-right) order and, for *every* node id ``v``, the
+        leaves under ``v`` are exactly ``order[first[v] : first[v] +
+        node_size(v)]``.  This turns "collect/label the leaves of a subtree"
+        — previously a per-node stack walk — into one array slice.
+
+        The spans are computed with pointer doubling over the parent array:
+        a node's span start is the sum, along its root path, of the left-
+        sibling sizes of the right-child steps; doubling evaluates all those
+        path sums in ``O(log depth)`` vectorized rounds, so even a fully
+        degenerate (chain-shaped) dendrogram needs no deep recursion.  The
+        result is cached until the dendrogram grows or is re-rooted.
+        """
+        if self.root is None:
+            raise InvalidParameterError(
+                "dendrogram has no root; construction incomplete"
+            )
+        cache_key = (self._count, int(self.root))
+        if self._spans_cache is not None and self._spans_cache[:2] == cache_key:
+            return self._spans_cache[2], self._spans_cache[3]
+
+        n = self.num_points
+        count = self._count
+        total = n + count
+        left = self._left[:count]
+        right = self._right[:count]
+
+        # delta[v]: leaves preceding v within its parent — 0 for left
+        # children (and the root), the left sibling's leaf count for right
+        # children.
+        delta = np.zeros(total, dtype=np.int64)
+        delta[right] = self.node_sizes(left)
+        jump = self.parent_array()
+
+        # Pointer doubling: first[v] accumulates the delta sum over the path
+        # segment [v, jump[v]); each round doubles the segment until every
+        # jump pointer falls off the root.  The gathers on the right-hand
+        # side snapshot before the scatter, so one statement per array is a
+        # synchronous round.
+        first = delta.copy()
+        while True:
+            active = np.flatnonzero(jump >= 0)
+            if active.size == 0:
+                break
+            first[active] += first[jump[active]]
+            jump[active] = jump[jump[active]]
+        order = np.empty(n, dtype=np.int64)
+        order[first[:n]] = np.arange(n, dtype=np.int64)
+        self._spans_cache = (cache_key[0], cache_key[1], order, first)
+        return order, first
 
     def parent_array(self) -> np.ndarray:
         """Parent id of every node (-1 for the root)."""

@@ -39,8 +39,14 @@ def emst(points, *, method: str = "memogfk", **kwargs) -> EMSTResult:
         ``"naive"``, ``"delaunay"`` (2D only), ``"dualtree-boruvka"`` or
         ``"bruteforce"``.
     kwargs:
-        Forwarded to the selected implementation (e.g. ``leaf_size``,
-        ``num_threads``).
+        Forwarded to the selected implementation.  Every method accepts
+        ``num_threads``: the number of worker threads the batched kernels
+        (WSPD traversals, BCCP size-class tensors, k-NN blocks, Kruskal
+        weight sorts) shard onto via the persistent pool of
+        :mod:`repro.parallel.pool`.  Sharding uses fixed chunk boundaries
+        and stable reduction order, so the returned tree is byte-identical
+        at any thread count.  ``leaf_size`` and other per-method options
+        pass through unchanged.
 
     Returns
     -------

@@ -7,6 +7,8 @@ comparison point the paper contrasts its memory usage against.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.distance import pairwise_distances
@@ -17,10 +19,11 @@ from repro.mst.kruskal import kruskal
 from repro.parallel.scheduler import current_tracker
 
 
-def emst_bruteforce(points) -> EMSTResult:
+def emst_bruteforce(points, *, num_threads: Optional[int] = None) -> EMSTResult:
     """Exact EMST by sorting all ``n (n - 1) / 2`` pairwise distances.
 
     Memory use is Θ(n^2); intended for reference/testing on small inputs.
+    ``num_threads`` parallelizes the Kruskal weight sort.
     """
     data = as_points(points, min_points=1)
     n = data.shape[0]
@@ -32,5 +35,5 @@ def emst_bruteforce(points) -> EMSTResult:
     weights = distances[upper_i, upper_j]
     order = np.argsort(weights, kind="stable")
     edges = zip(upper_i[order], upper_j[order], weights[order])
-    tree_edges = kruskal(edges, n)
+    tree_edges = kruskal(edges, n, num_threads=num_threads)
     return EMSTResult(tree_edges, n, "bruteforce", stats={"distance_evaluations": n * n})

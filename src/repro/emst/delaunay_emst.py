@@ -9,6 +9,7 @@ Only valid for d = 2.
 from __future__ import annotations
 
 import time
+from typing import Optional
 
 from repro.core.points import as_points
 from repro.emst.result import EMSTResult
@@ -17,8 +18,12 @@ from repro.mst.kruskal import kruskal
 from repro.spatial.delaunay import delaunay_edges
 
 
-def emst_delaunay(points) -> EMSTResult:
-    """Exact EMST of a 2D point set via its Delaunay triangulation."""
+def emst_delaunay(points, *, num_threads: Optional[int] = None) -> EMSTResult:
+    """Exact EMST of a 2D point set via its Delaunay triangulation.
+
+    ``num_threads`` parallelizes the Kruskal weight sort over the O(n)
+    triangulation edges.
+    """
     data = as_points(points, min_points=1)
     n = data.shape[0]
     if n == 1:
@@ -32,7 +37,7 @@ def emst_delaunay(points) -> EMSTResult:
     start = time.perf_counter()
     order = weights.argsort(kind="stable")
     edges = ((int(endpoints[i, 0]), int(endpoints[i, 1]), float(weights[i])) for i in order)
-    tree_edges = kruskal(edges, n)
+    tree_edges = kruskal(edges, n, num_threads=num_threads)
     timings["kruskal"] = time.perf_counter() - start
 
     stats = {"delaunay_edges": int(endpoints.shape[0])}

@@ -82,8 +82,14 @@ def _nearest_foreign(
     return best_index, best_distance
 
 
-def emst_dualtree_boruvka(points, *, leaf_size: int = 16) -> EMSTResult:
-    """Exact EMST via kd-tree Borůvka with component pruning."""
+def emst_dualtree_boruvka(
+    points, *, leaf_size: int = 16, num_threads: Optional[int] = None
+) -> EMSTResult:
+    """Exact EMST via kd-tree Borůvka with component pruning.
+
+    ``num_threads`` is accepted so the public ``emst(...)`` knob is uniform
+    across methods; the point-by-point Borůvka search itself is sequential.
+    """
     data = as_points(points, min_points=1)
     n = data.shape[0]
     if n == 1:

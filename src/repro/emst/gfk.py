@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.core.points import as_points
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
 from repro.mst.kruskal import kruskal_batch_arrays
+from repro.parallel.pool import map_shards
 from repro.parallel.scheduler import current_tracker
 from repro.parallel.unionfind import UnionFind
 from repro.spatial.flat import FlatKDTree
@@ -75,6 +76,25 @@ def pairs_fully_connected(
     )
 
 
+def sharded_min(
+    values_of: "Callable[[int, int], np.ndarray]",
+    n: int,
+    *,
+    num_threads: Optional[int] = None,
+) -> float:
+    """Minimum of a chunk-computable value array, reduced in shard order.
+
+    ``values_of(lo, hi)`` returns the values of span ``[lo, hi)``; each shard
+    is reduced to its own minimum on the worker pool and the shard minima are
+    folded left-to-right.  ``min`` is exact for floats, so the result equals
+    the single-pass ``values.min()`` bit for bit at any thread count.
+    """
+    partial = map_shards(
+        lambda lo, hi: float(values_of(lo, hi).min()), n, num_threads=num_threads
+    )
+    return min(partial)
+
+
 def emst_gfk(
     points,
     *,
@@ -96,9 +116,12 @@ def emst_gfk(
         the sequential Chatterjee et al. schedule (used by the beta ablation
         benchmark).
     num_threads:
-        Accepted for API compatibility.  BCCP evaluations are submitted to
-        the batched array kernel a whole round at a time, which outruns the
-        former per-pair thread pool, so the value is unused.
+        Number of worker threads for the batched stages: the WSPD separation
+        tests, each round's BCCP size-class kernel, the ``rho_hi`` reduction
+        and the Kruskal weight sort all shard onto the persistent worker pool
+        (:mod:`repro.parallel.pool`).  Sharding uses fixed chunk boundaries
+        and shard-ordered reductions, so the MST is byte-identical at any
+        thread count; ``None``/``0``/``1`` run inline.
     """
     if beta_growth not in ("double", "increment"):
         raise ValueError("beta_growth must be 'double' or 'increment'")
@@ -114,14 +137,16 @@ def emst_gfk(
     flat = tree.flat
 
     start = time.perf_counter()
-    pair_a, pair_b = compute_wspd_ids(tree, separation="geometric")
+    pair_a, pair_b = compute_wspd_ids(
+        tree, separation="geometric", num_threads=num_threads
+    )
     timings["wspd"] = time.perf_counter() - start
     total_pairs = int(pair_a.size)
 
     sizes = flat.node_sizes
     cardinality = sizes[pair_a] + sizes[pair_b]
 
-    cache = BCCPCache(tree)
+    cache = BCCPCache(tree, num_threads=num_threads)
     union_find = UnionFind(n)
     output = EdgeList()
     tracker = current_tracker()
@@ -137,7 +162,11 @@ def emst_gfk(
         )
         exp_a, exp_b = pair_a[~cheap], pair_b[~cheap]
         if exp_a.size:
-            rho_hi = float(node_distances(flat, exp_a, exp_b).min())
+            rho_hi = sharded_min(
+                lambda lo, hi: node_distances(flat, exp_a[lo:hi], exp_b[lo:hi]),
+                int(exp_a.size),
+                num_threads=num_threads,
+            )
             tracker.add(float(exp_a.size), math.log2(exp_a.size + 1), phase="gfk-split")
         else:
             rho_hi = math.inf
@@ -149,7 +178,12 @@ def emst_gfk(
         heavy_mask = ~light
 
         kruskal_batch_arrays(
-            point_a[light], point_b[light], weight[light], output, union_find
+            point_a[light],
+            point_b[light],
+            weight[light],
+            output,
+            union_find,
+            num_threads=num_threads,
         )
 
         remaining_a = np.concatenate([cheap_a[heavy_mask], exp_a])

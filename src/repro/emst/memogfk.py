@@ -41,6 +41,8 @@ from repro.emst.gfk import pairs_fully_connected
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
 from repro.mst.kruskal import kruskal_batch_arrays
+from repro.parallel import pool as _pool
+from repro.parallel.pool import map_shards, resolve_num_threads
 from repro.parallel.scheduler import current_tracker
 from repro.parallel.unionfind import UnionFind
 from repro.spatial.flat import FlatKDTree
@@ -50,6 +52,30 @@ from repro.wspd.separation import node_distances, node_max_distances
 from repro.wspd.wspd import PairMask, frontier_step, separation_mask
 
 BoundMask = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _sharded_bound(
+    bound: BoundMask,
+    a: np.ndarray,
+    b: np.ndarray,
+    num_threads: Optional[int],
+) -> np.ndarray:
+    """Evaluate an elementwise pair bound, sharded on the worker pool.
+
+    Same determinism contract as :func:`repro.wspd.wspd.evaluate_pair_mask`:
+    fixed chunk boundaries, every shard fills its slice of one output array,
+    byte-identical to ``bound(a, b)`` at any thread count.
+    """
+    m = int(a.size)
+    if resolve_num_threads(num_threads) == 1 or m < 2 * _pool.DEFAULT_CHUNK:
+        return bound(a, b)
+    out = np.empty(m, dtype=np.float64)
+
+    def shard(lo: int, hi: int) -> None:
+        out[lo:hi] = bound(a[lo:hi], b[lo:hi])
+
+    map_shards(shard, m, num_threads=num_threads)
+    return out
 
 
 def _euclidean_bounds(flat: FlatKDTree) -> Tuple[BoundMask, BoundMask]:
@@ -125,6 +151,7 @@ def _get_rho(
     root_max: np.ndarray,
     predicate: PairMask,
     lower_bound: BoundMask,
+    num_threads: Optional[int] = None,
 ) -> float:
     """GETRHO: lower bound on edges produced by pairs with cardinality > beta.
 
@@ -145,7 +172,7 @@ def _get_rho(
         a, b = a[keep], b[keep]
         if a.size == 0:
             break
-        lower = lower_bound(a, b)
+        lower = _sharded_bound(lower_bound, a, b, num_threads)
         keep = lower < rho
         a, b, lower = a[keep], b[keep], lower[keep]
         if a.size == 0:
@@ -155,7 +182,9 @@ def _get_rho(
         if a.size == 0:
             break
         # Both-leaf duplicate pairs carry no rho, so their batch is ignored.
-        separated, _, _, _, _, a, b = frontier_step(flat, a, b, predicate)
+        separated, _, _, _, _, a, b = frontier_step(
+            flat, a, b, predicate, num_threads=num_threads
+        )
         if separated.any():
             rho = min(rho, float(lower[separated].min()))
     return rho
@@ -172,6 +201,7 @@ def _get_pairs(
     cache: BCCPCache,
     lower_bound: BoundMask,
     upper_bound: BoundMask,
+    num_threads: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """GETPAIRS: edges of the not-yet-connected pairs with BCCP in the window.
 
@@ -201,11 +231,11 @@ def _get_pairs(
     a, b = _seed_pairs(flat, root_min, root_max, 0)
     while a.size:
         tracker.add(float(a.size), 0, phase="wspd")
-        keep = lower_bound(a, b) < rho_hi
+        keep = _sharded_bound(lower_bound, a, b, num_threads) < rho_hi
         a, b = a[keep], b[keep]
         if a.size == 0:
             break
-        keep = upper_bound(a, b) >= rho_lo_slack
+        keep = _sharded_bound(upper_bound, a, b, num_threads) >= rho_lo_slack
         a, b = a[keep], b[keep]
         if a.size == 0:
             break
@@ -213,7 +243,9 @@ def _get_pairs(
         a, b = a[keep], b[keep]
         if a.size == 0:
             break
-        _, sep_a, sep_b, dup_a, dup_b, a, b = frontier_step(flat, a, b, predicate)
+        _, sep_a, sep_b, dup_a, dup_b, a, b = frontier_step(
+            flat, a, b, predicate, num_threads=num_threads
+        )
         if sep_a.size:
             collected_a.append(sep_a)
             collected_b.append(sep_b)
@@ -242,6 +274,7 @@ def memogfk_mst(
     s: float = 2.0,
     core_distances: Optional[np.ndarray] = None,
     initial_beta: int = 2,
+    num_threads: Optional[int] = None,
 ) -> Tuple[EdgeList, dict]:
     """Run the MemoGFK engine over an existing kd-tree.
 
@@ -259,6 +292,12 @@ def memogfk_mst(
         weights; required for HDBSCAN*.
     initial_beta:
         Starting batch-cardinality threshold (the paper uses 2).
+    num_threads:
+        Worker threads for the batched stages: the GETRHO/GETPAIRS bound and
+        separation sweeps, each round's BCCP(*) size-class kernel and the
+        Kruskal weight sort all shard onto the persistent worker pool with
+        fixed chunk boundaries, so the MST is byte-identical at any thread
+        count; ``None``/``0``/``1`` run inline.
 
     Returns
     -------
@@ -277,7 +316,7 @@ def memogfk_mst(
         )
 
     n = tree.size
-    cache = BCCPCache(tree, core_distances=core_distances)
+    cache = BCCPCache(tree, core_distances=core_distances, num_threads=num_threads)
     union_find = UnionFind(n)
     output = EdgeList()
     if core_distances is None:
@@ -305,7 +344,9 @@ def memogfk_mst(
         # for both traversals of the round.
         point_roots = union_find.roots()
         root_min, root_max = flat.node_value_ranges(point_roots)
-        rho_hi = _get_rho(flat, beta, root_min, root_max, predicate, lower_bound)
+        rho_hi = _get_rho(
+            flat, beta, root_min, root_max, predicate, lower_bound, num_threads
+        )
         batch_u, batch_v, batch_w = _get_pairs(
             tree,
             rho_lo,
@@ -317,10 +358,13 @@ def memogfk_mst(
             cache,
             lower_bound,
             upper_bound,
+            num_threads,
         )
         max_materialized = max(max_materialized, int(batch_u.size))
         total_materialized += int(batch_u.size)
-        kruskal_batch_arrays(batch_u, batch_v, batch_w, output, union_find)
+        kruskal_batch_arrays(
+            batch_u, batch_v, batch_w, output, union_find, num_threads=num_threads
+        )
         beta *= 2
         rho_lo = rho_hi
         if math.isinf(rho_hi) and len(output) < n - 1:
@@ -347,8 +391,13 @@ def emst_memogfk(
     leaf_size: int = 1,
     s: float = 2.0,
     initial_beta: int = 2,
+    num_threads: Optional[int] = None,
 ) -> EMSTResult:
-    """Exact EMST via the memory-optimized GeoFilterKruskal (Algorithm 3)."""
+    """Exact EMST via the memory-optimized GeoFilterKruskal (Algorithm 3).
+
+    ``num_threads`` shards the batched stages onto the persistent worker pool
+    (see :func:`memogfk_mst`); the MST is byte-identical at any setting.
+    """
     data = as_points(points, min_points=1)
     n = data.shape[0]
     if n == 1:
@@ -361,7 +410,11 @@ def emst_memogfk(
 
     start = time.perf_counter()
     edges, stats = memogfk_mst(
-        tree, separation="geometric", s=s, initial_beta=initial_beta
+        tree,
+        separation="geometric",
+        s=s,
+        initial_beta=initial_beta,
+        num_threads=num_threads,
     )
     timings["wspd+kruskal"] = time.perf_counter() - start
 

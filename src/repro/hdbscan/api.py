@@ -62,7 +62,12 @@ def hdbscan(
     heavy_fraction:
         Heavy-edge fraction of the top-down dendrogram construction.
     num_threads:
-        Thread count forwarded to the k-NN / BCCP batches.
+        Worker threads for every batched stage of the pipeline: the
+        core-distance k-NN blocks, the WSPD/MemoGFK traversal sweeps, the
+        BCCP* size-class kernels and the Kruskal weight sorts all shard onto
+        the persistent worker pool (:mod:`repro.parallel.pool`) with fixed
+        chunk boundaries, so the MST, dendrogram and labels are
+        byte-identical at any thread count.
     method_kwargs:
         Additional arguments forwarded to the MST implementation.
 

@@ -54,7 +54,10 @@ def hdbscan_mst_gantao(
     core_dists:
         Optional precomputed core distances (skips the k-NN step).
     num_threads:
-        Thread count for the k-NN batches.
+        Worker threads for every batched stage — the core-distance k-NN
+        blocks and the MemoGFK-engine traversal/BCCP*/Kruskal rounds all
+        shard onto the persistent worker pool with deterministic chunking,
+        so the MST is byte-identical at any thread count.
     """
     data = as_points(points, min_points=1)
     n = data.shape[0]
@@ -76,7 +79,10 @@ def hdbscan_mst_gantao(
 
     start = time.perf_counter()
     edges, stats = memogfk_mst(
-        tree, separation="geometric", core_distances=core_dists
+        tree,
+        separation="geometric",
+        core_distances=core_dists,
+        num_threads=num_threads,
     )
     timings["wspd+kruskal"] = time.perf_counter() - start
 

@@ -58,7 +58,10 @@ def hdbscan_mst_memogfk(
 
     start = time.perf_counter()
     edges, stats = memogfk_mst(
-        tree, separation="hdbscan", core_distances=core_dists
+        tree,
+        separation="hdbscan",
+        core_distances=core_dists,
+        num_threads=num_threads,
     )
     timings["wspd+kruskal"] = time.perf_counter() - start
 

@@ -13,18 +13,90 @@ The batch path is array-native: the batch's weight array is argsorted once
 :meth:`repro.parallel.unionfind.UnionFind.union_many`, and the accepted edges
 are appended to the output with one ``extend_arrays`` call — no per-edge tuple
 unpacking or Python sort keys anywhere.
+
+With ``num_threads > 1`` the argsort itself runs as a parallel chunked merge
+sort (:func:`parallel_argsort`): fixed contiguous chunks are stably argsorted
+on the worker pool and pairwise-merged with vectorized ``searchsorted``
+passes.  Because chunks cover contiguous index ranges and merges break weight
+ties in favour of the left (lower-index) run, the resulting permutation is
+*exactly* ``np.argsort(w, kind="stable")`` — the threaded Kruskal accepts the
+same edges in the same order as the sequential one.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.mst.edges import EdgeList, coerce_edge_arrays
+from repro.parallel.pool import parallel_map, resolve_num_threads, shard_ranges
 from repro.parallel.scheduler import current_tracker
 from repro.parallel.unionfind import UnionFind
+
+#: Rows per sort chunk; fixed (never derived from the thread count) so the
+#: chunk boundaries — and therefore the merge tree — are deterministic.
+_SORT_CHUNK = 1 << 15
+
+
+def _merge_runs(
+    weights: np.ndarray, left: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    """Stably merge two sorted index runs of one weight array.
+
+    ``left`` must hold strictly smaller original indices than ``right`` (true
+    for contiguous chunks merged in order), so on weight ties every element of
+    ``left`` precedes every tied element of ``right`` — the stable-sort rule.
+    """
+    w_left = weights[left]
+    w_right = weights[right]
+    # Position of each right element: its rank within its own run plus the
+    # number of left elements placed before it (ties included, hence 'right').
+    pos_right = np.searchsorted(w_left, w_right, side="right")
+    pos_right += np.arange(right.size, dtype=np.int64)
+    merged = np.empty(left.size + right.size, dtype=np.int64)
+    left_slots = np.ones(merged.size, dtype=bool)
+    left_slots[pos_right] = False
+    merged[pos_right] = right
+    merged[left_slots] = left
+    return merged
+
+
+def parallel_argsort(
+    weights: np.ndarray, *, num_threads: Optional[int] = None
+) -> np.ndarray:
+    """``np.argsort(weights, kind="stable")`` as a parallel chunked merge sort.
+
+    Fixed contiguous chunks are stably argsorted (each chunk on a pool
+    worker), then pairwise-merged in ``log2(chunks)`` rounds; adjacent runs
+    are merged so every left run holds smaller original indices than its
+    right partner, which makes the tie-breaking identical to a global stable
+    argsort.  Small inputs (or ``num_threads <= 1``) fall back to
+    ``np.argsort`` directly; both paths return bit-identical permutations.
+    """
+    m = int(weights.shape[0])
+    if resolve_num_threads(num_threads) == 1 or m < 2 * _SORT_CHUNK:
+        return np.argsort(weights, kind="stable")
+
+    def sort_chunk(span: Tuple[int, int]) -> np.ndarray:
+        lo, hi = span
+        return lo + np.argsort(weights[lo:hi], kind="stable")
+
+    runs: List[np.ndarray] = parallel_map(
+        sort_chunk, shard_ranges(m, _SORT_CHUNK), num_threads=num_threads
+    )
+    while len(runs) > 1:
+        pairs = [(runs[i], runs[i + 1]) for i in range(0, len(runs) - 1, 2)]
+        merged = parallel_map(
+            lambda pair: _merge_runs(weights, pair[0], pair[1]),
+            pairs,
+            num_threads=num_threads,
+        )
+        if len(runs) % 2:
+            merged.append(runs[-1])
+        runs = merged
+    return runs[0]
 
 EdgeBatch = Union[
     "EdgeList", Tuple[np.ndarray, np.ndarray, np.ndarray], Iterable[Tuple[int, int, float]]
@@ -37,19 +109,23 @@ def kruskal_batch_arrays(
     w: np.ndarray,
     output: EdgeList,
     union_find: UnionFind,
+    *,
+    num_threads: Optional[int] = None,
 ) -> int:
     """Process one batch of edges given as parallel arrays.
 
     Returns the number of edges accepted into ``output``.  The caller is
     responsible for only passing batches in non-decreasing weight order across
-    calls (GFK/MemoGFK guarantee this by construction).
+    calls (GFK/MemoGFK guarantee this by construction).  ``num_threads``
+    parallelizes the weight sort (:func:`parallel_argsort`); the union sweep
+    is inherently sequential and unaffected.
     """
     m = int(u.shape[0])
     if m == 0:
         return 0
     tracker = current_tracker()
     tracker.add(m * max(math.log2(m), 1.0), max(math.log2(m), 1.0), phase="kruskal")
-    order = np.argsort(w, kind="stable")
+    order = parallel_argsort(w, num_threads=num_threads)
     su = u[order]
     sv = v[order]
     accepted = union_find.union_many(su, sv)
@@ -63,6 +139,8 @@ def kruskal_batch(
     edges: EdgeBatch,
     output: EdgeList,
     union_find: UnionFind,
+    *,
+    num_threads: Optional[int] = None,
 ) -> int:
     """Process one batch of edges with a shared union-find.
 
@@ -71,7 +149,7 @@ def kruskal_batch(
     :func:`kruskal_batch_arrays` for the batching contract.
     """
     u, v, w = coerce_edge_arrays(edges)
-    return kruskal_batch_arrays(u, v, w, output, union_find)
+    return kruskal_batch_arrays(u, v, w, output, union_find, num_threads=num_threads)
 
 
 def kruskal(
@@ -79,6 +157,7 @@ def kruskal(
     num_vertices: int,
     *,
     union_find: Optional[UnionFind] = None,
+    num_threads: Optional[int] = None,
 ) -> EdgeList:
     """Minimum spanning forest of an explicit edge list.
 
@@ -87,5 +166,5 @@ def kruskal(
     """
     union_find = union_find if union_find is not None else UnionFind(num_vertices)
     output = EdgeList()
-    kruskal_batch(edges, output, union_find)
+    kruskal_batch(edges, output, union_find, num_threads=num_threads)
     return output

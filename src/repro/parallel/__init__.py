@@ -16,9 +16,14 @@ subpackage provides two things instead (see DESIGN.md, "Parallelism model"):
   union-find) that charge the textbook work/depth costs to the active tracker,
   so the simulated speedups reflect the algorithms actually implemented.
 
-A small :mod:`~repro.parallel.pool` helper offers real ``ThreadPoolExecutor``
-parallelism for the coarse-grained NumPy-heavy stages (BCCP batches, k-NN
-batches) where the GIL is released.
+:mod:`~repro.parallel.pool` provides the *real* multicore execution engine: a
+persistent :class:`~repro.parallel.pool.WorkerPool` of daemon threads (NumPy
+releases the GIL inside its C kernels) that every batched hot path — BCCP
+size-class tensors, k-NN blocks, WSPD predicate masks, the chunked Kruskal
+merge sort — shards work onto with fixed, thread-count-independent chunk
+boundaries, so threaded runs are byte-identical to single-threaded ones.  The
+simulated Brent-bound curves and the measured wall-clock curves of
+``benchmarks/bench_parallel_scaling.py`` are therefore directly comparable.
 """
 
 from repro.parallel.scheduler import (
@@ -42,7 +47,16 @@ from repro.parallel.listrank import list_rank
 from repro.parallel.eulertour import EulerTour, build_euler_tour
 from repro.parallel.unionfind import UnionFind
 from repro.parallel.hashtable import ParallelHashTable
-from repro.parallel.pool import parallel_map
+from repro.parallel.pool import (
+    WorkerPool,
+    Workspace,
+    current_workspace,
+    get_pool,
+    map_shards,
+    parallel_map,
+    shard_ranges,
+    shutdown_pools,
+)
 
 __all__ = [
     "WorkDepthTracker",
@@ -63,5 +77,12 @@ __all__ = [
     "build_euler_tour",
     "UnionFind",
     "ParallelHashTable",
+    "WorkerPool",
+    "Workspace",
+    "current_workspace",
+    "get_pool",
+    "map_shards",
     "parallel_map",
+    "shard_ranges",
+    "shutdown_pools",
 ]

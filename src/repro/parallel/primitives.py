@@ -47,6 +47,25 @@ def prefix_sum(values, *, phase: str = "primitive"):
     return prefix, cumulative[-1]
 
 
+def segment_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s + c) for s, c in zip(starts, counts)]``.
+
+    The segmented-iota primitive: one ``np.repeat``-based pass in place of a
+    Python loop over segments.  Shared by the flat kd-tree build and the
+    dendrogram leaf-span scatters.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.cumsum(counts) - counts
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(offsets, counts)
+    out += np.repeat(starts, counts)
+    return out
+
+
 def parallel_filter(items: Sequence, predicate: Callable, *, phase: str = "primitive") -> list:
     """Keep the items for which ``predicate`` is true, preserving order."""
     items = list(items)

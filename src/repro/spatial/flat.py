@@ -39,19 +39,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
+from repro.parallel.primitives import segment_ranges as _segment_ranges
 from repro.parallel.scheduler import current_tracker
-
-
-def _segment_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Concatenate ``[arange(s, s + c) for s, c in zip(starts, counts)]``."""
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    offsets = np.cumsum(counts) - counts
-    out = np.arange(total, dtype=np.int64)
-    out -= np.repeat(offsets, counts)
-    out += np.repeat(starts, counts)
-    return out
 
 
 class FlatKDTree:

@@ -31,12 +31,38 @@ from repro.parallel.pool import parallel_map
 from repro.parallel.scheduler import current_tracker
 from repro.spatial.kdtree import KDTree
 
-#: Queries per traversal block.  Each block is one batched frontier traversal;
-#: the block size bounds the frontier's memory footprint and doubles as the
-#: unit of work dispatched to the thread pool when ``num_threads > 1``.  The
-#: per-query results are independent of the blocking, so threaded and
-#: single-threaded runs return identical arrays.
-_QUERY_BLOCK = 512
+#: Bytes-per-chunk budget for the k-NN blocking.  Block sizes are derived
+#: from the actual per-query footprint (k result slots, the merge staging
+#: area, the d-dimensional rows — or, for brute force, a whole row of the
+#: distance matrix) instead of a fixed row count, so small-k/high-n workloads
+#: get large cache-friendly blocks while large-k or high-n brute-force chunks
+#: stay within the budget rather than thrashing memory.
+_CHUNK_BUDGET_BYTES = 8 << 20
+
+#: Clamps keeping blocks big enough to amortize NumPy dispatch and small
+#: enough that every worker gets several blocks to balance across.
+_MIN_BLOCK_ROWS = 32
+_MAX_BLOCK_ROWS = 8192
+
+
+def _tree_query_block_rows(k: int, dim: int) -> int:
+    """Queries per traversal block from the bytes-per-chunk budget.
+
+    Each in-flight query carries its ``(k,)`` index/distance rows, the
+    ``(2k,)`` merge staging copies and a few frontier entries of gathered
+    ``dim``-vectors; the block size bounds the traversal's live footprint and
+    doubles as the unit of work dispatched to the worker pool.  The per-query
+    results are independent of the blocking, so every block size (and thread
+    count) returns identical arrays.
+    """
+    per_query = 48 * k + 64 * dim + 64
+    return int(min(max(_CHUNK_BUDGET_BYTES // per_query, _MIN_BLOCK_ROWS), _MAX_BLOCK_ROWS))
+
+
+def _bruteforce_chunk_rows(n: int, k: int, dim: int) -> int:
+    """Rows per brute-force chunk: one chunk materializes ``rows × n`` distances."""
+    per_row = 8 * (2 * n + 4 * k + dim)
+    return int(min(max(_CHUNK_BUDGET_BYTES // per_row, 1), _MAX_BLOCK_ROWS))
 
 
 def knn(
@@ -59,7 +85,10 @@ def knn(
         Points to query; defaults to the tree's own points (the all-points
         query used for core distances).
     num_threads:
-        If > 1, query batches are dispatched on a thread pool.
+        If > 1, query blocks are dispatched on the persistent worker pool
+        (:func:`repro.parallel.pool.get_pool`).  Block boundaries do not
+        depend on the thread count, so the returned arrays are byte-identical
+        at any setting.
 
     Returns
     -------
@@ -87,10 +116,11 @@ def knn(
     )
 
     flat = tree.flat
-    block_starts = list(range(0, n_queries, _QUERY_BLOCK))
+    block = _tree_query_block_rows(k, tree.dimension)
+    block_starts = list(range(0, n_queries, block))
 
     def query_block(start: int) -> Tuple[np.ndarray, np.ndarray]:
-        stop = min(start + _QUERY_BLOCK, n_queries)
+        stop = min(start + block, n_queries)
         return flat.query_knn(query_points[start:stop], k)
 
     results = parallel_map(query_block, block_starts, num_threads=num_threads)
@@ -103,14 +133,18 @@ def knn_bruteforce(
     points,
     k: int,
     *,
-    chunk_size: int = 512,
+    chunk_size: Optional[int] = None,
     num_threads: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Exact k-NN of every point against the whole set via chunked brute force.
 
     The ``(n, n)`` distance matrix is never materialized: queries are processed
-    in chunks of ``chunk_size`` rows, and within a chunk ``np.argpartition``
-    selects the k smallest distances before a final sort of only those k.
+    in chunks (by default sized so one chunk's ``rows × n`` distance block
+    fits the bytes-per-chunk budget; pass ``chunk_size`` to override), and
+    within a chunk ``np.argpartition`` selects the k smallest distances before
+    a final sort of only those k.  With ``num_threads > 1`` the chunks run on
+    the persistent worker pool; chunk boundaries are independent of the thread
+    count, so results are byte-identical at any setting.
     """
     data = as_points(points)
     n = data.shape[0]
@@ -121,6 +155,8 @@ def knn_bruteforce(
 
     current_tracker().add(float(n) * n, max(math.log2(n), 1.0), phase="knn")
 
+    if chunk_size is None:
+        chunk_size = _bruteforce_chunk_rows(n, k, data.shape[1])
     chunk_starts = list(range(0, n, chunk_size))
 
     def process_chunk(start: int) -> Tuple[np.ndarray, np.ndarray]:

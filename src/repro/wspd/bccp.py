@@ -38,6 +38,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.distance import cross_distances, exact_edge_weights
+from repro.parallel.pool import current_workspace, parallel_map, resolve_num_threads
 from repro.parallel.scheduler import current_tracker
 from repro.spatial.flat import FlatKDTree
 from repro.spatial.kdtree import KDNode, KDTree
@@ -111,6 +112,8 @@ def bccp_batch(
     a_ids: np.ndarray,
     b_ids: np.ndarray,
     core_distances: Optional[np.ndarray] = None,
+    *,
+    num_threads: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Exact BCCP (or BCCP* with ``core_distances``) of whole node-pair arrays.
 
@@ -122,6 +125,13 @@ def bccp_batch(
     entry the scalar kernel would, including tie-breaking at equal distances.
     The winning pairs are re-evaluated with the shared cancellation-safe
     exact kernel.
+
+    With ``num_threads > 1`` the size-class chunks (and the individually
+    evaluated large pairs) are dispatched as independent tasks on the
+    persistent worker pool.  Every task resolves a disjoint set of output
+    rows, each row's winner depends only on that pair's own padded distance
+    block, and the class padding is computed before chunking — so the result
+    arrays are byte-identical at any thread count.
 
     Returns ``(point_a, point_b, distance)`` arrays aligned with the input
     pair order.
@@ -147,10 +157,43 @@ def bccp_batch(
     # Pairs whose own distance matrix is already large amortize one kernel
     # dispatch by themselves; evaluating them individually avoids any padding
     # waste.  Everything else is grouped into power-of-two size classes and
-    # padded only up to the class's actual maxima.
+    # padded only up to the class's actual maxima.  Each (sub, p_a, p_b) task
+    # resolves a disjoint set of output rows, so the task list can run inline
+    # or on the worker pool with identical results.
+    workers = resolve_num_threads(num_threads)
     pair_work = size_a * size_b
+    tasks: list = []
     for row in np.flatnonzero(pair_work >= _LARGE_PAIR_ELEMENTS):
         sub = np.array([row], dtype=np.int64)
+        tasks.append((sub, int(size_a[row]), int(size_b[row])))
+
+    small = np.flatnonzero(pair_work < _LARGE_PAIR_ELEMENTS)
+    if small.size:
+        bits_a = np.ceil(np.log2(np.maximum(size_a, 1))).astype(np.int64)
+        bits_b = np.ceil(np.log2(np.maximum(size_b, 1))).astype(np.int64)
+        class_key = (bits_a * 64 + bits_b)[small]
+        order = small[np.argsort(class_key, kind="stable")]
+        sorted_key = np.sort(class_key, kind="stable")
+        boundaries = np.flatnonzero(np.diff(sorted_key)) + 1
+        group_starts = np.concatenate([[0], boundaries, [order.size]])
+
+        for g in range(group_starts.size - 1):
+            rows = order[group_starts[g] : group_starts[g + 1]]
+            # Padding is fixed per class *before* chunking, so chunk
+            # boundaries cannot change any row's padded block or its argmin.
+            p_a = int(size_a[rows].max())
+            p_b = int(size_b[rows].max())
+            # Chunk so one class never materializes an oversized tensor; with
+            # several workers, split further so the class load-balances.
+            chunk = max(1, _BATCH_CHUNK_ELEMENTS // (p_a * p_b))
+            if workers > 1:
+                balanced = -(-int(rows.size) // (4 * workers))
+                chunk = max(1, min(chunk, balanced))
+            for lo in range(0, rows.size, chunk):
+                tasks.append((rows[lo : lo + chunk], p_a, p_b))
+
+    def run_task(task) -> None:
+        sub, p_a, p_b = task
         _bccp_class(
             points,
             perm,
@@ -159,48 +202,14 @@ def bccp_batch(
             size_a[sub],
             start_b[sub],
             size_b[sub],
-            int(size_a[row]),
-            int(size_b[row]),
+            p_a,
+            p_b,
             sub,
             out_pa,
             out_pb,
         )
 
-    small = np.flatnonzero(pair_work < _LARGE_PAIR_ELEMENTS)
-    if small.size == 0:
-        weights = exact_edge_weights(points, out_pa, out_pb, core_distances)
-        return out_pa, out_pb, weights
-    bits_a = np.ceil(np.log2(np.maximum(size_a, 1))).astype(np.int64)
-    bits_b = np.ceil(np.log2(np.maximum(size_b, 1))).astype(np.int64)
-    class_key = (bits_a * 64 + bits_b)[small]
-    order = small[np.argsort(class_key, kind="stable")]
-    sorted_key = np.sort(class_key, kind="stable")
-    boundaries = np.flatnonzero(np.diff(sorted_key)) + 1
-    group_starts = np.concatenate([[0], boundaries, [order.size]])
-
-    for g in range(group_starts.size - 1):
-        rows = order[group_starts[g] : group_starts[g + 1]]
-        p_a = int(size_a[rows].max())
-        p_b = int(size_b[rows].max())
-        # Chunk so one class never materializes an oversized tensor.
-        chunk = max(1, _BATCH_CHUNK_ELEMENTS // (p_a * p_b))
-        for lo in range(0, rows.size, chunk):
-            sub = rows[lo : lo + chunk]
-            _bccp_class(
-                points,
-                perm,
-                core_distances,
-                start_a[sub],
-                size_a[sub],
-                start_b[sub],
-                size_b[sub],
-                p_a,
-                p_b,
-                sub,
-                out_pa,
-                out_pb,
-            )
-
+    parallel_map(run_task, tasks, num_threads=workers)
     weights = exact_edge_weights(points, out_pa, out_pb, core_distances)
     return out_pa, out_pb, weights
 
@@ -236,11 +245,16 @@ def _bccp_class(
     # Same expansion, summation kernels and rounding as the scalar
     # ``cross_distances`` (einsum row norms, BLAS matmul cross terms, clamp,
     # sqrt), so the minimized values — and therefore the argmin tie-breaking —
-    # agree with the scalar kernel bit-for-bit.
+    # agree with the scalar kernel bit-for-bit.  The cross-term tensor — the
+    # largest temporary — lives in the calling thread's reusable workspace, so
+    # each pool worker allocates it once across all its class chunks.
+    cross = current_workspace().take("bccp.cross", (g, p_a, p_b))
+    np.matmul(pts_a, pts_b.transpose(0, 2, 1), out=cross)
     sq_a = np.einsum("gpd,gpd->gp", pts_a, pts_a)
     sq_b = np.einsum("gqd,gqd->gq", pts_b, pts_b)
     sq = sq_a[:, :, None] + sq_b[:, None, :]
-    sq -= 2.0 * np.matmul(pts_a, pts_b.transpose(0, 2, 1))
+    cross *= 2.0
+    sq -= cross
     np.maximum(sq, 0.0, out=sq)
     dist = np.sqrt(sq, out=sq)
     if core_distances is not None:
@@ -275,9 +289,13 @@ class BCCPCache:
         tree: KDTree,
         *,
         core_distances: Optional[np.ndarray] = None,
+        num_threads: Optional[int] = None,
     ) -> None:
+        """``num_threads`` is forwarded to every :func:`bccp_batch` call the
+        cache issues, so one knob threads a whole driver's BCCP work."""
         self._tree = tree
         self._flat = tree.flat
+        self._num_threads = num_threads
         self._core_distances = (
             None
             if core_distances is None
@@ -347,7 +365,11 @@ class BCCPCache:
                 (sizes[eval_a] * sizes[eval_b]).sum()
             )
             pa, pb, w = bccp_batch(
-                self._flat, eval_a, eval_b, self._core_distances
+                self._flat,
+                eval_a,
+                eval_b,
+                self._core_distances,
+                num_threads=self._num_threads,
             )
             out_pa[miss_idx] = pa[inverse]
             out_pb[miss_idx] = pb[inverse]

@@ -23,11 +23,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.errors import InvalidParameterError, NotComputedError
+from repro.parallel import pool as _pool
+from repro.parallel.pool import map_shards, resolve_num_threads
 from repro.parallel.scheduler import current_tracker
 from repro.spatial.flat import FlatKDTree
 from repro.spatial.kdtree import KDNode, KDTree
@@ -70,19 +72,56 @@ def separation_mask(
     )
 
 
+def evaluate_pair_mask(
+    predicate: PairMask,
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    num_threads: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> np.ndarray:
+    """Evaluate an elementwise pair predicate, sharded on the worker pool.
+
+    The frontier is cut at fixed chunk boundaries (independent of the thread
+    count; defaulting to ``repro.parallel.pool.DEFAULT_CHUNK``, read at call
+    time) and every shard writes its slice of one output mask, so the result
+    is byte-identical to ``predicate(a, b)`` at any ``num_threads`` — the
+    predicates are purely elementwise over the pair arrays.
+    """
+    if chunk_size is None:
+        chunk_size = _pool.DEFAULT_CHUNK
+    m = int(a.size)
+    if resolve_num_threads(num_threads) == 1 or m < 2 * chunk_size:
+        return predicate(a, b)
+    out = np.empty(m, dtype=bool)
+
+    def shard(lo: int, hi: int) -> None:
+        out[lo:hi] = predicate(a[lo:hi], b[lo:hi])
+
+    map_shards(shard, m, num_threads=num_threads, chunk_size=chunk_size)
+    return out
+
+
 def frontier_step(
-    flat: FlatKDTree, a: np.ndarray, b: np.ndarray, predicate: PairMask
+    flat: FlatKDTree,
+    a: np.ndarray,
+    b: np.ndarray,
+    predicate: PairMask,
+    *,
+    num_threads: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """One FIND_PAIR round over a frontier of pending node pairs.
 
     Orients every pair so the node with the larger bounding sphere comes
-    first, evaluates the separation ``predicate`` for the whole frontier, and
-    splits it three ways: the separated pairs, the both-leaf pairs (duplicate
-    points — unsplittable yet not separated), and the expansion of everything
-    else (larger node replaced by its two children).  This is the single
-    traversal kernel shared by the WSPD construction and the MemoGFK
-    GETRHO / GETPAIRS sweeps, which keeps the three in floating-point
-    lockstep.
+    first, evaluates the separation ``predicate`` for the whole frontier
+    (sharded over the worker pool when ``num_threads > 1``; the select and
+    expansion steps stay whole-frontier, so the outputs are identical at any
+    thread count), and splits it three ways: the separated pairs, the
+    both-leaf pairs (duplicate points — unsplittable yet not separated), and
+    the expansion of everything else (larger node replaced by its two
+    children).  This is the single traversal kernel shared by the WSPD
+    construction and the MemoGFK GETRHO / GETPAIRS sweeps, which keeps the
+    three in floating-point lockstep.
 
     Returns ``(separated, sep_a, sep_b, dup_a, dup_b, next_a, next_b)``.
     ``separated`` is a mask over the *input* frontier order (preserved by the
@@ -93,7 +132,7 @@ def frontier_step(
     right_child = flat.right_child
     swap = flat.node_radius[a] < flat.node_radius[b]
     a, b = np.where(swap, b, a), np.where(swap, a, b)
-    separated = predicate(a, b)
+    separated = evaluate_pair_mask(predicate, a, b, num_threads=num_threads)
     sep_a, sep_b = a[separated], b[separated]
     a, b = a[~separated], b[~separated]
     # Split the node with the larger bounding sphere.  A leaf cannot be
@@ -122,13 +161,16 @@ def iterate_wspd_ids(
     *,
     separation: str = "geometric",
     s: float = 2.0,
+    num_threads: Optional[int] = None,
 ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
     """Yield the WSPD of ``flat`` as batches of node-id array pairs.
 
     Each yielded ``(a_ids, b_ids)`` batch holds the pairs recorded during one
     frontier round; concatenating all batches gives the full decomposition.
     This is the array-native core that :func:`iterate_wspd`,
-    :func:`compute_wspd_ids` and the GFK driver all share.
+    :func:`compute_wspd_ids` and the GFK driver all share.  ``num_threads``
+    shards each round's separation test over the worker pool; the yielded
+    batches are byte-identical at any setting.
     """
     predicate = separation_mask(flat, separation, s)
     tracker = current_tracker()
@@ -150,7 +192,9 @@ def iterate_wspd_ids(
     b = flat.right_child[internal]
     while a.size:
         tracker.add(float(a.size), 0, phase="wspd")
-        _, sep_a, sep_b, dup_a, dup_b, a, b = frontier_step(flat, a, b, predicate)
+        _, sep_a, sep_b, dup_a, dup_b, a, b = frontier_step(
+            flat, a, b, predicate, num_threads=num_threads
+        )
         if sep_a.size:
             yield sep_a, sep_b
         if dup_a.size:
@@ -182,10 +226,15 @@ def compute_wspd_ids(
     *,
     separation: str = "geometric",
     s: float = 2.0,
+    num_threads: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """The full decomposition as two parallel node-id arrays."""
     _check_wspd_tree(tree)
-    batches = list(iterate_wspd_ids(tree.flat, separation=separation, s=s))
+    batches = list(
+        iterate_wspd_ids(
+            tree.flat, separation=separation, s=s, num_threads=num_threads
+        )
+    )
     if not batches:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty.copy()
