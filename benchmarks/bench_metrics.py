@@ -1,0 +1,185 @@
+"""Per-metric EMST / HDBSCAN* timings with a Euclidean-identity gate.
+
+The metric-general geometry core routes every kernel (node bounds, WSPD
+separation masks, BCCP block tensors, k-NN folds, exact edge weights)
+through a pluggable :class:`repro.core.metric.Metric`.  This driver measures
+what that indirection costs and what the non-Euclidean workloads run at:
+
+* **Euclidean identity gate** — the refactor's contract is that the
+  Euclidean path is the *same arithmetic* as the historical Euclidean-only
+  engine.  Passing ``metric=None``, ``metric="euclidean"`` and
+  ``metric=EuclideanMetric()`` must all produce byte-identical MST edge
+  arrays, dendrograms and core distances (asserted at every scale — a
+  violation fails the CI job).
+* **Per-metric timings** — EMST (MemoGFK) and the full HDBSCAN* pipeline at
+  the headline n=20k for euclidean / manhattan / chebyshev / minkowski:3,
+  written to the JSON artifact (``REPRO_BENCH_JSON``, default
+  ``BENCH_metrics.json``) with the metric name in each record's metadata.
+* **Cross-metric sanity** — each metric's MST is a spanning tree and its
+  total weight is metric-consistent with a brute-force reference at small n.
+
+Non-Euclidean kernels accumulate per-axis instead of using the BLAS
+expansion, so they are expected to be slower; the artifact quantifies by how
+much rather than gating it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.metric import EuclideanMetric, resolve_metric
+from repro.emst import emst_bruteforce, emst_memogfk
+from repro.hdbscan import hdbscan
+
+from _common import scaled
+
+#: Headline scale of the per-metric timing records.
+HEADLINE_N = 20_000
+
+#: Metrics timed by this driver (spec strings, resolved per run).
+METRICS = ("euclidean", "manhattan", "chebyshev", "minkowski:3")
+
+_RESULTS: dict = {}
+
+
+def _record(name: str, payload: dict) -> None:
+    _RESULTS[name] = payload
+    _RESULTS.setdefault("machine", {})["scale"] = float(
+        os.environ.get("REPRO_BENCH_SCALE", "1.0")
+    )
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_metrics.json")
+    with open(path, "w") as handle:
+        json.dump(_RESULTS, handle, indent=2, sort_keys=True)
+
+
+def _edge_arrays(result):
+    return result.edges.as_arrays()
+
+
+def test_euclidean_identity_gate(benchmark):
+    """metric=None / 'euclidean' / EuclideanMetric() are byte-identical."""
+    n = scaled(HEADLINE_N) // 4
+    points = np.random.default_rng(42).random((n, 2))
+
+    def run_all():
+        return [
+            emst_memogfk(points, metric=spec)
+            for spec in (None, "euclidean", EuclideanMetric())
+        ]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reference = _edge_arrays(results[0])
+    for result in results[1:]:
+        for left, right in zip(reference, _edge_arrays(result)):
+            assert np.array_equal(left, right), (
+                "euclidean identity gate: metric indirection changed the MST"
+            )
+
+    ref_h = hdbscan(points, min_pts=10)
+    via_metric = hdbscan(points, min_pts=10, metric="euclidean")
+    assert np.array_equal(ref_h.core_distances, via_metric.core_distances)
+    for left, right in zip(
+        _edge_arrays(ref_h.mst), _edge_arrays(via_metric.mst)
+    ):
+        assert np.array_equal(left, right)
+    assert np.array_equal(
+        ref_h.dendrogram.to_linkage_matrix(),
+        via_metric.dendrogram.to_linkage_matrix(),
+    )
+    print(f"\n[metrics] euclidean identity gate passed (n={n})")
+    _record("euclidean_identity", {"n": n, "identical": True})
+
+
+def test_emst_per_metric_timings(benchmark):
+    """EMST (MemoGFK) wall clock per metric at the headline scale."""
+    n = scaled(HEADLINE_N)
+    points = np.random.default_rng(0).random((n, 2))
+    times: dict = {}
+    weights: dict = {}
+
+    def run_all():
+        import time as _time
+
+        for spec in METRICS:
+            start = _time.perf_counter()
+            result = emst_memogfk(points, metric=spec)
+            times[spec] = _time.perf_counter() - start
+            weights[spec] = result.total_weight
+            assert result.is_spanning_tree()
+        return times
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for spec in METRICS:
+        print(
+            f"[metrics] emst n={n} metric={spec}: "
+            f"{times[spec]:.3f}s (weight {weights[spec]:.6g})"
+        )
+    _record(
+        "emst_memogfk",
+        {
+            "n": n,
+            "metrics": {
+                resolve_metric(spec).spec(): {
+                    "seconds": times[spec],
+                    "total_weight": weights[spec],
+                }
+                for spec in METRICS
+            },
+        },
+    )
+
+
+def test_hdbscan_per_metric_timings(benchmark):
+    """Full HDBSCAN* pipeline wall clock per metric at the headline scale."""
+    n = scaled(HEADLINE_N)
+    points = np.random.default_rng(1).random((n, 2))
+    times: dict = {}
+
+    def run_all():
+        import time as _time
+
+        for spec in METRICS:
+            start = _time.perf_counter()
+            result = hdbscan(points, min_pts=10, metric=spec)
+            times[spec] = _time.perf_counter() - start
+            assert result.mst.is_spanning_tree()
+        return times
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for spec in METRICS:
+        print(f"[metrics] hdbscan n={n} metric={spec}: {times[spec]:.3f}s")
+    _record(
+        "hdbscan_memogfk",
+        {
+            "n": n,
+            "metrics": {
+                resolve_metric(spec).spec(): {"seconds": times[spec]}
+                for spec in METRICS
+            },
+        },
+    )
+
+
+def test_small_scale_bruteforce_consistency(benchmark):
+    """Engine MSTs match brute-force total weights under every metric."""
+    points = np.random.default_rng(2).random((300, 3))
+
+    def run_all():
+        deltas = {}
+        for spec in METRICS:
+            engine = emst_memogfk(points, metric=spec)
+            reference = emst_bruteforce(points, metric=spec)
+            deltas[spec] = abs(engine.total_weight - reference.total_weight)
+        return deltas
+
+    deltas = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for spec, delta in deltas.items():
+        assert delta < 1e-8, f"metric={spec}: engine vs brute-force drift {delta}"
+    print("[metrics] brute-force consistency ok:", deltas)
+    _record(
+        "bruteforce_consistency",
+        {"n": 300, "max_weight_delta": max(deltas.values())},
+    )

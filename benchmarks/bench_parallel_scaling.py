@@ -108,6 +108,7 @@ def _report(name: str, n: int, curve: dict) -> None:
         name,
         {
             "n": n,
+            "metric": curve.get("metric", "euclidean"),
             "thread_counts": list(curve["thread_counts"]),
             "times": curve["times"],
             "speedups": curve["speedups"],

@@ -1,5 +1,11 @@
 """Quickstart: EMST, single-linkage clustering, and HDBSCAN* in a few lines.
 
+This walkthrough uses the scikit-learn-style estimator facade
+(:mod:`repro.estimators`): construct with hyperparameters, ``fit`` /
+``fit_predict`` on data, read the fitted attributes.  The functional API
+(``repro.emst``, ``repro.hdbscan``, ``repro.single_linkage``) remains
+available for pipeline-shaped code.
+
 Run with::
 
     python examples/quickstart.py
@@ -7,8 +13,8 @@ Run with::
 
 import numpy as np
 
-from repro import emst, hdbscan, single_linkage
 from repro.datasets import gaussian_blobs
+from repro.estimators import EMST, HDBSCAN
 
 
 def main() -> None:
@@ -18,27 +24,46 @@ def main() -> None:
     )
 
     # 1. Euclidean minimum spanning tree (MemoGFK, the paper's fastest method).
-    tree = emst(points)
-    print(f"EMST: {tree.num_edges} edges, total weight {tree.total_weight:.4f}")
-    print(f"      WSPD rounds: {tree.stats['rounds']}, BCCP calls: {tree.stats['bccp_calls']}")
+    tree = EMST().fit(points)
+    print(
+        f"EMST: {len(tree.edges_)} edges, total weight {tree.total_weight_:.4f}"
+    )
+    stats = tree.result_.stats
+    print(f"      WSPD rounds: {stats['rounds']}, BCCP calls: {stats['bccp_calls']}")
 
-    # 2. Single-linkage clustering = dendrogram of the EMST.
-    clustering = single_linkage(points)
-    labels = clustering.labels_k(3)
+    # 2. Single-linkage clustering: the EMST estimator cuts its own dendrogram
+    #    when n_clusters is set.
+    labels = EMST(n_clusters=3).fit_predict(points)
     agreement = _best_case_accuracy(labels, truth)
     print(f"single-linkage, k=3: label agreement with ground truth = {agreement:.1%}")
 
-    # 3. HDBSCAN*: hierarchy over all density levels.
-    result = hdbscan(points, min_pts=10)
-    order, reachability = result.reachability_plot()
-    print(
-        "HDBSCAN*: reachability plot computed; "
-        f"median reachability distance = {np.median(reachability[1:]):.4f}"
-    )
-    flat = result.dbscan_labels(epsilon=0.1, min_cluster_size=5)
+    # 3. HDBSCAN*: density-based clusters with membership strengths.
+    model = HDBSCAN(min_pts=10, min_cluster_size=5)
+    flat = model.fit_predict(points)
     num_clusters = len(set(flat[flat >= 0].tolist()))
     num_noise = int(np.sum(flat == -1))
-    print(f"DBSCAN* cut at eps=0.1: {num_clusters} clusters, {num_noise} noise points")
+    print(
+        f"HDBSCAN*: {num_clusters} clusters, {num_noise} noise points; "
+        f"median membership = {np.median(model.probabilities_):.2f}"
+    )
+    order, reachability = model.result_.reachability_plot()
+    print(
+        "          reachability plot computed; "
+        f"median reachability distance = {np.median(reachability[1:]):.4f}"
+    )
+
+    # 4. Non-Euclidean workloads: every estimator takes a metric parameter
+    #    ("euclidean", "manhattan", "chebyshev", or "minkowski:p").  Here a
+    #    Manhattan-metric HDBSCAN*, the natural choice for grid-like data.
+    grid_model = HDBSCAN(min_pts=10, metric="manhattan")
+    grid_labels = grid_model.fit_predict(points)
+    grid_clusters = len(set(grid_labels[grid_labels >= 0].tolist()))
+    l1_tree = EMST(metric="manhattan").fit(points)
+    print(
+        f"manhattan metric: {grid_clusters} HDBSCAN* clusters; "
+        f"L1 MST weight {l1_tree.total_weight_:.4f} "
+        f"(vs Euclidean {tree.total_weight_:.4f})"
+    )
 
 
 def _best_case_accuracy(labels: np.ndarray, truth: np.ndarray) -> float:

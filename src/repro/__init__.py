@@ -13,11 +13,26 @@ Quickstart
 >>> clustering = hdbscan(points, min_pts=10)  # HDBSCAN* hierarchy
 >>> labels = clustering.dbscan_labels(0.1)    # flat DBSCAN* cut
 
+Every pipeline takes a ``metric=`` knob (``"euclidean"``, ``"manhattan"``,
+``"chebyshev"``, ``"minkowski:p"``), and :mod:`repro.estimators` provides
+the scikit-learn-style facade:
+
+>>> from repro.estimators import HDBSCAN
+>>> labels = HDBSCAN(min_pts=10, metric="manhattan").fit_predict(points)
+
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-versus-measured record of every reproduced table and figure.
 """
 
 from repro.core import PointSet, as_points
+from repro.core.metric import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    Metric,
+    MinkowskiMetric,
+    resolve_metric,
+)
 from repro.core.errors import (
     InvalidParameterError,
     InvalidPointSetError,
@@ -55,12 +70,23 @@ from repro.dendrogram import (
 )
 from repro.spatial import KDTree
 from repro.parallel import WorkDepthTracker, use_tracker
+from repro import estimators
+from repro.estimators import EMST, HDBSCAN
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PointSet",
     "as_points",
+    "Metric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "MinkowskiMetric",
+    "resolve_metric",
+    "estimators",
+    "EMST",
+    "HDBSCAN",
     "ReproError",
     "InvalidParameterError",
     "InvalidPointSetError",

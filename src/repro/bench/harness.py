@@ -25,7 +25,17 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from repro.core.metric import resolve_metric
 from repro.parallel.scheduler import WorkDepthTracker, simulated_time, use_tracker
+
+
+def _metric_spec(kwargs: Dict) -> str:
+    """Canonical metric name of a measured call, for JSON metadata.
+
+    Every pipeline in this library defaults to Euclidean, so a missing
+    ``metric`` kwarg is reported as ``"euclidean"``.
+    """
+    return resolve_metric(kwargs.get("metric")).spec()
 
 #: Thread counts reported in the paper's scaling figures; the final entry is
 #: the hyper-threaded configuration ("48h").
@@ -100,6 +110,7 @@ def scaling_curve(
         "t1_seconds": elapsed,
         "work": work,
         "depth": depth,
+        "metric": _metric_spec(kwargs),
         "thread_counts": list(thread_counts),
         "times": times,
         "speedups": speedups,
@@ -140,6 +151,7 @@ def measured_scaling_curve(
         results.append(result)
     t1 = times[0]
     return {
+        "metric": _metric_spec(kwargs),
         "thread_counts": list(thread_counts),
         "times": times,
         "speedups": [t1 / t for t in times],

@@ -12,7 +12,9 @@ separated, optional header) or ``.npy``.  Outputs are written as CSV: MST
 edges as ``u,v,weight`` rows, cluster labels as one integer per row.
 
 Every subcommand takes ``--num-threads N`` to shard the batched kernels
-across the persistent worker pool; outputs are byte-identical at any setting.
+across the persistent worker pool (outputs are byte-identical at any
+setting) and ``--metric NAME`` to pick the distance metric (``euclidean``,
+``manhattan``, ``chebyshev``, or ``minkowski:p``, e.g. ``minkowski:3``).
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.errors import ReproError
+from repro.core.metric import METRIC_NAMES, resolve_metric
 from repro.dendrogram.single_linkage import single_linkage
 from repro.emst.api import EMST_METHODS, emst
 from repro.hdbscan.api import HDBSCAN_METHODS, hdbscan
@@ -38,9 +41,11 @@ def load_points(path: str) -> np.ndarray:
     if file_path.suffix == ".npy":
         return np.load(file_path)
     text = file_path.read_text().strip()
-    delimiter = "," if "," in text.splitlines()[0] else None
-    skip = 0
+    if not text:
+        raise ReproError(f"input file is empty: {path}")
     first_line = text.splitlines()[0]
+    delimiter = "," if "," in first_line else None
+    skip = 0
     tokens = first_line.replace(",", " ").split()
     try:
         [float(token) for token in tokens]
@@ -65,6 +70,14 @@ def _emit(text: str, destination: Optional[str]) -> None:
         print(text)
 
 
+def _parse_metric(text: str):
+    """argparse ``type=`` hook: metric spec string -> Metric instance."""
+    try:
+        return resolve_metric(text)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -79,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="worker threads for the batched kernels (results are "
             "byte-identical at any setting; default: single-threaded)",
+        )
+        subparser.add_argument(
+            "--metric",
+            type=_parse_metric,
+            default="euclidean",
+            metavar="METRIC",
+            help="distance metric: one of "
+            + ", ".join(METRIC_NAMES)
+            + " (minkowski takes an order, e.g. minkowski:3); "
+            "default: euclidean",
         )
 
     emst_parser = subparsers.add_parser("emst", help="Euclidean minimum spanning tree")
@@ -124,8 +147,14 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     try:
         points = load_points(args.input)
+        metric = resolve_metric(getattr(args, "metric", None))
         if args.command == "emst":
-            result = emst(points, method=args.method, num_threads=args.num_threads)
+            result = emst(
+                points,
+                method=args.method,
+                metric=metric,
+                num_threads=args.num_threads,
+            )
             _write_edges(result, args.output)
             print(
                 f"# EMST: {result.num_edges} edges, total weight {result.total_weight:.6g}",
@@ -136,6 +165,7 @@ def main(argv: Optional[list] = None) -> int:
                 points,
                 min_pts=args.min_pts,
                 method=args.method,
+                metric=metric,
                 num_threads=args.num_threads,
             )
             if args.mst_output:
@@ -152,7 +182,10 @@ def main(argv: Optional[list] = None) -> int:
             print(f"# HDBSCAN*: {clusters} clusters, {noise} noise points", file=sys.stderr)
         else:  # single-linkage
             result = single_linkage(
-                points, method=args.method, num_threads=args.num_threads
+                points,
+                method=args.method,
+                metric=metric,
+                num_threads=args.num_threads,
             )
             labels = result.labels_k(args.num_clusters)
             _write_labels(labels, args.output)

@@ -1,9 +1,9 @@
 """Core geometric utilities shared by every subsystem.
 
 This subpackage holds the small, dependency-free building blocks the rest of
-the library is written against: point-set validation, Euclidean distance
-kernels, bounding boxes and bounding spheres, and the library's exception
-hierarchy.
+the library is written against: point-set validation, the pluggable metric
+core and its distance kernels, bounding boxes and bounding spheres, and the
+library's exception hierarchy.
 """
 
 from repro.core.errors import (
@@ -13,8 +13,21 @@ from repro.core.errors import (
     NotComputedError,
 )
 from repro.core.points import PointSet, as_points
+from repro.core.metric import (
+    CHEBYSHEV,
+    EUCLIDEAN,
+    MANHATTAN,
+    METRIC_NAMES,
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    Metric,
+    MinkowskiMetric,
+    resolve_metric,
+)
 from repro.core.distance import (
     euclidean,
+    point_distance,
     pairwise_distances,
     cross_distances,
     closest_pair_bruteforce,
@@ -29,7 +42,18 @@ __all__ = [
     "NotComputedError",
     "PointSet",
     "as_points",
+    "Metric",
+    "EuclideanMetric",
+    "ManhattanMetric",
+    "ChebyshevMetric",
+    "MinkowskiMetric",
+    "EUCLIDEAN",
+    "MANHATTAN",
+    "CHEBYSHEV",
+    "METRIC_NAMES",
+    "resolve_metric",
     "euclidean",
+    "point_distance",
     "pairwise_distances",
     "cross_distances",
     "closest_pair_bruteforce",

@@ -7,13 +7,30 @@ the sum of sphere diameters plus the center distance upper-bounds it.
 Following the reference implementation we derive each node's sphere from its
 axis-aligned bounding box (center = box center, radius = half the box
 diagonal), which is cheap to maintain during kd-tree construction.
+
+Both shapes are metric-aware: every distance-flavoured method takes an
+optional :class:`~repro.core.metric.Metric` (``None`` keeps the historical
+Euclidean code path, bit for bit), and a sphere can carry the metric it was
+derived under so the scalar separation predicates stay metric-correct.  All
+supported metrics are norm-induced, so the sphere bounds remain valid: the
+circumscribing radius of a box is half the norm of its extent and the
+min/max sphere-to-sphere bounds follow from the triangle inequality alone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
+
+from repro.core.metric import Metric
+
+
+def _norm(vector: np.ndarray, metric: Optional[Metric]) -> float:
+    if metric is None:
+        return float(np.linalg.norm(vector))
+    return metric.vector_norm(vector)
 
 
 @dataclass(frozen=True)
@@ -40,7 +57,7 @@ class BoundingBox:
 
     @property
     def diagonal(self) -> float:
-        """Length of the main diagonal."""
+        """Euclidean length of the main diagonal."""
         return float(np.linalg.norm(self.extent))
 
     def contains(self, point: np.ndarray, *, tol: float = 0.0) -> bool:
@@ -55,62 +72,75 @@ class BoundingBox:
             np.minimum(self.lower, other.lower), np.maximum(self.upper, other.upper)
         )
 
-    def to_sphere(self) -> "BoundingSphere":
-        """Bounding sphere circumscribing the box."""
-        return BoundingSphere(self.center, self.diagonal * 0.5)
+    def to_sphere(self, metric: Optional[Metric] = None) -> "BoundingSphere":
+        """Bounding sphere circumscribing the box under ``metric``."""
+        return BoundingSphere(
+            self.center, 0.5 * _norm(self.extent, metric), metric=metric
+        )
 
-    def min_distance(self, other: "BoundingBox") -> float:
-        """Minimum Euclidean distance between the two boxes (0 if they overlap)."""
+    def min_distance(
+        self, other: "BoundingBox", metric: Optional[Metric] = None
+    ) -> float:
+        """Minimum distance between the two boxes (0 if they overlap)."""
         gap = np.maximum(
             np.maximum(self.lower - other.upper, other.lower - self.upper), 0.0
         )
-        return float(np.linalg.norm(gap))
+        return _norm(gap, metric)
 
-    def max_distance(self, other: "BoundingBox") -> float:
-        """Maximum Euclidean distance between any two points of the boxes."""
+    def max_distance(
+        self, other: "BoundingBox", metric: Optional[Metric] = None
+    ) -> float:
+        """Maximum distance between any two points of the boxes."""
         span = np.maximum(self.upper - other.lower, other.upper - self.lower)
-        return float(np.linalg.norm(span))
+        return _norm(span, metric)
 
-    def min_distance_to_point(self, point: np.ndarray) -> float:
+    def min_distance_to_point(
+        self, point: np.ndarray, metric: Optional[Metric] = None
+    ) -> float:
         point = np.asarray(point, dtype=np.float64)
         gap = np.maximum(np.maximum(self.lower - point, point - self.upper), 0.0)
-        return float(np.linalg.norm(gap))
+        return _norm(gap, metric)
 
 
 @dataclass(frozen=True)
 class BoundingSphere:
-    """Sphere with a center and radius.
+    """Sphere with a center and radius (a metric ball when ``metric`` is set).
 
     ``distance`` / ``max_distance`` give the lower and upper bounds on the
     distance between points contained in two spheres, exactly the quantities
     ``d(A, B)`` and ``d_max(A, B)`` used throughout Section 3 of the paper.
+    A ``metric`` of ``None`` means Euclidean (the historical code path).
     """
 
     center: np.ndarray
     radius: float
+    metric: Optional[Metric] = None
 
     @staticmethod
-    def of_points(points: np.ndarray) -> "BoundingSphere":
+    def of_points(
+        points: np.ndarray, metric: Optional[Metric] = None
+    ) -> "BoundingSphere":
         """Sphere circumscribing the axis-aligned bounding box of ``points``."""
-        return BoundingBox.of_points(points).to_sphere()
+        return BoundingBox.of_points(points).to_sphere(metric)
 
     @property
     def diameter(self) -> float:
         return 2.0 * self.radius
 
+    def _center_gap(self, other: "BoundingSphere") -> float:
+        return _norm(self.center - other.center, self.metric)
+
     def distance(self, other: "BoundingSphere") -> float:
         """Minimum distance between the two spheres (0 if they intersect)."""
-        center_gap = float(np.linalg.norm(self.center - other.center))
-        return max(0.0, center_gap - self.radius - other.radius)
+        return max(0.0, self._center_gap(other) - self.radius - other.radius)
 
     def max_distance(self, other: "BoundingSphere") -> float:
         """Maximum distance between any point of one sphere and of the other."""
-        center_gap = float(np.linalg.norm(self.center - other.center))
-        return center_gap + self.radius + other.radius
+        return self._center_gap(other) + self.radius + other.radius
 
     def contains(self, point: np.ndarray, *, tol: float = 1e-9) -> bool:
         point = np.asarray(point, dtype=np.float64)
-        return float(np.linalg.norm(point - self.center)) <= self.radius + tol
+        return _norm(point - self.center, self.metric) <= self.radius + tol
 
     def well_separated_from(self, other: "BoundingSphere", s: float = 2.0) -> bool:
         """Callahan–Kosaraju well-separation with separation constant ``s``.
@@ -120,5 +150,4 @@ class BoundingSphere:
         gap between those enlarged spheres is at least ``s * r``.
         """
         r = max(self.radius, other.radius)
-        center_gap = float(np.linalg.norm(self.center - other.center))
-        return center_gap - 2.0 * r >= s * r
+        return self._center_gap(other) - 2.0 * r >= s * r

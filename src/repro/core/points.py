@@ -38,8 +38,17 @@ def as_points(points, *, copy: bool = False, min_points: int = 1) -> np.ndarray:
     if isinstance(points, PointSet):
         array = points.coordinates
     else:
-        array = np.asarray(points, dtype=np.float64)
-    if array.ndim == 1 and array.size > 0:
+        try:
+            array = np.asarray(points, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise InvalidPointSetError(
+                f"points could not be converted to a float64 array: {error}"
+            ) from None
+    if array.size == 0:
+        raise InvalidPointSetError(
+            "points is empty; provide at least one point as an (n, d) array"
+        )
+    if array.ndim == 1:
         # A flat list of scalars is ambiguous; treat it as n one-dimensional
         # points, which is the only meaningful interpretation.
         array = array.reshape(-1, 1)

@@ -380,6 +380,17 @@ def extract_eom_clusters(
     return labels, stabilities
 
 
+def _condense_and_extract(
+    dendrogram: Dendrogram, min_cluster_size: int, allow_single_cluster: bool
+) -> Tuple[CondensedTree, np.ndarray]:
+    """The shared condense → EOM-extract pipeline behind both label APIs."""
+    condensed = condense_dendrogram(dendrogram, min_cluster_size)
+    labels, _ = extract_eom_clusters(
+        condensed, allow_single_cluster=allow_single_cluster
+    )
+    return condensed, labels
+
+
 def hdbscan_flat_labels(
     dendrogram: Dendrogram,
     *,
@@ -387,8 +398,46 @@ def hdbscan_flat_labels(
     allow_single_cluster: bool = False,
 ) -> np.ndarray:
     """Convenience wrapper: condense the dendrogram and run EOM selection."""
-    condensed = condense_dendrogram(dendrogram, min_cluster_size)
-    labels, _ = extract_eom_clusters(
-        condensed, allow_single_cluster=allow_single_cluster
+    _, labels = _condense_and_extract(
+        dendrogram, min_cluster_size, allow_single_cluster
     )
     return labels
+
+
+def hdbscan_labels_and_probabilities(
+    dendrogram: Dendrogram,
+    *,
+    min_cluster_size: int = 5,
+    allow_single_cluster: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """EOM labels plus per-point cluster membership strengths.
+
+    The probability of a clustered point follows the standard HDBSCAN*
+    membership formulation: the density level ``lambda_p`` at which the point
+    left its cluster, normalized by the maximum such level inside that
+    cluster (points that persist to the cluster's maximum density get 1.0;
+    noise points get 0.0).
+    """
+    condensed, labels = _condense_and_extract(
+        dendrogram, min_cluster_size, allow_single_cluster
+    )
+    n = condensed.num_points
+    probabilities = np.zeros(n, dtype=np.float64)
+
+    point_records = ~condensed.edge_is_cluster
+    point_lambda = np.zeros(n, dtype=np.float64)
+    point_lambda[condensed.edge_child[point_records]] = condensed.edge_lambda[
+        point_records
+    ]
+    for label in np.unique(labels[labels >= 0]):
+        members = labels == label
+        member_lambda = point_lambda[members]
+        finite = member_lambda[np.isfinite(member_lambda)]
+        max_lambda = float(finite.max()) if finite.size else 0.0
+        if max_lambda <= 0.0:
+            probabilities[members] = 1.0
+        else:
+            # Infinite lambdas (points that never leave) divide to inf and
+            # clamp to full membership.
+            probabilities[members] = np.minimum(member_lambda / max_lambda, 1.0)
+    return labels, probabilities

@@ -43,6 +43,7 @@ def single_linkage(
     points,
     *,
     method: str = "memogfk",
+    metric=None,
     start: int = 0,
     heavy_fraction: float = 0.1,
     **emst_kwargs,
@@ -55,6 +56,9 @@ def single_linkage(
         ``(n, d)`` array-like of points.
     method:
         EMST method to use (see :func:`repro.emst.api.emst`).
+    metric:
+        Distance metric for the underlying MST (name, Metric instance, or
+        ``None`` for Euclidean).
     start:
         Starting vertex for the ordered dendrogram.
     heavy_fraction:
@@ -66,7 +70,7 @@ def single_linkage(
     timings = {}
 
     start_time = time.perf_counter()
-    tree = emst(data, method=method, **emst_kwargs)
+    tree = emst(data, method=method, metric=metric, **emst_kwargs)
     timings["emst"] = time.perf_counter() - start_time
 
     start_time = time.perf_counter()

@@ -1,7 +1,11 @@
 """Public EMST entry point.
 
 ``emst(points, method=...)`` dispatches to one of the implementations; the
-default is MemoGFK, the paper's fastest method.
+default is MemoGFK, the paper's fastest method.  Input validation and
+coercion happen once, here at the boundary: lists, float32 arrays and
+:class:`~repro.core.points.PointSet` instances are normalized to one
+contiguous float64 array (with a clear error for NaN/inf/empty inputs)
+before any implementation runs, so every method sees identical inputs.
 """
 
 from __future__ import annotations
@@ -9,6 +13,8 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.core.errors import InvalidParameterError
+from repro.core.metric import MetricLike
+from repro.core.points import as_points
 from repro.emst.brute import emst_bruteforce
 from repro.emst.delaunay_emst import emst_delaunay
 from repro.emst.dualtree_boruvka import emst_dualtree_boruvka
@@ -27,17 +33,26 @@ EMST_METHODS: Dict[str, Callable[..., EMSTResult]] = {
 }
 
 
-def emst(points, *, method: str = "memogfk", **kwargs) -> EMSTResult:
-    """Compute the Euclidean minimum spanning tree of a point set.
+def emst(
+    points, *, method: str = "memogfk", metric: MetricLike = None, **kwargs
+) -> EMSTResult:
+    """Compute the minimum spanning tree of a point set under a metric.
 
     Parameters
     ----------
     points:
-        ``(n, d)`` array-like of points.
+        ``(n, d)`` array-like of points (coerced to contiguous float64 once,
+        here; NaN/inf/empty inputs raise ``InvalidPointSetError``).
     method:
         One of ``"memogfk"`` (default, Algorithm 3), ``"gfk"`` (Algorithm 2),
-        ``"naive"``, ``"delaunay"`` (2D only), ``"dualtree-boruvka"`` or
-        ``"bruteforce"``.
+        ``"naive"``, ``"delaunay"`` (2D Euclidean only),
+        ``"dualtree-boruvka"`` or ``"bruteforce"``.
+    metric:
+        Distance metric: a name (``"euclidean"``, ``"manhattan"``,
+        ``"chebyshev"``, ``"minkowski:p"``), a
+        :class:`~repro.core.metric.Metric` instance, or ``None`` for
+        Euclidean.  The Euclidean path is byte-identical to the historical
+        Euclidean-only engine.
     kwargs:
         Forwarded to the selected implementation.  Every method accepts
         ``num_threads``: the number of worker threads the batched kernels
@@ -59,4 +74,5 @@ def emst(points, *, method: str = "memogfk", **kwargs) -> EMSTResult:
         raise InvalidParameterError(
             f"unknown EMST method {method!r}; choose from {sorted(EMST_METHODS)}"
         ) from None
-    return implementation(points, **kwargs)
+    data = as_points(points, min_points=1)
+    return implementation(data, metric=metric, **kwargs)

@@ -12,6 +12,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.distance import pairwise_distances
+from repro.core.metric import MetricLike
 from repro.core.points import as_points
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
@@ -19,18 +20,21 @@ from repro.mst.kruskal import kruskal
 from repro.parallel.scheduler import current_tracker
 
 
-def emst_bruteforce(points, *, num_threads: Optional[int] = None) -> EMSTResult:
-    """Exact EMST by sorting all ``n (n - 1) / 2`` pairwise distances.
+def emst_bruteforce(
+    points, *, num_threads: Optional[int] = None, metric: MetricLike = None
+) -> EMSTResult:
+    """Exact metric MST by sorting all ``n (n - 1) / 2`` pairwise distances.
 
     Memory use is Θ(n^2); intended for reference/testing on small inputs.
-    ``num_threads`` parallelizes the Kruskal weight sort.
+    ``num_threads`` parallelizes the Kruskal weight sort; ``metric`` selects
+    the distance (Euclidean by default).
     """
     data = as_points(points, min_points=1)
     n = data.shape[0]
     if n == 1:
         return EMSTResult(EdgeList(), 1, "bruteforce")
     current_tracker().add(float(n) * n, 1.0, phase="bruteforce")
-    distances = pairwise_distances(data)
+    distances = pairwise_distances(data, metric)
     upper_i, upper_j = np.triu_indices(n, k=1)
     weights = distances[upper_i, upper_j]
     order = np.argsort(weights, kind="stable")

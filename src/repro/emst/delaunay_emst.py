@@ -11,6 +11,8 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro.core.errors import InvalidParameterError
+from repro.core.metric import EUCLIDEAN, MetricLike, resolve_metric
 from repro.core.points import as_points
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
@@ -18,12 +20,21 @@ from repro.mst.kruskal import kruskal
 from repro.spatial.delaunay import delaunay_edges
 
 
-def emst_delaunay(points, *, num_threads: Optional[int] = None) -> EMSTResult:
+def emst_delaunay(
+    points, *, num_threads: Optional[int] = None, metric: MetricLike = None
+) -> EMSTResult:
     """Exact EMST of a 2D point set via its Delaunay triangulation.
 
     ``num_threads`` parallelizes the Kruskal weight sort over the O(n)
-    triangulation edges.
+    triangulation edges.  The EMST-subgraph property of the Delaunay
+    triangulation is specific to the Euclidean metric, so any other
+    ``metric`` is rejected.
     """
+    if resolve_metric(metric) != EUCLIDEAN:
+        raise InvalidParameterError(
+            "the Delaunay EMST is Euclidean-only (the EMST-subgraph property "
+            "does not hold under other metrics); use method='memogfk' instead"
+        )
     data = as_points(points, min_points=1)
     n = data.shape[0]
     if n == 1:

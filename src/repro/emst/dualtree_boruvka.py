@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.metric import MetricLike
 from repro.core.points import as_points
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
@@ -51,6 +52,8 @@ def _nearest_foreign(
 ):
     """Nearest neighbour of a point that lies in a different component."""
     points = tree.points
+    metric = tree.metric
+    sphere_metric = tree.sphere_metric
     query = points[query_index]
     best_distance = math.inf
     best_index = -1
@@ -59,21 +62,21 @@ def _nearest_foreign(
         nonlocal best_distance, best_index
         if purity[node.node_id] == query_label:
             return
-        if node.box.min_distance_to_point(query) >= best_distance:
+        if node.box.min_distance_to_point(query, sphere_metric) >= best_distance:
             return
         if node.is_leaf:
             candidates = node.indices[labels[node.indices] != query_label]
             if candidates.shape[0] == 0:
                 return
             diffs = points[candidates] - query
-            dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+            dists = metric.diff_norms(diffs)
             local_best = int(np.argmin(dists))
             if dists[local_best] < best_distance:
                 best_distance = float(dists[local_best])
                 best_index = int(candidates[local_best])
             return
         first, second = node.left, node.right
-        if second.box.min_distance_to_point(query) < first.box.min_distance_to_point(query):
+        if second.box.min_distance_to_point(query, sphere_metric) < first.box.min_distance_to_point(query, sphere_metric):
             first, second = second, first
         visit(first)
         visit(second)
@@ -83,12 +86,17 @@ def _nearest_foreign(
 
 
 def emst_dualtree_boruvka(
-    points, *, leaf_size: int = 16, num_threads: Optional[int] = None
+    points,
+    *,
+    leaf_size: int = 16,
+    num_threads: Optional[int] = None,
+    metric: MetricLike = None,
 ) -> EMSTResult:
-    """Exact EMST via kd-tree Borůvka with component pruning.
+    """Exact metric MST via kd-tree Borůvka with component pruning.
 
     ``num_threads`` is accepted so the public ``emst(...)`` knob is uniform
     across methods; the point-by-point Borůvka search itself is sequential.
+    ``metric`` selects the distance (Euclidean by default).
     """
     data = as_points(points, min_points=1)
     n = data.shape[0]
@@ -97,7 +105,7 @@ def emst_dualtree_boruvka(
 
     timings = {}
     start = time.perf_counter()
-    tree = KDTree(data, leaf_size=leaf_size)
+    tree = KDTree(data, leaf_size=leaf_size, metric=metric)
     timings["build-tree"] = time.perf_counter() - start
 
     tracker = current_tracker()

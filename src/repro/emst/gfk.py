@@ -33,6 +33,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.core.metric import MetricLike
 from repro.core.points import as_points
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
@@ -101,8 +102,9 @@ def emst_gfk(
     leaf_size: int = 1,
     beta_growth: str = "double",
     num_threads: Optional[int] = None,
+    metric: MetricLike = None,
 ) -> EMSTResult:
-    """Exact EMST via parallel GeoFilterKruskal (Algorithm 2).
+    """Exact metric MST via parallel GeoFilterKruskal (Algorithm 2).
 
     Parameters
     ----------
@@ -122,6 +124,9 @@ def emst_gfk(
         (:mod:`repro.parallel.pool`).  Sharding uses fixed chunk boundaries
         and shard-ordered reductions, so the MST is byte-identical at any
         thread count; ``None``/``0``/``1`` run inline.
+    metric:
+        Distance metric (name, Metric instance, or ``None`` for Euclidean);
+        it rides the kd-tree into every separation mask and BCCP kernel.
     """
     if beta_growth not in ("double", "increment"):
         raise ValueError("beta_growth must be 'double' or 'increment'")
@@ -132,7 +137,7 @@ def emst_gfk(
 
     timings = {}
     start = time.perf_counter()
-    tree = KDTree(data, leaf_size=leaf_size)
+    tree = KDTree(data, leaf_size=leaf_size, metric=metric)
     timings["build-tree"] = time.perf_counter() - start
     flat = tree.flat
 

@@ -36,6 +36,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.metric import MetricLike
 from repro.core.points import as_points
 from repro.emst.gfk import pairs_fully_connected
 from repro.emst.result import EMSTResult
@@ -78,8 +79,12 @@ def _sharded_bound(
     return out
 
 
-def _euclidean_bounds(flat: FlatKDTree) -> Tuple[BoundMask, BoundMask]:
-    """Lower/upper bounds on the BCCP of node-pair arrays (Euclidean weights)."""
+def _geometric_bounds(flat: FlatKDTree) -> Tuple[BoundMask, BoundMask]:
+    """Lower/upper bounds on the BCCP of node-pair arrays (plain distances).
+
+    The bounds come from the node bounding spheres stored under the tree's
+    metric, so they are valid for every norm-induced metric.
+    """
     return (
         lambda a, b: node_distances(flat, a, b),
         lambda a, b: node_max_distances(flat, a, b),
@@ -320,7 +325,7 @@ def memogfk_mst(
     union_find = UnionFind(n)
     output = EdgeList()
     if core_distances is None:
-        lower_bound, upper_bound = _euclidean_bounds(flat)
+        lower_bound, upper_bound = _geometric_bounds(flat)
     else:
         if not tree.has_core_distances:
             tree.annotate_core_distances(np.asarray(core_distances, dtype=np.float64))
@@ -392,11 +397,14 @@ def emst_memogfk(
     s: float = 2.0,
     initial_beta: int = 2,
     num_threads: Optional[int] = None,
+    metric: MetricLike = None,
 ) -> EMSTResult:
-    """Exact EMST via the memory-optimized GeoFilterKruskal (Algorithm 3).
+    """Exact metric MST via the memory-optimized GeoFilterKruskal (Algorithm 3).
 
     ``num_threads`` shards the batched stages onto the persistent worker pool
     (see :func:`memogfk_mst`); the MST is byte-identical at any setting.
+    ``metric`` selects the distance (Euclidean by default); the metric rides
+    the kd-tree, so every traversal bound and BCCP kernel picks it up.
     """
     data = as_points(points, min_points=1)
     n = data.shape[0]
@@ -405,7 +413,7 @@ def emst_memogfk(
 
     timings = {}
     start = time.perf_counter()
-    tree = KDTree(data, leaf_size=leaf_size)
+    tree = KDTree(data, leaf_size=leaf_size, metric=metric)
     timings["build-tree"] = time.perf_counter() - start
 
     start = time.perf_counter()

@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro.core.metric import MetricLike
 from repro.core.points import as_points
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
@@ -27,8 +28,9 @@ def emst_naive(
     *,
     leaf_size: int = 1,
     num_threads: Optional[int] = None,
+    metric: MetricLike = None,
 ) -> EMSTResult:
-    """Exact EMST via "all BCCPs of the WSPD, then Kruskal".
+    """Exact metric MST via "all BCCPs of the WSPD, then Kruskal".
 
     Parameters
     ----------
@@ -40,6 +42,8 @@ def emst_naive(
         Accepted for API compatibility.  All BCCPs are evaluated by one
         size-class-batched array kernel call, which outruns the former
         per-pair thread pool, so the value is unused.
+    metric:
+        Distance metric (name, Metric instance, or ``None`` for Euclidean).
     """
     data = as_points(points, min_points=1)
     n = data.shape[0]
@@ -48,7 +52,7 @@ def emst_naive(
 
     timings = {}
     start = time.perf_counter()
-    tree = KDTree(data, leaf_size=leaf_size)
+    tree = KDTree(data, leaf_size=leaf_size, metric=metric)
     timings["build-tree"] = time.perf_counter() - start
 
     start = time.perf_counter()

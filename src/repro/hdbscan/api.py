@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
+from repro.core.metric import MetricLike
 from repro.core.points import as_points
 from repro.dendrogram.topdown import dendrogram_topdown
 from repro.hdbscan.bruteforce import hdbscan_mst_bruteforce
@@ -40,6 +41,7 @@ def hdbscan(
     start: int = 0,
     heavy_fraction: float = 0.1,
     num_threads: Optional[int] = None,
+    metric: MetricLike = None,
     **method_kwargs,
 ) -> HDBSCANResult:
     """Compute the HDBSCAN* hierarchy of a point set.
@@ -68,6 +70,11 @@ def hdbscan(
         the persistent worker pool (:mod:`repro.parallel.pool`) with fixed
         chunk boundaries, so the MST, dendrogram and labels are
         byte-identical at any thread count.
+    metric:
+        Distance metric the core distances and mutual reachability are taken
+        under: a name (``"euclidean"``, ``"manhattan"``, ``"chebyshev"``,
+        ``"minkowski:p"``), a :class:`~repro.core.metric.Metric` instance, or
+        ``None`` for Euclidean (byte-identical to the historical engine).
     method_kwargs:
         Additional arguments forwarded to the MST implementation.
 
@@ -88,15 +95,22 @@ def hdbscan(
 
     timings = {}
     start_time = time.perf_counter()
-    core_dists = compute_core_distances(data, min_pts, num_threads=num_threads)
+    core_dists = compute_core_distances(
+        data, min_pts, num_threads=num_threads, metric=metric
+    )
     timings["core-dist"] = time.perf_counter() - start_time
 
     start_time = time.perf_counter()
     if method == "bruteforce":
-        mst = mst_function(data, min_pts, core_dists=core_dists)
+        mst = mst_function(data, min_pts, core_dists=core_dists, metric=metric)
     else:
         mst = mst_function(
-            data, min_pts, core_dists=core_dists, num_threads=num_threads, **method_kwargs
+            data,
+            min_pts,
+            core_dists=core_dists,
+            num_threads=num_threads,
+            metric=metric,
+            **method_kwargs,
         )
     timings["mst"] = time.perf_counter() - start_time
 

@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.metric import MetricLike
 from repro.core.points import as_points
 from repro.emst.result import EMSTResult
 from repro.hdbscan.core_distance import core_distances as compute_core_distances
@@ -25,16 +26,17 @@ def hdbscan_mst_bruteforce(
     min_pts: int = 10,
     *,
     core_dists: Optional[np.ndarray] = None,
+    metric: MetricLike = None,
 ) -> EMSTResult:
     """MST of the mutual reachability graph by Kruskal over all n(n-1)/2 edges."""
     data = as_points(points, min_points=1)
     n = data.shape[0]
     if core_dists is None:
-        core_dists = compute_core_distances(data, min(min_pts, n))
+        core_dists = compute_core_distances(data, min(min_pts, n), metric=metric)
     if n == 1:
         return EMSTResult(EdgeList(), 1, "hdbscan-bruteforce")
     current_tracker().add(float(n) * n, 1.0, phase="bruteforce")
-    matrix = mutual_reachability_matrix(data, core_dists)
+    matrix = mutual_reachability_matrix(data, core_dists, metric)
     upper_i, upper_j = np.triu_indices(n, k=1)
     weights = matrix[upper_i, upper_j]
     order = np.argsort(weights, kind="stable")

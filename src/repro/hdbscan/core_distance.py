@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
+from repro.core.metric import MetricLike, resolve_metric
 from repro.core.points import as_points
 from repro.spatial.kdtree import KDTree
 from repro.spatial.knn import knn, knn_bruteforce
@@ -31,6 +32,7 @@ def core_distances(
     method: str = "bruteforce",
     tree: Optional[KDTree] = None,
     num_threads: Optional[int] = None,
+    metric: MetricLike = None,
 ) -> np.ndarray:
     """Core distance of every point for the given ``minPts``.
 
@@ -45,21 +47,33 @@ def core_distances(
         product per chunk) or ``"kdtree"`` (the batched flat-tree traversal
         the paper's algorithm uses; subquadratic, so it wins as n grows).
     tree:
-        Optional pre-built kd-tree reused when ``method="kdtree"``.
+        Optional pre-built kd-tree reused when ``method="kdtree"``; its
+        metric must match ``metric``.
     num_threads:
         Thread count for the underlying k-NN batches.
+    metric:
+        Distance metric (name, Metric instance, or ``None`` for Euclidean).
     """
     data = as_points(points)
+    resolved_metric = resolve_metric(metric)
     n = data.shape[0]
     if not 1 <= min_pts <= n:
         raise InvalidParameterError(f"minPts must be in [1, {n}], got {min_pts}")
+    if tree is not None and tree.metric != resolved_metric:
+        raise InvalidParameterError(
+            f"the supplied kd-tree was built under metric "
+            f"{tree.metric.spec()!r}, which conflicts with "
+            f"metric={resolved_metric.spec()!r}"
+        )
     if min_pts == 1:
         return np.zeros(n, dtype=np.float64)
     if method == "bruteforce":
-        _, distances = knn_bruteforce(data, min_pts, num_threads=num_threads)
+        _, distances = knn_bruteforce(
+            data, min_pts, num_threads=num_threads, metric=resolved_metric
+        )
     elif method == "kdtree":
         if tree is None:
-            tree = KDTree(data, leaf_size=max(16, min_pts))
+            tree = KDTree(data, leaf_size=max(16, min_pts), metric=resolved_metric)
         _, distances = knn(tree, min_pts, num_threads=num_threads)
     else:
         raise InvalidParameterError("method must be 'bruteforce' or 'kdtree'")

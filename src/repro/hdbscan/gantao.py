@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.metric import MetricLike
 from repro.core.points import as_points
 from repro.emst.memogfk import memogfk_mst
 from repro.emst.result import EMSTResult
@@ -40,6 +41,7 @@ def hdbscan_mst_gantao(
     leaf_size: int = 1,
     core_dists: Optional[np.ndarray] = None,
     num_threads: Optional[int] = None,
+    metric: MetricLike = None,
 ) -> EMSTResult:
     """Exact MST of the mutual reachability graph, Gan & Tao style.
 
@@ -58,6 +60,9 @@ def hdbscan_mst_gantao(
         blocks and the MemoGFK-engine traversal/BCCP*/Kruskal rounds all
         shard onto the persistent worker pool with deterministic chunking,
         so the MST is byte-identical at any thread count.
+    metric:
+        Distance metric the core distances and mutual reachability are taken
+        under (name, Metric instance, or ``None`` for Euclidean).
     """
     data = as_points(points, min_points=1)
     n = data.shape[0]
@@ -68,12 +73,12 @@ def hdbscan_mst_gantao(
     start = time.perf_counter()
     if core_dists is None:
         core_dists = compute_core_distances(
-            data, min(min_pts, n), num_threads=num_threads
+            data, min(min_pts, n), num_threads=num_threads, metric=metric
         )
     timings["core-dist"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    tree = KDTree(data, leaf_size=leaf_size)
+    tree = KDTree(data, leaf_size=leaf_size, metric=metric)
     tree.annotate_core_distances(core_dists)
     timings["build-tree"] = time.perf_counter() - start
 

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.metric import MetricLike
 from repro.core.points import as_points
 from repro.emst.memogfk import memogfk_mst
 from repro.emst.result import EMSTResult
@@ -33,6 +34,7 @@ def hdbscan_mst_memogfk(
     leaf_size: int = 1,
     core_dists: Optional[np.ndarray] = None,
     num_threads: Optional[int] = None,
+    metric: MetricLike = None,
 ) -> EMSTResult:
     """Exact MST of the mutual reachability graph with the new well-separation.
 
@@ -47,12 +49,12 @@ def hdbscan_mst_memogfk(
     start = time.perf_counter()
     if core_dists is None:
         core_dists = compute_core_distances(
-            data, min(min_pts, n), num_threads=num_threads
+            data, min(min_pts, n), num_threads=num_threads, metric=metric
         )
     timings["core-dist"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    tree = KDTree(data, leaf_size=leaf_size)
+    tree = KDTree(data, leaf_size=leaf_size, metric=metric)
     tree.annotate_core_distances(core_dists)
     timings["build-tree"] = time.perf_counter() - start
 

@@ -1,25 +1,29 @@
 """Mutual reachability distances.
 
 ``d_m(p, q) = max(cd(p), cd(q), d(p, q))`` — the edge weights of the mutual
-reachability graph G_MR whose MST defines the HDBSCAN* hierarchy.
+reachability graph G_MR whose MST defines the HDBSCAN* hierarchy.  ``d`` is
+the chosen base metric (Euclidean by default).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.distance import euclidean, pairwise_distances
+from repro.core.distance import pairwise_distances, point_distance
+from repro.core.metric import MetricLike
 from repro.core.points import as_points
 
 
 def mutual_reachability(
-    p, q, core_distance_p: float, core_distance_q: float
+    p, q, core_distance_p: float, core_distance_q: float, metric: MetricLike = None
 ) -> float:
     """Mutual reachability distance between two individual points."""
-    return max(core_distance_p, core_distance_q, euclidean(p, q))
+    return max(core_distance_p, core_distance_q, point_distance(p, q, metric))
 
 
-def mutual_reachability_matrix(points, core_distances: np.ndarray) -> np.ndarray:
+def mutual_reachability_matrix(
+    points, core_distances: np.ndarray, metric: MetricLike = None
+) -> np.ndarray:
     """Full ``(n, n)`` mutual reachability distance matrix.
 
     Θ(n^2) memory; used by the brute-force baseline and the test suite only.
@@ -31,7 +35,7 @@ def mutual_reachability_matrix(points, core_distances: np.ndarray) -> np.ndarray
     core = np.asarray(core_distances, dtype=np.float64)
     if core.shape[0] != data.shape[0]:
         raise ValueError("core_distances must have one entry per point")
-    distances = pairwise_distances(data)
+    distances = pairwise_distances(data, metric)
     matrix = np.maximum(distances, np.maximum(core[:, None], core[None, :]))
     np.fill_diagonal(matrix, 0.0)
     return matrix

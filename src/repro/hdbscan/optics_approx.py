@@ -23,8 +23,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.distance import euclidean
 from repro.core.errors import InvalidParameterError
+from repro.core.metric import Metric, MetricLike, resolve_metric
 from repro.core.points import as_points
 from repro.emst.result import EMSTResult
 from repro.hdbscan.core_distance import core_distances as compute_core_distances
@@ -42,6 +42,7 @@ def _pair_edges(
     core_dists: np.ndarray,
     min_pts: int,
     rho: float,
+    metric: Metric,
 ) -> List[Tuple[int, int, float]]:
     """Edges generated for one well-separated pair (the four cases of App. C)."""
     points = tree.points
@@ -51,7 +52,7 @@ def _pair_edges(
         return max(
             core_dists[u],
             core_dists[v],
-            euclidean(points[u], points[v]) / scale,
+            metric.point_distance(points[u], points[v]) / scale,
         )
 
     a_indices = node_a.indices
@@ -84,6 +85,7 @@ def optics_approx_mst(
     leaf_size: int = 1,
     core_dists: Optional[np.ndarray] = None,
     num_threads: Optional[int] = None,
+    metric: MetricLike = None,
 ) -> EMSTResult:
     """Approximate MST for OPTICS / HDBSCAN* with approximation parameter rho.
 
@@ -103,10 +105,15 @@ def optics_approx_mst(
         Optional precomputed core distances.
     num_threads:
         Thread count for the k-NN batches.
+    metric:
+        Distance metric (name, Metric instance, or ``None`` for Euclidean);
+        the ``1 + rho`` approximation argument only uses the triangle
+        inequality, so it carries over to every norm-induced metric.
     """
     if rho <= 0:
         raise InvalidParameterError("rho must be positive")
     data = as_points(points, min_points=1)
+    resolved_metric = resolve_metric(metric)
     n = data.shape[0]
     if n == 1:
         return EMSTResult(EdgeList(), 1, "optics-gantao-approx")
@@ -115,12 +122,12 @@ def optics_approx_mst(
     start = time.perf_counter()
     if core_dists is None:
         core_dists = compute_core_distances(
-            data, min(min_pts, n), num_threads=num_threads
+            data, min(min_pts, n), num_threads=num_threads, metric=resolved_metric
         )
     timings["core-dist"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    tree = KDTree(data, leaf_size=leaf_size)
+    tree = KDTree(data, leaf_size=leaf_size, metric=resolved_metric)
     timings["build-tree"] = time.perf_counter() - start
 
     separation_constant = math.sqrt(8.0 / rho)
@@ -132,7 +139,7 @@ def optics_approx_mst(
     for pair in iterate_wspd(tree, separation="geometric", s=separation_constant):
         num_pairs += 1
         pair_edges = _pair_edges(
-            tree, pair.node_a, pair.node_b, core_dists, min_pts, rho
+            tree, pair.node_a, pair.node_b, core_dists, min_pts, rho, resolved_metric
         )
         tracker.add(len(pair_edges), 1.0, phase="wspd")
         edges.extend(pair_edges)

@@ -39,6 +39,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.errors import InvalidParameterError
+from repro.core.metric import MetricLike, resolve_metric
 from repro.parallel.primitives import segment_ranges as _segment_ranges
 from repro.parallel.scheduler import current_tracker
 
@@ -53,10 +54,18 @@ class FlatKDTree:
         :func:`repro.core.points.as_points`).
     leaf_size:
         Maximum number of points in a leaf (>= 1).
+    metric:
+        The distance metric the tree's derived geometry (``node_radius``,
+        point-to-box gaps, k-NN distances) is computed under; a name, a
+        :class:`~repro.core.metric.Metric` instance, or ``None`` for
+        Euclidean.  The split rule itself (widest box dimension at its
+        midpoint) is metric-independent, so the tree *structure* is identical
+        for every metric — only the bounds and distances change.
     """
 
     __slots__ = (
         "points",
+        "metric",
         "leaf_size",
         "perm",
         "node_lower",
@@ -73,13 +82,20 @@ class FlatKDTree:
         "levels",
     )
 
-    def __init__(self, points: np.ndarray, *, leaf_size: int = 1) -> None:
+    def __init__(
+        self,
+        points: np.ndarray,
+        *,
+        leaf_size: int = 1,
+        metric: MetricLike = None,
+    ) -> None:
         if leaf_size < 1:
             raise InvalidParameterError("leaf_size must be >= 1")
         points = np.ascontiguousarray(points, dtype=np.float64)
         if points.ndim != 2:
             raise InvalidParameterError("points must be an (n, d) array")
         self.points = points
+        self.metric = resolve_metric(metric)
         self.leaf_size = leaf_size
         self.cd_min: Optional[np.ndarray] = None
         self.cd_max: Optional[np.ndarray] = None
@@ -209,7 +225,7 @@ class FlatKDTree:
         self.right_child = right_child[:count]
         extent = self.node_upper - self.node_lower
         self.node_center = (self.node_lower + self.node_upper) * 0.5
-        self.node_radius = 0.5 * np.sqrt(np.einsum("ij,ij->i", extent, extent))
+        self.node_radius = self.metric.box_radii(extent)
         self.levels = levels
 
     # -- structural accessors -------------------------------------------------
@@ -293,14 +309,18 @@ class FlatKDTree:
     def min_distances_to_points(
         self, queries: np.ndarray, node_ids: np.ndarray
     ) -> np.ndarray:
-        """Minimum box-to-point distance for parallel arrays of (query, node)."""
+        """Minimum box-to-point distance for parallel arrays of (query, node).
+
+        The per-axis gap vector's norm under the tree's metric is the exact
+        point-to-box minimum for every norm-induced metric.
+        """
         gap = np.maximum(
             np.maximum(
                 self.node_lower[node_ids] - queries, queries - self.node_upper[node_ids]
             ),
             0.0,
         )
-        return np.sqrt(np.einsum("ij,ij->i", gap, gap))
+        return self.metric.diff_norms(gap)
 
     # -- batched k-nearest-neighbour traversal ---------------------------------
 
@@ -397,7 +417,7 @@ class FlatKDTree:
         cand_q = np.repeat(pair_q, counts)
         cand_i = self.perm[_segment_ranges(self.node_start[pair_n], counts)]
         diff = self.points[cand_i] - queries[cand_q]
-        cand_d = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        cand_d = self.metric.diff_norms(diff)
 
         # Keep at most k candidates per query before the padded merge.
         order = np.lexsort((cand_d, cand_q))

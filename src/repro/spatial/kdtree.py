@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.bounding import BoundingBox, BoundingSphere
 from repro.core.errors import InvalidParameterError, NotComputedError
+from repro.core.metric import EUCLIDEAN, Metric, MetricLike, resolve_metric
 from repro.core.points import as_points
 from repro.spatial.flat import FlatKDTree
 
@@ -67,7 +68,9 @@ class KDNode:
         if self._sphere is None:
             flat = self._flat
             self._sphere = BoundingSphere(
-                flat.node_center[self.node_id], float(flat.node_radius[self.node_id])
+                flat.node_center[self.node_id],
+                float(flat.node_radius[self.node_id]),
+                metric=self._tree.sphere_metric,
             )
         return self._sphere
 
@@ -127,20 +130,35 @@ class KDTree:
         Maximum number of points in a leaf.  The paper builds WSPD trees with
         one point per leaf; k-NN queries are usually faster with slightly
         larger leaves, so the default is configurable.
+    metric:
+        Distance metric (name, :class:`~repro.core.metric.Metric` instance,
+        or ``None`` for Euclidean).  The metric rides the tree: the flat
+        engine's node radii and gap distances, the WSPD separation masks and
+        the BCCP kernels all read it from here.
 
     The underlying storage is the flat array engine, exposed as ``tree.flat``;
     the batch traversals in :mod:`repro.spatial.knn`, :mod:`repro.wspd` and
     :mod:`repro.emst` drive it directly.
     """
 
-    def __init__(self, points, *, leaf_size: int = 1) -> None:
+    def __init__(self, points, *, leaf_size: int = 1, metric: MetricLike = None) -> None:
         if leaf_size < 1:
             raise InvalidParameterError("leaf_size must be >= 1")
         self.points = as_points(points)
         self.leaf_size = leaf_size
-        self.flat = FlatKDTree(self.points, leaf_size=leaf_size)
+        self.metric = resolve_metric(metric)
+        self.flat = FlatKDTree(self.points, leaf_size=leaf_size, metric=self.metric)
         self._views: dict = {}
         self._core_distances: Optional[np.ndarray] = None
+
+    @property
+    def sphere_metric(self) -> Optional[Metric]:
+        """Metric handed to node-view spheres.
+
+        ``None`` for Euclidean trees so the scalar sphere methods keep their
+        historical ``np.linalg.norm`` code path bit for bit.
+        """
+        return None if self.metric == EUCLIDEAN else self.metric
 
     # -- structural accessors -------------------------------------------------
 

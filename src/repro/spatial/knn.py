@@ -24,8 +24,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.distance import cross_distances
 from repro.core.errors import InvalidParameterError
+from repro.core.metric import MetricLike, resolve_metric
 from repro.core.points import as_points
 from repro.parallel.pool import parallel_map
 from repro.parallel.scheduler import current_tracker
@@ -77,7 +77,9 @@ def knn(
     Parameters
     ----------
     tree:
-        A :class:`~repro.spatial.kdtree.KDTree` over the data points.
+        A :class:`~repro.spatial.kdtree.KDTree` over the data points.  The
+        tree's metric governs the query: neighbours and distances are
+        metric-correct for whatever metric the tree was built with.
     k:
         Number of neighbours to return (``k <= n``); the query point itself is
         counted when it is part of the data set.
@@ -135,6 +137,7 @@ def knn_bruteforce(
     *,
     chunk_size: Optional[int] = None,
     num_threads: Optional[int] = None,
+    metric: MetricLike = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Exact k-NN of every point against the whole set via chunked brute force.
 
@@ -144,9 +147,11 @@ def knn_bruteforce(
     within a chunk ``np.argpartition`` selects the k smallest distances before
     a final sort of only those k.  With ``num_threads > 1`` the chunks run on
     the persistent worker pool; chunk boundaries are independent of the thread
-    count, so results are byte-identical at any setting.
+    count, so results are byte-identical at any setting.  ``metric`` selects
+    the distance (Euclidean by default).
     """
     data = as_points(points)
+    resolved_metric = resolve_metric(metric)
     n = data.shape[0]
     if k < 1:
         raise InvalidParameterError("k must be >= 1")
@@ -161,7 +166,7 @@ def knn_bruteforce(
 
     def process_chunk(start: int) -> Tuple[np.ndarray, np.ndarray]:
         stop = min(start + chunk_size, n)
-        dists = cross_distances(data[start:stop], data)
+        dists = resolved_metric.cross_distances(data[start:stop], data)
         part = np.argpartition(dists, k - 1, axis=1)[:, :k]
         rows = np.arange(stop - start)[:, None]
         part_d = dists[rows, part]

@@ -28,6 +28,13 @@ pairs — matching the paper's remark that "we cache the BCCP results of pairs
 to avoid repeated computations" — stored as sorted key/result *arrays* so a
 whole round's frontier is partitioned into hits and misses with one
 ``searchsorted`` instead of per-pair dict probes.
+
+Every kernel takes its distance from the tree's pluggable metric
+(:attr:`FlatKDTree.metric`): the scalar kernels use the metric's dense
+``cross_distances``, the batched kernel its block tensor, and the exact
+re-evaluation its difference-and-norm pass.  A cache is bound to one
+``(tree, metric)`` pair — the metric is part of its identity, so results
+computed under different metrics can never mix.
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.distance import cross_distances, exact_edge_weights
+from repro.core.metric import Metric
 from repro.parallel.pool import current_workspace, parallel_map, resolve_num_threads
 from repro.parallel.scheduler import current_tracker
 from repro.spatial.flat import FlatKDTree
@@ -71,16 +78,19 @@ class BCCPResult:
 
 
 def bccp(tree: KDTree, a: KDNode, b: KDNode) -> BCCPResult:
-    """Exact Euclidean bichromatic closest pair between nodes ``a`` and ``b``."""
+    """Exact bichromatic closest pair between nodes ``a`` and ``b``.
+
+    The minimized distance is taken under the tree's metric.
+    """
     points_a = tree.points[a.indices]
     points_b = tree.points[b.indices]
     current_tracker().add(a.size * b.size, 1.0, phase="bccp")
-    distances = cross_distances(points_a, points_b)
+    distances = tree.metric.cross_distances(points_a, points_b)
     flat = int(np.argmin(distances))
     i, j = divmod(flat, distances.shape[1])
     point_a = int(a.indices[i])
     point_b = int(b.indices[j])
-    exact = float(exact_edge_weights(tree.points, [point_a], [point_b])[0])
+    exact = float(tree.metric.exact_edge_weights(tree.points, [point_a], [point_b])[0])
     return BCCPResult(point_a=point_a, point_b=point_b, distance=exact)
 
 
@@ -93,7 +103,7 @@ def bccp_star(tree: KDTree, a: KDNode, b: KDNode, core_distances: np.ndarray) ->
     points_a = tree.points[a.indices]
     points_b = tree.points[b.indices]
     current_tracker().add(a.size * b.size, 1.0, phase="bccp")
-    distances = cross_distances(points_a, points_b)
+    distances = tree.metric.cross_distances(points_a, points_b)
     cd_a = core_distances[a.indices]
     cd_b = core_distances[b.indices]
     mutual = np.maximum(distances, np.maximum(cd_a[:, None], cd_b[None, :]))
@@ -102,7 +112,9 @@ def bccp_star(tree: KDTree, a: KDNode, b: KDNode, core_distances: np.ndarray) ->
     point_a = int(a.indices[i])
     point_b = int(b.indices[j])
     exact = float(
-        exact_edge_weights(tree.points, [point_a], [point_b], core_distances)[0]
+        tree.metric.exact_edge_weights(
+            tree.points, [point_a], [point_b], core_distances
+        )[0]
     )
     return BCCPResult(point_a=point_a, point_b=point_b, distance=exact)
 
@@ -144,6 +156,7 @@ def bccp_batch(
     if m == 0:
         return out_pa, out_pb, np.empty(0, dtype=np.float64)
 
+    metric = flat.metric
     points = flat.points
     perm = flat.perm
     start_a = flat.node_start[a_ids]
@@ -195,6 +208,7 @@ def bccp_batch(
     def run_task(task) -> None:
         sub, p_a, p_b = task
         _bccp_class(
+            metric,
             points,
             perm,
             core_distances,
@@ -210,11 +224,12 @@ def bccp_batch(
         )
 
     parallel_map(run_task, tasks, num_threads=workers)
-    weights = exact_edge_weights(points, out_pa, out_pb, core_distances)
+    weights = metric.exact_edge_weights(points, out_pa, out_pb, core_distances)
     return out_pa, out_pb, weights
 
 
 def _bccp_class(
+    metric: Metric,
     points: np.ndarray,
     perm: np.ndarray,
     core_distances: Optional[np.ndarray],
@@ -242,21 +257,14 @@ def _bccp_class(
 
     pts_a = points[idx_a]  # (g, p_a, d)
     pts_b = points[idx_b]  # (g, p_b, d)
-    # Same expansion, summation kernels and rounding as the scalar
-    # ``cross_distances`` (einsum row norms, BLAS matmul cross terms, clamp,
-    # sqrt), so the minimized values — and therefore the argmin tie-breaking —
-    # agree with the scalar kernel bit-for-bit.  The cross-term tensor — the
-    # largest temporary — lives in the calling thread's reusable workspace, so
-    # each pool worker allocates it once across all its class chunks.
-    cross = current_workspace().take("bccp.cross", (g, p_a, p_b))
-    np.matmul(pts_a, pts_b.transpose(0, 2, 1), out=cross)
-    sq_a = np.einsum("gpd,gpd->gp", pts_a, pts_a)
-    sq_b = np.einsum("gqd,gqd->gq", pts_b, pts_b)
-    sq = sq_a[:, :, None] + sq_b[:, None, :]
-    cross *= 2.0
-    sq -= cross
-    np.maximum(sq, 0.0, out=sq)
-    dist = np.sqrt(sq, out=sq)
+    # The metric's block kernel applies the same expansion, summation kernels
+    # and rounding as its scalar ``cross_distances`` (for Euclidean: einsum
+    # row norms, BLAS matmul cross terms, clamp, sqrt), so the minimized
+    # values — and therefore the argmin tie-breaking — agree with the scalar
+    # kernel bit-for-bit.  The distance tensor — the largest temporary —
+    # lives in the calling thread's reusable workspace, so each pool worker
+    # allocates it once across all its class chunks.
+    dist = metric.block_cross_distances(pts_a, pts_b, current_workspace())
     if core_distances is not None:
         np.maximum(dist, core_distances[idx_a][:, :, None], out=dist)
         np.maximum(dist, core_distances[idx_b][:, None, :], out=dist)
@@ -295,6 +303,9 @@ class BCCPCache:
         cache issues, so one knob threads a whole driver's BCCP work."""
         self._tree = tree
         self._flat = tree.flat
+        #: The metric every cached result was computed under (part of the
+        #: cache's identity: one cache never serves two metrics).
+        self.metric = tree.metric
         self._num_threads = num_threads
         self._core_distances = (
             None

@@ -23,6 +23,11 @@ parallel arrays of node ids of a :class:`~repro.spatial.flat.FlatKDTree`,
 which evaluates the predicate for a whole traversal frontier with a handful
 of array operations.  Both forms apply the identical floating-point formulas
 to the identical stored centers/radii, so they agree bit-for-bit.
+
+Every predicate is metric-general: the node radii are stored under the
+tree's metric and the center gaps are computed with the same metric's norm,
+so the sphere-based bounds (triangle inequality only) hold for any of the
+norm-induced metrics in :mod:`repro.core.metric`.
 """
 
 from __future__ import annotations
@@ -81,9 +86,14 @@ def hdbscan_well_separated(a: KDNode, b: KDNode) -> bool:
 # ---------------------------------------------------------------------------
 
 def center_gaps(flat: FlatKDTree, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Distances between the bounding-sphere centers of node-id arrays."""
+    """Distances between the bounding-sphere centers of node-id arrays.
+
+    Computed under the tree's metric, so every sphere-based bound below is
+    metric-correct (the radii stored on the flat tree are already derived
+    under the same metric).
+    """
     diff = flat.node_center[a] - flat.node_center[b]
-    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    return flat.metric.diff_norms(diff)
 
 
 def node_distances(flat: FlatKDTree, a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -54,6 +54,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["emst", "points.csv", "--method", "bogus"])
 
+    @pytest.mark.parametrize("command", ["emst", "hdbscan", "single-linkage"])
+    def test_metric_flag_on_every_subcommand(self, command):
+        from repro.core.metric import MinkowskiMetric
+
+        args = build_parser().parse_args(
+            [command, "points.csv", "--metric", "minkowski:3"]
+        )
+        assert isinstance(args.metric, MinkowskiMetric) and args.metric.p == 3.0
+        default = build_parser().parse_args([command, "points.csv"])
+        from repro.core.metric import EUCLIDEAN
+
+        assert default.metric == EUCLIDEAN
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["emst", "points.csv", "--metric", "bogus"])
+
 
 class TestMain:
     def test_emst_writes_edge_file(self, csv_points, tmp_path):
@@ -106,3 +123,55 @@ class TestMain:
 
     def test_missing_input_returns_error_code(self, tmp_path):
         assert main(["emst", str(tmp_path / "missing.csv")]) == 2
+
+    def test_empty_input_returns_error_code(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        assert main(["emst", str(empty)]) == 2
+
+    def test_emst_metric_flag_changes_weights(self, csv_points, tmp_path):
+        path, points = csv_points
+        euclid_file = tmp_path / "euclid.csv"
+        manhattan_file = tmp_path / "manhattan.csv"
+        assert main(["emst", str(path), "--output", str(euclid_file)]) == 0
+        code = main(
+            [
+                "emst",
+                str(path),
+                "--metric",
+                "manhattan",
+                "--output",
+                str(manhattan_file),
+            ]
+        )
+        assert code == 0
+
+        def total(report):
+            rows = report.read_text().strip().splitlines()[1:]
+            return sum(float(row.split(",")[2]) for row in rows)
+
+        from repro import emst
+
+        assert total(manhattan_file) == pytest.approx(
+            emst(points, metric="manhattan").total_weight
+        )
+        assert total(manhattan_file) > total(euclid_file)
+
+    def test_hdbscan_metric_flag(self, csv_points, tmp_path):
+        path, points = csv_points
+        output = tmp_path / "labels.csv"
+        code = main(
+            [
+                "hdbscan",
+                str(path),
+                "--min-pts",
+                "5",
+                "--metric",
+                "chebyshev",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        labels = [int(v) for v in output.read_text().strip().splitlines()[1:]]
+        assert len(labels) == len(points)

@@ -1,0 +1,195 @@
+"""Estimator facade: fit/fit_predict, params round-trip, unfitted access."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import emst, hdbscan
+from repro.core.errors import (
+    InvalidParameterError,
+    InvalidPointSetError,
+    NotComputedError,
+)
+from repro.estimators import EMST, HDBSCAN
+
+
+class TestEMSTEstimator:
+    def test_fit_matches_functional_api(self, small_points_2d):
+        model = EMST().fit(small_points_2d)
+        reference = emst(small_points_2d)
+        u, v, w = reference.edges.as_arrays()
+        assert np.array_equal(model.edges_[:, 0], u)
+        assert np.array_equal(model.edges_[:, 1], v)
+        assert np.array_equal(model.weights_, w)
+        assert model.total_weight_ == pytest.approx(reference.total_weight)
+        assert model.n_features_in_ == 2
+        assert model.result_.method == "memogfk"
+
+    def test_fit_returns_self_and_chains(self, small_points_2d):
+        model = EMST()
+        assert model.fit(small_points_2d) is model
+
+    def test_metric_is_threaded(self, small_points_2d):
+        manhattan = EMST(metric="manhattan").fit(small_points_2d)
+        euclid = EMST().fit(small_points_2d)
+        assert manhattan.total_weight_ > euclid.total_weight_
+        reference = emst(small_points_2d, metric="manhattan")
+        assert manhattan.total_weight_ == pytest.approx(reference.total_weight)
+
+    def test_fit_predict_labels(self, clustered_points):
+        points, truth = clustered_points
+        labels = EMST(n_clusters=2).fit_predict(points)
+        assert labels.shape == (points.shape[0],)
+        assert len(set(labels.tolist())) == 2
+        # The two blobs are well separated: labels must match truth up to
+        # permutation.
+        agreement = max(
+            np.mean(labels == truth), np.mean(labels == 1 - truth)
+        )
+        assert agreement == 1.0
+
+    def test_fit_predict_requires_n_clusters(self, small_points_2d):
+        with pytest.raises(InvalidParameterError):
+            EMST().fit_predict(small_points_2d)
+
+    def test_params_round_trip(self):
+        model = EMST(method="gfk", metric="chebyshev", num_threads=2, n_clusters=4)
+        params = model.get_params()
+        clone = EMST().set_params(**params)
+        assert clone.get_params() == params
+        assert clone.set_params(metric="manhattan") is clone
+        assert clone.get_params()["metric"] == "manhattan"
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            EMST().set_params(bogus=1)
+
+    def test_unfitted_access_raises(self):
+        model = EMST()
+        with pytest.raises(NotComputedError, match="not fitted"):
+            model.edges_
+        with pytest.raises(NotComputedError):
+            model.total_weight_
+        with pytest.raises(AttributeError):
+            model.definitely_not_an_attribute
+
+    def test_fitted_without_n_clusters_explains_missing_labels(
+        self, small_points_2d
+    ):
+        model = EMST().fit(small_points_2d)
+        with pytest.raises(NotComputedError, match="n_clusters"):
+            model.labels_
+
+    def test_bad_n_clusters_fails_before_computation(self, small_points_2d):
+        model = EMST(n_clusters=0)
+        with pytest.raises(InvalidParameterError):
+            model.fit(small_points_2d)
+        # Nothing was computed: the instance still reads as unfitted.
+        with pytest.raises(NotComputedError, match="not fitted"):
+            model.edges_
+
+    def test_invalid_inputs_fail_fast(self):
+        with pytest.raises(InvalidPointSetError):
+            EMST().fit([])
+        with pytest.raises(InvalidPointSetError):
+            EMST().fit([[0.0, np.nan]])
+        with pytest.raises(InvalidParameterError):
+            EMST(method="bogus").fit([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(InvalidParameterError):
+            EMST(metric="bogus").fit([[0.0, 0.0], [1.0, 1.0]])
+
+    def test_input_coercion(self):
+        # Lists and float32 arrays coerce to the same result as float64.
+        rng = np.random.default_rng(3)
+        points = rng.random((40, 2))
+        as_f32 = EMST().fit(points.astype(np.float32))
+        as_list = EMST().fit(points.astype(np.float32).tolist())
+        assert np.array_equal(as_f32.edges_, as_list.edges_)
+        assert np.array_equal(as_f32.weights_, as_list.weights_)
+
+
+class TestHDBSCANEstimator:
+    def test_fit_predict_matches_functional_api(self, clustered_points):
+        points, truth = clustered_points
+        model = HDBSCAN(min_pts=5, min_cluster_size=5)
+        labels = model.fit_predict(points)
+        reference = hdbscan(points, min_pts=5)
+        assert np.array_equal(labels, reference.eom_labels(min_cluster_size=5))
+        assert np.array_equal(model.labels_, labels)
+        assert np.array_equal(model.core_distances_, reference.core_distances)
+        u, v, w = reference.mst.edges.as_arrays()
+        assert np.array_equal(model.mst_edges_[:, 0], u)
+        assert np.array_equal(model.mst_weights_, w)
+
+    def test_probabilities_shape_and_range(self, clustered_points):
+        points, _ = clustered_points
+        model = HDBSCAN(min_pts=5).fit(points)
+        probs = model.probabilities_
+        assert probs.shape == (points.shape[0],)
+        assert np.all((0.0 <= probs) & (probs <= 1.0))
+        # Noise points get probability 0; clustered points positive.
+        noise = model.labels_ == -1
+        assert np.all(probs[noise] == 0.0)
+        assert np.all(probs[~noise] > 0.0)
+        # Every cluster has at least one full-strength member.
+        for label in np.unique(model.labels_[model.labels_ >= 0]):
+            assert probs[model.labels_ == label].max() == pytest.approx(1.0)
+
+    def test_epsilon_cut_mode(self, clustered_points):
+        points, _ = clustered_points
+        model = HDBSCAN(min_pts=5, epsilon=0.2, min_cluster_size=5).fit(points)
+        reference = hdbscan(points, min_pts=5)
+        expected = reference.dbscan_labels(0.2, min_cluster_size=5)
+        assert np.array_equal(model.labels_, expected)
+        assert np.array_equal(model.probabilities_, (expected >= 0).astype(float))
+
+    def test_metric_is_threaded(self, clustered_points):
+        points, _ = clustered_points
+        model = HDBSCAN(min_pts=5, metric="manhattan").fit(points)
+        reference = hdbscan(points, min_pts=5, metric="manhattan")
+        assert np.array_equal(model.mst_weights_, reference.mst.edges.as_arrays()[2])
+
+    def test_params_round_trip(self):
+        model = HDBSCAN(
+            min_pts=7,
+            min_cluster_size=3,
+            metric="minkowski:3",
+            method="gantao",
+            epsilon=0.5,
+            allow_single_cluster=True,
+            num_threads=2,
+        )
+        params = model.get_params()
+        clone = HDBSCAN().set_params(**params)
+        assert clone.get_params() == params
+
+    def test_unfitted_access_raises(self):
+        model = HDBSCAN()
+        with pytest.raises(NotComputedError):
+            model.labels_
+        with pytest.raises(NotComputedError):
+            model.probabilities_
+
+    def test_single_point_is_noise(self):
+        model = HDBSCAN().fit([[1.0, 2.0]])
+        assert np.array_equal(model.labels_, np.array([-1]))
+        assert np.array_equal(model.probabilities_, np.array([0.0]))
+
+    def test_min_pts_larger_than_n_raises(self):
+        # Same contract as the functional hdbscan(): no silent clamping.
+        points = np.random.default_rng(9).random((6, 2))
+        with pytest.raises(InvalidParameterError):
+            HDBSCAN(min_pts=50).fit(points)
+        model = HDBSCAN(min_pts=6).fit(points)
+        assert model.labels_.shape == (6,)
+
+    def test_invalid_inputs_fail_fast(self):
+        with pytest.raises(InvalidPointSetError):
+            HDBSCAN().fit([])
+        with pytest.raises(InvalidParameterError):
+            HDBSCAN(method="bogus").fit([[0.0, 0.0], [1.0, 1.0]])
+
+    def test_repr_shows_params(self):
+        text = repr(HDBSCAN(min_pts=12, metric="manhattan"))
+        assert "HDBSCAN" in text and "min_pts=12" in text and "manhattan" in text

@@ -1,0 +1,316 @@
+"""Metric-general geometry core: unit kernels, cross-checks, byte-identity.
+
+Three layers of coverage for the pluggable-metric refactor:
+
+* kernel unit tests — ``resolve_metric`` parsing/canonicalization and every
+  batch kernel checked against straightforward per-pair loops;
+* algorithm cross-checks — EMST and HDBSCAN* under manhattan / chebyshev /
+  minkowski(p=3) must match brute-force references on small random inputs;
+* the Euclidean byte-identity gate — the refactored engine's Euclidean path
+  must reproduce the captured pre-refactor (PR-3) outputs bit for bit at
+  ``num_threads`` 1, 2 and 4 (references in ``tests/data``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.core.metric import (
+    CHEBYSHEV,
+    EUCLIDEAN,
+    MANHATTAN,
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    MinkowskiMetric,
+    resolve_metric,
+)
+from repro.emst import emst, emst_bruteforce
+from repro.hdbscan import hdbscan
+from repro.hdbscan.bruteforce import hdbscan_mst_bruteforce
+from repro.hdbscan.core_distance import core_distances
+from repro.parallel.pool import current_workspace
+from repro.spatial.kdtree import KDTree
+from repro.spatial.knn import knn, knn_bruteforce
+
+REFS_PATH = Path(__file__).parent / "data" / "euclidean_pr3_refs.npz"
+
+NON_EUCLIDEAN = ("manhattan", "chebyshev", "minkowski:3")
+
+
+def reference_distance(p, q, spec):
+    diff = np.abs(np.asarray(p, dtype=np.float64) - np.asarray(q, dtype=np.float64))
+    if spec == "euclidean":
+        return float(np.sqrt((diff**2).sum()))
+    if spec == "manhattan":
+        return float(diff.sum())
+    if spec == "chebyshev":
+        return float(diff.max())
+    assert spec == "minkowski:3"
+    return float((diff**3).sum() ** (1.0 / 3.0))
+
+
+class TestResolveMetric:
+    def test_default_is_euclidean(self):
+        assert resolve_metric(None) is EUCLIDEAN
+        assert resolve_metric("euclidean") is EUCLIDEAN
+        assert resolve_metric("l2") is EUCLIDEAN
+
+    def test_aliases(self):
+        assert resolve_metric("cityblock") is MANHATTAN
+        assert resolve_metric("l1") is MANHATTAN
+        assert resolve_metric("linf") is CHEBYSHEV
+        assert resolve_metric("maximum") is CHEBYSHEV
+
+    def test_instances_pass_through(self):
+        metric = MinkowskiMetric(3)
+        assert resolve_metric(metric) is metric
+
+    def test_minkowski_canonicalization(self):
+        assert isinstance(resolve_metric("minkowski:1"), ManhattanMetric)
+        assert isinstance(resolve_metric("minkowski:2"), EuclideanMetric)
+        assert isinstance(resolve_metric("minkowski:inf"), ChebyshevMetric)
+        metric = resolve_metric("minkowski:3")
+        assert isinstance(metric, MinkowskiMetric) and metric.p == 3.0
+        assert resolve_metric("minkowski", p=2.5).p == 2.5
+
+    def test_spec_round_trips(self):
+        for spec in ("euclidean", "manhattan", "chebyshev", "minkowski:3"):
+            metric = resolve_metric(spec)
+            assert resolve_metric(metric.spec()) == metric
+
+    def test_errors(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_metric("bogus")
+        with pytest.raises(InvalidParameterError):
+            resolve_metric("minkowski")  # needs an order
+        with pytest.raises(InvalidParameterError):
+            resolve_metric("minkowski:0.5")  # p < 1
+        with pytest.raises(InvalidParameterError):
+            resolve_metric("minkowski:nope")
+        with pytest.raises(InvalidParameterError):
+            resolve_metric(3.14)
+
+    def test_inline_order_on_fixed_metrics(self):
+        # A matching inline order is accepted; a conflicting one never
+        # silently drops the order.
+        assert resolve_metric("chebyshev:inf") is CHEBYSHEV
+        assert resolve_metric("manhattan:1") is MANHATTAN
+        assert resolve_metric("euclidean:2") is EUCLIDEAN
+        for spec in ("chebyshev:5", "manhattan:5", "euclidean:3"):
+            with pytest.raises(InvalidParameterError):
+                resolve_metric(spec)
+
+    def test_equality_and_hash(self):
+        assert MinkowskiMetric(3) == MinkowskiMetric(3.0)
+        assert EuclideanMetric() == EUCLIDEAN
+        assert len({MinkowskiMetric(3), MinkowskiMetric(3), MANHATTAN}) == 2
+
+
+@pytest.mark.parametrize("spec", ("euclidean",) + NON_EUCLIDEAN)
+class TestMetricKernels:
+    def test_point_distance(self, spec, rng):
+        metric = resolve_metric(spec)
+        for _ in range(10):
+            p, q = rng.normal(size=(2, 4))
+            assert metric.point_distance(p, q) == pytest.approx(
+                reference_distance(p, q, spec)
+            )
+        assert metric.point_distance([0.0, 0.0], [0.0, 0.0]) == 0.0
+
+    def test_cross_and_pairwise(self, spec, rng):
+        metric = resolve_metric(spec)
+        a = rng.normal(size=(7, 3))
+        b = rng.normal(size=(5, 3))
+        cross = metric.cross_distances(a, b)
+        assert cross.shape == (7, 5)
+        for i in range(7):
+            for j in range(5):
+                assert cross[i, j] == pytest.approx(
+                    reference_distance(a[i], b[j], spec), abs=1e-12
+                )
+        pair = metric.pairwise_distances(a)
+        assert np.allclose(np.diag(pair), 0.0, atol=1e-7)
+        assert np.allclose(pair, pair.T)
+
+    def test_diff_norms_and_exact_edge_weights(self, spec, rng):
+        metric = resolve_metric(spec)
+        points = rng.normal(size=(20, 3))
+        ia = rng.integers(0, 20, size=12)
+        ib = rng.integers(0, 20, size=12)
+        weights = metric.exact_edge_weights(points, ia, ib)
+        for w, i, j in zip(weights, ia, ib):
+            assert w == pytest.approx(
+                reference_distance(points[i], points[j], spec), abs=1e-12
+            )
+        core = rng.random(20) * 2.0
+        mutual = metric.exact_edge_weights(points, ia, ib, core)
+        expected = np.maximum(weights, np.maximum(core[ia], core[ib]))
+        assert np.allclose(mutual, expected)
+
+    def test_block_cross_matches_cross(self, spec, rng):
+        metric = resolve_metric(spec)
+        pts_a = rng.normal(size=(4, 6, 3))
+        pts_b = rng.normal(size=(4, 5, 3))
+        block = metric.block_cross_distances(pts_a, pts_b, current_workspace())
+        for g in range(4):
+            expected = metric.cross_distances(pts_a[g], pts_b[g])
+            assert np.allclose(block[g], expected, atol=1e-10)
+
+    def test_box_radii_bound_points(self, spec, rng):
+        metric = resolve_metric(spec)
+        points = rng.normal(size=(50, 3))
+        lower, upper = points.min(axis=0), points.max(axis=0)
+        center = (lower + upper) * 0.5
+        radius = float(metric.box_radii((upper - lower)[None, :])[0])
+        distances = metric.distances_to_point(points, center)
+        assert distances.max() <= radius + 1e-12
+
+    def test_gap_norm_is_point_to_box_minimum(self, spec, rng):
+        metric = resolve_metric(spec)
+        lower = np.zeros(2)
+        upper = np.ones(2)
+        query = np.array([2.0, -0.5])
+        gap = np.maximum(np.maximum(lower - query, query - upper), 0.0)
+        bound = float(metric.diff_norms(gap[None, :])[0])
+        # Exhaustive grid inside the box: no point may beat the bound.
+        grid = np.stack(
+            np.meshgrid(np.linspace(0, 1, 21), np.linspace(0, 1, 21)), axis=-1
+        ).reshape(-1, 2)
+        actual = metric.distances_to_point(grid, query).min()
+        assert bound <= actual + 1e-12
+        assert bound == pytest.approx(actual, abs=0.1)  # grid resolution
+
+
+@pytest.mark.parametrize("spec", NON_EUCLIDEAN)
+class TestNonEuclideanAlgorithms:
+    def test_knn_matches_bruteforce_sort(self, spec, small_points_2d):
+        metric = resolve_metric(spec)
+        points = small_points_2d
+        tree = KDTree(points, leaf_size=4, metric=metric)
+        idx_tree, dist_tree = knn(tree, 5)
+        full = metric.pairwise_distances(points)
+        expected = np.sort(full, axis=1)[:, :5]
+        assert np.allclose(dist_tree, expected, atol=1e-12)
+        _, dist_brute = knn_bruteforce(points, 5, metric=metric)
+        assert np.allclose(dist_brute, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("method", ["memogfk", "gfk", "naive", "dualtree-boruvka"])
+    def test_emst_matches_bruteforce(self, spec, method, small_points_2d, small_points_3d):
+        for points in (small_points_2d, small_points_3d[:100]):
+            result = emst(points, method=method, metric=spec)
+            reference = emst_bruteforce(points, metric=spec)
+            assert result.is_spanning_tree()
+            assert result.total_weight == pytest.approx(
+                reference.total_weight, abs=1e-9
+            )
+
+    @pytest.mark.parametrize("method", ["memogfk", "gantao"])
+    def test_hdbscan_mst_matches_bruteforce(self, spec, method, small_points_2d):
+        points = small_points_2d
+        reference = hdbscan_mst_bruteforce(points, min_pts=5, metric=spec)
+        result = hdbscan(points, min_pts=5, method=method, metric=spec)
+        assert result.mst.is_spanning_tree()
+        assert result.mst.total_weight == pytest.approx(
+            reference.total_weight, abs=1e-9
+        )
+
+    def test_thread_determinism(self, spec, small_points_2d):
+        reference = emst(small_points_2d, metric=spec, num_threads=1)
+        threaded = emst(small_points_2d, metric=spec, num_threads=4)
+        for left, right in zip(
+            reference.edges.as_arrays(), threaded.edges.as_arrays()
+        ):
+            assert np.array_equal(left, right)
+
+    def test_core_distances_match_matrix(self, spec, small_points_2d):
+        metric = resolve_metric(spec)
+        points = small_points_2d
+        expected = np.sort(metric.pairwise_distances(points), axis=1)[:, 4]
+        for method in ("bruteforce", "kdtree"):
+            got = core_distances(points, 5, method=method, metric=metric)
+            assert np.allclose(got, expected, atol=1e-12)
+
+
+class TestMetricGates:
+    def test_delaunay_is_euclidean_only(self, small_points_2d):
+        with pytest.raises(InvalidParameterError):
+            emst(small_points_2d, method="delaunay", metric="manhattan")
+        # Euclidean still works.
+        result = emst(small_points_2d, method="delaunay")
+        assert result.is_spanning_tree()
+
+    def test_core_distance_tree_metric_mismatch(self, small_points_2d):
+        tree = KDTree(small_points_2d, leaf_size=8, metric="manhattan")
+        with pytest.raises(InvalidParameterError):
+            core_distances(
+                small_points_2d, 5, method="kdtree", tree=tree, metric="euclidean"
+            )
+        # Matching metric is accepted.
+        got = core_distances(
+            small_points_2d, 5, method="kdtree", tree=tree, metric="manhattan"
+        )
+        assert got.shape == (small_points_2d.shape[0],)
+
+    def test_tree_carries_metric(self, small_points_2d):
+        tree = KDTree(small_points_2d, metric="chebyshev")
+        assert tree.metric is CHEBYSHEV
+        assert tree.flat.metric is CHEBYSHEV
+        # Chebyshev radii are half the widest extent, never larger than L2.
+        euclid = KDTree(small_points_2d)
+        assert np.all(tree.flat.node_radius <= euclid.flat.node_radius + 1e-15)
+
+
+@pytest.fixture(scope="module")
+def pr3_refs():
+    return np.load(REFS_PATH)
+
+
+@pytest.mark.parametrize("num_threads", [1, 2, 4])
+class TestEuclideanByteIdentity:
+    """The refactored Euclidean path reproduces the captured PR-3 outputs."""
+
+    @pytest.mark.parametrize("tag", ["2d", "3d"])
+    @pytest.mark.parametrize("method", ["memogfk", "gfk", "naive"])
+    def test_emst_edges(self, num_threads, tag, method, pr3_refs):
+        points = pr3_refs[f"points_{tag}"]
+        result = emst(points, method=method, num_threads=num_threads)
+        u, v, w = result.edges.as_arrays()
+        assert np.array_equal(u, pr3_refs[f"emst_{method}_{tag}_u"])
+        assert np.array_equal(v, pr3_refs[f"emst_{method}_{tag}_v"])
+        assert np.array_equal(w, pr3_refs[f"emst_{method}_{tag}_w"])
+
+    @pytest.mark.parametrize("tag", ["2d", "3d"])
+    def test_hdbscan_pipeline(self, num_threads, tag, pr3_refs):
+        points = pr3_refs[f"points_{tag}"]
+        result = hdbscan(points, min_pts=10, num_threads=num_threads)
+        u, v, w = result.mst.edges.as_arrays()
+        assert np.array_equal(u, pr3_refs[f"hdbscan_memogfk_{tag}_u"])
+        assert np.array_equal(v, pr3_refs[f"hdbscan_memogfk_{tag}_v"])
+        assert np.array_equal(w, pr3_refs[f"hdbscan_memogfk_{tag}_w"])
+        assert np.array_equal(
+            result.core_distances, pr3_refs[f"hdbscan_memogfk_{tag}_core"]
+        )
+        assert np.array_equal(
+            result.dendrogram.to_linkage_matrix(),
+            pr3_refs[f"hdbscan_memogfk_{tag}_linkage"],
+        )
+        assert np.array_equal(
+            result.eom_labels(min_cluster_size=5),
+            pr3_refs[f"hdbscan_memogfk_{tag}_eom"],
+        )
+
+    @pytest.mark.parametrize("tag", ["2d", "3d"])
+    def test_gantao_edges(self, num_threads, tag, pr3_refs):
+        points = pr3_refs[f"points_{tag}"]
+        result = hdbscan(
+            points, min_pts=10, method="gantao", num_threads=num_threads
+        )
+        u, v, w = result.mst.edges.as_arrays()
+        assert np.array_equal(u, pr3_refs[f"hdbscan_gantao_{tag}_u"])
+        assert np.array_equal(v, pr3_refs[f"hdbscan_gantao_{tag}_v"])
+        assert np.array_equal(w, pr3_refs[f"hdbscan_gantao_{tag}_w"])
