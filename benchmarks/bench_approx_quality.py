@@ -1,0 +1,236 @@
+"""Accuracy-versus-speed curves for the approximation subsystem.
+
+The approximate methods are the first whose output is *contractually*
+approximate, so this driver both measures and **gates** the contract:
+
+* **Weight gate (every scale, fails CI)** — for every ε in
+  :data:`EPSILONS` and every quality dataset, the approximate EMST's total
+  weight must lie in ``[w_exact, (1 + ε) · w_exact]``, and likewise for the
+  approximate mutual-reachability MST.  The gate runs at smoke scale in CI
+  and at any manual scale.
+* **Quality curves** — weight ratio and wall clock per ε for
+  ``approx_emst`` / ``approx_hdbscan``, plus the adjusted Rand index of the
+  approximate HDBSCAN* flat clustering against the exact pipeline's on the
+  registry datasets (the documented quality contract).
+* **Speedup gate (full scale only)** — at the acceptance point ε = 0.5 and
+  the headline n = 20k on ``7D-Household`` (clustered, moderate dimension —
+  the workload class where the exact engine works hardest per WSPD pair;
+  measured ~1.4x), ``approx_emst`` must be measurably faster than exact
+  MemoGFK.  Below ε ≈ 0.25 — or on high-dimensional quasi-uniform data
+  (``10D-HT``) — the ε-certified decomposition becomes denser than what the
+  exact engine traverses and the approximation loses its edge; the curves
+  in the artifact show the crossover, prefer exact there.
+
+Results go to the JSON artifact (``REPRO_BENCH_JSON``, default
+``BENCH_approx_quality.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.approx import approx_emst, approx_hdbscan
+from repro.emst import emst_memogfk
+from repro.hdbscan import adjusted_rand_index, hdbscan
+
+from _common import scaled
+
+#: Headline scale of the ε = 0.5 speedup acceptance criterion.
+HEADLINE_N = 20_000
+
+#: Dataset of the speedup gate: clustered, moderate dimension — the regime
+#: where exact MemoGFK does the most per-pair work.
+HEADLINE_DATASET = "7D-Household"
+
+#: The ε axis of every curve.
+EPSILONS = (0.01, 0.1, 0.5, 1.0)
+
+#: Registry datasets of the quality curves (weight ratio + ARI), at a size
+#: where the exact references stay cheap across the whole grid.
+QUALITY_N = 4_000
+QUALITY_DATASETS = (
+    "2D-UniformFill",
+    "5D-SS-varden",
+    "3D-GeoLife",
+    "7D-Household",
+)
+
+#: Acceptance point of the speedup gate.
+SPEEDUP_EPSILON = 0.5
+
+MIN_PTS = 10
+MIN_CLUSTER_SIZE = 5
+
+_RESULTS: dict = {}
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def _record(name: str, payload) -> None:
+    _RESULTS[name] = payload
+    _RESULTS.setdefault("machine", {})["scale"] = _scale()
+    path = os.environ.get("REPRO_BENCH_JSON", "BENCH_approx_quality.json")
+    with open(path, "w") as handle:
+        json.dump(_RESULTS, handle, indent=2, sort_keys=True)
+
+
+def _dataset(name: str, n: int) -> np.ndarray:
+    from repro.datasets import load_dataset
+
+    return load_dataset(name, n=scaled(n), seed=0)
+
+
+def _timed(function, repeats: int = 1):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_emst_weight_gate_and_curves(benchmark):
+    """Weight ratio and wall clock per ε; the (1+ε) gate fails at any scale."""
+    records = {}
+
+    def run_all():
+        for name in QUALITY_DATASETS:
+            points = _dataset(name, QUALITY_N)
+            exact_time, exact = _timed(lambda: emst_memogfk(points))
+            exact_weight = exact.total_weight
+            curve = {"n": int(points.shape[0]), "exact_seconds": exact_time}
+            for epsilon in EPSILONS:
+                seconds, result = _timed(lambda: approx_emst(points, epsilon))
+                ratio = result.total_weight / exact_weight
+                curve[f"eps_{epsilon}"] = {
+                    "seconds": seconds,
+                    "weight_ratio": ratio,
+                    "speedup_vs_exact": exact_time / seconds,
+                    "wspd_pairs": result.stats.get("wspd_pairs"),
+                    "pairs_refined": result.stats.get("pairs_refined"),
+                }
+                # THE GATE: contractual (1+eps) bound, never below exact.
+                assert result.is_spanning_tree()
+                slack = 1e-9 * exact_weight
+                assert result.total_weight >= exact_weight - slack, (
+                    f"{name} eps={epsilon}: approximate tree lighter than exact"
+                )
+                assert result.total_weight <= (1 + epsilon) * exact_weight + slack, (
+                    f"{name} eps={epsilon}: weight ratio {ratio:.6f} exceeds 1+eps"
+                )
+            records[name] = curve
+        return records
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print("\n[approx] EMST weight-ratio / speedup curves")
+    for name, curve in records.items():
+        row = "  ".join(
+            f"eps={eps}: ratio={curve[f'eps_{eps}']['weight_ratio']:.5f} "
+            f"({curve[f'eps_{eps}']['speedup_vs_exact']:.2f}x)"
+            for eps in EPSILONS
+        )
+        print(f"  {name} (n={curve['n']}): {row}")
+    _record("emst_quality", records)
+
+
+def test_hdbscan_weight_gate_and_ari_curves(benchmark):
+    """Mutual-reachability weight gate plus ARI-vs-exact quality curves."""
+    records = {}
+
+    def run_all():
+        for name in QUALITY_DATASETS:
+            points = _dataset(name, QUALITY_N)
+            min_pts = min(MIN_PTS, points.shape[0])
+            exact_time, exact = _timed(lambda: hdbscan(points, min_pts=min_pts))
+            exact_weight = exact.mst.total_weight
+            exact_labels = exact.eom_labels(min_cluster_size=MIN_CLUSTER_SIZE)
+            curve = {"n": int(points.shape[0]), "exact_seconds": exact_time}
+            for epsilon in EPSILONS:
+                seconds, result = _timed(
+                    lambda: approx_hdbscan(points, min_pts, epsilon)
+                )
+                weight = result.mst.total_weight
+                labels = result.eom_labels(min_cluster_size=MIN_CLUSTER_SIZE)
+                ari = adjusted_rand_index(exact_labels, labels)
+                curve[f"eps_{epsilon}"] = {
+                    "seconds": seconds,
+                    "weight_ratio": weight / exact_weight,
+                    "ari_vs_exact": ari,
+                }
+                assert result.mst.is_spanning_tree()
+                slack = 1e-9 * exact_weight
+                assert weight >= exact_weight - slack, (
+                    f"{name} eps={epsilon}: approximate MR-MST lighter than exact"
+                )
+                assert weight <= (1 + epsilon) * exact_weight + slack, (
+                    f"{name} eps={epsilon}: MR weight ratio exceeds 1+eps"
+                )
+            records[name] = curve
+        return records
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print("\n[approx] HDBSCAN* weight-ratio / ARI curves")
+    for name, curve in records.items():
+        row = "  ".join(
+            f"eps={eps}: ratio={curve[f'eps_{eps}']['weight_ratio']:.5f} "
+            f"ARI={curve[f'eps_{eps}']['ari_vs_exact']:.3f}"
+            for eps in EPSILONS
+        )
+        print(f"  {name} (n={curve['n']}): {row}")
+    _record("hdbscan_quality", records)
+
+
+def test_headline_speedup_gate(benchmark):
+    """ε = 0.5 must beat exact MemoGFK at the headline scale (full scale only)."""
+    n = scaled(HEADLINE_N)
+    points = _dataset(HEADLINE_DATASET, HEADLINE_N)
+
+    def run_both():
+        exact_time, exact = _timed(lambda: emst_memogfk(points), repeats=2)
+        approx_time, approx = _timed(
+            lambda: approx_emst(points, SPEEDUP_EPSILON), repeats=2
+        )
+        return exact_time, approx_time, exact, approx
+
+    exact_time, approx_time, exact, approx = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    speedup = exact_time / approx_time
+    ratio = approx.total_weight / exact.total_weight
+    print(
+        f"\n[approx] headline {HEADLINE_DATASET} n={n}: "
+        f"exact={exact_time:.2f}s approx(eps={SPEEDUP_EPSILON})={approx_time:.2f}s "
+        f"speedup={speedup:.2f}x weight_ratio={ratio:.5f}"
+    )
+    _record(
+        "headline_speedup",
+        {
+            "dataset": HEADLINE_DATASET,
+            "n": n,
+            "epsilon": SPEEDUP_EPSILON,
+            "exact_seconds": exact_time,
+            "approx_seconds": approx_time,
+            "speedup": speedup,
+            "weight_ratio": ratio,
+        },
+    )
+    # The weight contract holds at every scale.
+    assert approx.is_spanning_tree()
+    assert ratio <= 1 + SPEEDUP_EPSILON + 1e-9
+    assert approx.total_weight >= exact.total_weight * (1 - 1e-9)
+    if _scale() >= 1.0:
+        # The acceptance criterion: measurably faster than exact MemoGFK at
+        # n=20k.  Smoke-scale runs (CI) skip the timing gate — tiny inputs
+        # sit below the engine's batching thresholds — but still enforce the
+        # weight contract above.
+        assert speedup > 1.0, (
+            f"approx_emst(eps={SPEEDUP_EPSILON}) was not faster than exact "
+            f"MemoGFK at n={n}: {approx_time:.2f}s vs {exact_time:.2f}s"
+        )

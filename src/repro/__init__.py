@@ -57,6 +57,7 @@ from repro.hdbscan import (
     hdbscan_mst_memogfk,
     optics_approx_mst,
 )
+from repro.approx import approx_emst, approx_hdbscan, approx_hdbscan_mst
 from repro.dendrogram import (
     Dendrogram,
     clusters_at_height,
@@ -105,6 +106,9 @@ __all__ = [
     "hdbscan_mst_gantao",
     "hdbscan_mst_memogfk",
     "optics_approx_mst",
+    "approx_emst",
+    "approx_hdbscan",
+    "approx_hdbscan_mst",
     "Dendrogram",
     "clusters_at_height",
     "cut_num_clusters",

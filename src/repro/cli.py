@@ -15,6 +15,9 @@ Every subcommand takes ``--num-threads N`` to shard the batched kernels
 across the persistent worker pool (outputs are byte-identical at any
 setting) and ``--metric NAME`` to pick the distance metric (``euclidean``,
 ``manhattan``, ``chebyshev``, or ``minkowski:p``, e.g. ``minkowski:3``).
+``emst`` and ``single-linkage`` take ``--epsilon EPS`` — and ``hdbscan``
+takes ``--approx-epsilon EPS`` (``--epsilon`` being its DBSCAN* cut level) —
+to compute the (1+EPS)-approximate tree instead of the exact one.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.approx import resolve_approx_method
 from repro.core.errors import ReproError
 from repro.core.metric import METRIC_NAMES, resolve_metric
 from repro.dendrogram.single_linkage import single_linkage
@@ -104,10 +108,23 @@ def build_parser() -> argparse.ArgumentParser:
             "default: euclidean",
         )
 
+    def add_epsilon(subparser: argparse.ArgumentParser, flag: str = "--epsilon") -> None:
+        subparser.add_argument(
+            flag,
+            type=float,
+            default=None,
+            dest="approx_epsilon",
+            metavar="EPS",
+            help="compute the (1+EPS)-approximate tree instead of the exact "
+            "one (total weight within a factor 1+EPS of exact, never "
+            "below it); 0 means exact",
+        )
+
     emst_parser = subparsers.add_parser("emst", help="Euclidean minimum spanning tree")
     emst_parser.add_argument("input", help="points file (.csv/.txt/.npy)")
     emst_parser.add_argument("--method", default="memogfk", choices=sorted(EMST_METHODS))
     emst_parser.add_argument("--output", help="write edges as CSV to this path")
+    add_epsilon(emst_parser)
     add_num_threads(emst_parser)
 
     hdbscan_parser = subparsers.add_parser("hdbscan", help="HDBSCAN* clustering")
@@ -128,6 +145,8 @@ def build_parser() -> argparse.ArgumentParser:
     hdbscan_parser.add_argument(
         "--mst-output", help="also write the mutual-reachability MST edges here"
     )
+    # --epsilon already names the DBSCAN* cut level on this subcommand.
+    add_epsilon(hdbscan_parser, "--approx-epsilon")
     add_num_threads(hdbscan_parser)
 
     linkage_parser = subparsers.add_parser(
@@ -137,9 +156,19 @@ def build_parser() -> argparse.ArgumentParser:
     linkage_parser.add_argument("--num-clusters", type=int, default=2)
     linkage_parser.add_argument("--method", default="memogfk", choices=sorted(EMST_METHODS))
     linkage_parser.add_argument("--output", help="write labels as CSV to this path")
+    add_epsilon(linkage_parser)
     add_num_threads(linkage_parser)
 
     return parser
+
+
+def _approx_method_kwargs(args) -> dict:
+    """Map the CLI accuracy flag onto ``method=`` / ``epsilon=`` kwargs."""
+    flag = "--approx-epsilon" if args.command == "hdbscan" else "--epsilon"
+    method, kwargs = resolve_approx_method(
+        args.method, getattr(args, "approx_epsilon", None), knob=flag
+    )
+    return {"method": method, **kwargs}
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -151,9 +180,9 @@ def main(argv: Optional[list] = None) -> int:
         if args.command == "emst":
             result = emst(
                 points,
-                method=args.method,
                 metric=metric,
                 num_threads=args.num_threads,
+                **_approx_method_kwargs(args),
             )
             _write_edges(result, args.output)
             print(
@@ -164,9 +193,9 @@ def main(argv: Optional[list] = None) -> int:
             result = hdbscan(
                 points,
                 min_pts=args.min_pts,
-                method=args.method,
                 metric=metric,
                 num_threads=args.num_threads,
+                **_approx_method_kwargs(args),
             )
             if args.mst_output:
                 _write_edges(result.mst, args.mst_output)
@@ -183,9 +212,9 @@ def main(argv: Optional[list] = None) -> int:
         else:  # single-linkage
             result = single_linkage(
                 points,
-                method=args.method,
                 metric=metric,
                 num_threads=args.num_threads,
+                **_approx_method_kwargs(args),
             )
             labels = result.labels_k(args.num_clusters)
             _write_labels(labels, args.output)

@@ -23,6 +23,18 @@ from repro.emst.memogfk import emst_memogfk
 from repro.emst.naive import emst_naive
 from repro.emst.result import EMSTResult
 
+
+def _emst_wspd_approx(points, **kwargs) -> EMSTResult:
+    """(1+ε)-approximate EMST (``epsilon=``, ``representative=`` kwargs).
+
+    Imported lazily: :mod:`repro.approx` consumes the whole exact engine, so
+    a module-level import here would cycle through the package inits.
+    """
+    from repro.approx.emst import emst_wspd_approx
+
+    return emst_wspd_approx(points, **kwargs)
+
+
 EMST_METHODS: Dict[str, Callable[..., EMSTResult]] = {
     "memogfk": emst_memogfk,
     "gfk": emst_gfk,
@@ -30,6 +42,7 @@ EMST_METHODS: Dict[str, Callable[..., EMSTResult]] = {
     "delaunay": emst_delaunay,
     "dualtree-boruvka": emst_dualtree_boruvka,
     "bruteforce": emst_bruteforce,
+    "wspd-approx": _emst_wspd_approx,
 }
 
 
@@ -46,7 +59,9 @@ def emst(
     method:
         One of ``"memogfk"`` (default, Algorithm 3), ``"gfk"`` (Algorithm 2),
         ``"naive"``, ``"delaunay"`` (2D Euclidean only),
-        ``"dualtree-boruvka"`` or ``"bruteforce"``.
+        ``"dualtree-boruvka"``, ``"bruteforce"``, or ``"wspd-approx"`` (the
+        (1+ε)-approximate tree of :func:`repro.approx.emst.approx_emst`;
+        takes ``epsilon=`` and ``representative=``).
     metric:
         Distance metric: a name (``"euclidean"``, ``"manhattan"``,
         ``"chebyshev"``, ``"minkowski:p"``), a

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.approx import resolve_approx_method
 from repro.core.errors import InvalidParameterError, NotComputedError
 from repro.core.metric import MetricLike, resolve_metric
 from repro.core.points import as_points
@@ -100,6 +101,13 @@ class EMST(_ReproEstimator):
         Distance metric: a name (``"euclidean"``, ``"manhattan"``,
         ``"chebyshev"``, ``"minkowski:p"``), a Metric instance, or ``None``
         for Euclidean.
+    epsilon:
+        Accuracy knob: ``0.0`` (default) computes the exact tree with the
+        configured ``method``; a positive value computes the
+        (1+ε)-approximate tree (``total_weight_`` is at most ``1 + epsilon``
+        times the exact MST weight, and never below it) via the
+        ``"wspd-approx"`` engine — ``method`` must then be left at its
+        default or set to ``"wspd-approx"`` explicitly.
     n_clusters:
         When set, :meth:`fit` also derives single-linkage flat cluster labels
         by cutting the tree's dendrogram into ``n_clusters`` clusters, and
@@ -124,18 +132,20 @@ class EMST(_ReproEstimator):
         The full :class:`~repro.emst.result.EMSTResult`.
     """
 
-    _parameter_names = ("method", "metric", "n_clusters", "num_threads")
+    _parameter_names = ("method", "metric", "epsilon", "n_clusters", "num_threads")
 
     def __init__(
         self,
         *,
         method: str = "memogfk",
         metric: MetricLike = "euclidean",
+        epsilon: float = 0.0,
         n_clusters: Optional[int] = None,
         num_threads: Optional[int] = None,
     ) -> None:
         self.method = method
         self.metric = metric
+        self.epsilon = epsilon
         self.n_clusters = n_clusters
         self.num_threads = num_threads
 
@@ -146,6 +156,7 @@ class EMST(_ReproEstimator):
                 f"unknown EMST method {self.method!r}; "
                 f"choose from {sorted(EMST_METHODS)}"
             )
+        method, method_kwargs = resolve_approx_method(self.method, self.epsilon)
         resolve_metric(self.metric)  # fail fast on bad metric specs
         data = as_points(X, min_points=1)
         # Validate everything parameter-shaped before the (potentially
@@ -159,9 +170,10 @@ class EMST(_ReproEstimator):
             )
         result = emst(
             data,
-            method=self.method,
+            method=method,
             metric=self.metric,
             num_threads=self.num_threads,
+            **method_kwargs,
         )
         u, v, w = result.edges.as_arrays()
         self.n_features_in_ = int(data.shape[1])
@@ -208,7 +220,15 @@ class HDBSCAN(_ReproEstimator):
         :data:`repro.hdbscan.api.HDBSCAN_METHODS`).
     epsilon:
         When set, flat labels come from the DBSCAN* cut at this density
-        level instead of excess-of-mass selection.
+        level instead of excess-of-mass selection.  (This is the cut level
+        of the hierarchy — the *accuracy* knob is ``approx_epsilon``.)
+    approx_epsilon:
+        Accuracy knob: ``0.0`` (default) computes the exact
+        mutual-reachability MST with the configured ``method``; a positive
+        value computes the (1+ε)-approximate MST (total weight within
+        ``1 + approx_epsilon`` of exact, never below it) via the
+        ``"wspd-approx"`` engine — ``method`` must then be left at its
+        default or set to ``"wspd-approx"`` explicitly.
     allow_single_cluster:
         Whether EOM selection may return the root as a single cluster.
     num_threads:
@@ -236,6 +256,7 @@ class HDBSCAN(_ReproEstimator):
         "metric",
         "method",
         "epsilon",
+        "approx_epsilon",
         "allow_single_cluster",
         "num_threads",
     )
@@ -248,6 +269,7 @@ class HDBSCAN(_ReproEstimator):
         metric: MetricLike = "euclidean",
         method: str = "memogfk",
         epsilon: Optional[float] = None,
+        approx_epsilon: float = 0.0,
         allow_single_cluster: bool = False,
         num_threads: Optional[int] = None,
     ) -> None:
@@ -256,6 +278,7 @@ class HDBSCAN(_ReproEstimator):
         self.metric = metric
         self.method = method
         self.epsilon = epsilon
+        self.approx_epsilon = approx_epsilon
         self.allow_single_cluster = allow_single_cluster
         self.num_threads = num_threads
 
@@ -266,6 +289,9 @@ class HDBSCAN(_ReproEstimator):
                 f"unknown HDBSCAN* method {self.method!r}; "
                 f"choose from {sorted(HDBSCAN_METHODS)}"
             )
+        method, method_kwargs = resolve_approx_method(
+            self.method, self.approx_epsilon, knob="approx_epsilon"
+        )
         resolve_metric(self.metric)
         data = as_points(X, min_points=1)
         n = data.shape[0]
@@ -290,9 +316,10 @@ class HDBSCAN(_ReproEstimator):
         result = hdbscan(
             data,
             min_pts=int(self.min_pts),
-            method=self.method,
+            method=method,
             metric=self.metric,
             num_threads=self.num_threads,
+            **method_kwargs,
         )
         if self.epsilon is not None:
             labels = result.dbscan_labels(

@@ -29,6 +29,7 @@ from repro.hdbscan.gantao import hdbscan_mst_gantao
 from repro.hdbscan.memogfk import hdbscan_mst_memogfk
 from repro.hdbscan.optics_approx import optics_approx_mst
 from repro.hdbscan.result import HDBSCANResult
+from repro.hdbscan.validation import adjusted_rand_index
 from repro.hdbscan.api import hdbscan, HDBSCAN_METHODS
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "hdbscan_mst_memogfk",
     "optics_approx_mst",
     "HDBSCANResult",
+    "adjusted_rand_index",
     "hdbscan",
     "HDBSCAN_METHODS",
 ]

@@ -24,10 +24,23 @@ from repro.hdbscan.memogfk import hdbscan_mst_memogfk
 from repro.hdbscan.optics_approx import optics_approx_mst
 from repro.hdbscan.result import HDBSCANResult
 
+
+def _hdbscan_mst_wspd_approx(points, min_pts: int = 10, **kwargs):
+    """(1+ε)-approximate mutual-reachability MST (``epsilon=`` kwarg).
+
+    Imported lazily: :mod:`repro.approx` consumes the whole exact engine, so
+    a module-level import here would cycle through the package inits.
+    """
+    from repro.approx.hdbscan import approx_hdbscan_mst
+
+    return approx_hdbscan_mst(points, min_pts, **kwargs)
+
+
 HDBSCAN_METHODS: Dict[str, Callable] = {
     "memogfk": hdbscan_mst_memogfk,
     "gantao": hdbscan_mst_gantao,
     "optics-approx": optics_approx_mst,
+    "wspd-approx": _hdbscan_mst_wspd_approx,
     "bruteforce": hdbscan_mst_bruteforce,
 }
 
@@ -55,7 +68,10 @@ def hdbscan(
     method:
         MST construction: ``"memogfk"`` (default, the paper's space-efficient
         algorithm), ``"gantao"`` (exact baseline), ``"optics-approx"``
-        (Appendix C approximation; accepts ``rho``) or ``"bruteforce"``.
+        (Appendix C approximation; accepts ``rho``), ``"wspd-approx"`` (the
+        batched (1+ε)-approximate tree of
+        :func:`repro.approx.hdbscan.approx_hdbscan_mst`; accepts
+        ``epsilon``) or ``"bruteforce"``.
     compute_dendrogram:
         Whether to build the ordered dendrogram (needed for the reachability
         plot; the MST alone suffices for :meth:`HDBSCANResult.dbscan_labels`).

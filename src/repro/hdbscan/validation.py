@@ -1,0 +1,57 @@
+"""Clustering-agreement measures used by the quality benchmarks and tests.
+
+The approximation subsystem's quality contract for HDBSCAN* is stated in
+terms of the adjusted Rand index between the flat clusterings derived from
+the approximate and the exact pipelines (see the README's Approximation
+section and ``benchmarks/bench_approx_quality.py``); this module provides
+the measure without an sklearn dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+
+def adjusted_rand_index(labels_a, labels_b) -> float:
+    """Adjusted Rand index between two flat labelings.
+
+    Chance-corrected pair-counting agreement in ``[-1, 1]``: ``1`` for
+    identical partitions (up to label renaming), ``~0`` for independent
+    ones.  Noise markers (e.g. HDBSCAN*'s ``-1``) are treated as one
+    ordinary cluster, so disagreement about what is noise lowers the score
+    like any other disagreement.  Degenerate cases where the expected and
+    maximum index coincide (e.g. both partitions are single clusters)
+    return ``1.0``.
+    """
+    a = np.asarray(labels_a).ravel()
+    b = np.asarray(labels_b).ravel()
+    if a.size != b.size:
+        raise InvalidParameterError(
+            f"labelings must have equal length, got {a.size} and {b.size}"
+        )
+    if a.size == 0:
+        raise InvalidParameterError("labelings must be non-empty")
+
+    _, a_ids = np.unique(a, return_inverse=True)
+    _, b_ids = np.unique(b, return_inverse=True)
+    num_a = int(a_ids.max()) + 1
+    num_b = int(b_ids.max()) + 1
+    contingency = np.bincount(
+        a_ids * num_b + b_ids, minlength=num_a * num_b
+    ).reshape(num_a, num_b)
+
+    def pairs(counts: np.ndarray) -> float:
+        counts = counts.astype(np.float64)
+        return float((counts * (counts - 1.0) / 2.0).sum())
+
+    sum_cells = pairs(contingency.ravel())
+    sum_rows = pairs(contingency.sum(axis=1))
+    sum_cols = pairs(contingency.sum(axis=0))
+    total = a.size * (a.size - 1.0) / 2.0
+    expected = sum_rows * sum_cols / total if total else 0.0
+    maximum = 0.5 * (sum_rows + sum_cols)
+    if maximum == expected:
+        return 1.0
+    return float((sum_cells - expected) / (maximum - expected))

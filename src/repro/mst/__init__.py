@@ -13,7 +13,12 @@ from repro.mst.edges import (
     edges_from_arrays,
     total_weight,
 )
-from repro.mst.kruskal import kruskal, kruskal_batch, kruskal_batch_arrays
+from repro.mst.kruskal import (
+    kruskal,
+    kruskal_batch,
+    kruskal_batch_arrays,
+    kruskal_filtered_arrays,
+)
 from repro.mst.boruvka import boruvka
 from repro.mst.prim import prim, prim_order
 from repro.mst.validation import is_spanning_tree
@@ -27,6 +32,7 @@ __all__ = [
     "kruskal",
     "kruskal_batch",
     "kruskal_batch_arrays",
+    "kruskal_filtered_arrays",
     "boruvka",
     "prim",
     "prim_order",

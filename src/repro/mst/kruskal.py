@@ -135,6 +135,65 @@ def kruskal_batch_arrays(
     return count
 
 
+def kruskal_filtered_arrays(
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    output: EdgeList,
+    union_find: UnionFind,
+    *,
+    num_threads: Optional[int] = None,
+    chunk_size: int = 1 << 16,
+) -> int:
+    """Kruskal over one large candidate edge array, with vectorized pruning.
+
+    Semantically identical to :func:`kruskal_batch_arrays` — same sorted
+    order, same union-find, same accepted edge set — but engineered for the
+    oversized candidate lists the approximate EMST produces, where the
+    candidates outnumber the ``n - 1`` survivors by an order of magnitude:
+
+    * the sorted edges are processed in fixed chunks, and before each chunk's
+      sequential union sweep a component snapshot
+      (:meth:`~repro.parallel.unionfind.UnionFind.roots`) discards every edge
+      whose endpoints are already connected — edges the per-edge sweep would
+      reject one Python iteration at a time;
+    * once the union-find reaches a single component no later edge can be
+      accepted, so the remaining chunks are skipped entirely.
+
+    Both optimizations only skip edges Kruskal would reject, so the result is
+    byte-identical to the plain batch at any ``num_threads`` and any
+    ``chunk_size``.  Returns the number of edges accepted into ``output``.
+    """
+    m = int(u.shape[0])
+    if m == 0:
+        return 0
+    tracker = current_tracker()
+    tracker.add(m * max(math.log2(m), 1.0), max(math.log2(m), 1.0), phase="kruskal")
+    order = parallel_argsort(w, num_threads=num_threads)
+    su = u[order]
+    sv = v[order]
+    sw = w[order]
+    count = 0
+    for lo in range(0, m, chunk_size):
+        if union_find.num_components == 1:
+            break
+        hi = min(lo + chunk_size, m)
+        roots = union_find.roots()
+        cu = su[lo:hi]
+        cv = sv[lo:hi]
+        keep = roots[cu] != roots[cv]
+        if not keep.any():
+            continue
+        ku = cu[keep]
+        kv = cv[keep]
+        accepted = union_find.union_many(ku, kv)
+        hits = int(np.count_nonzero(accepted))
+        if hits:
+            output.extend_arrays(ku[accepted], kv[accepted], sw[lo:hi][keep][accepted])
+            count += hits
+    return count
+
+
 def kruskal_batch(
     edges: EdgeBatch,
     output: EdgeList,

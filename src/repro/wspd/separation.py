@@ -32,6 +32,8 @@ norm-induced metrics in :mod:`repro.core.metric`.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.errors import NotComputedError
@@ -149,3 +151,129 @@ def hdbscan_well_separated_mask(
     return geometrically_separated_mask(flat, a, b) | mutually_unreachable_mask(
         flat, a, b
     )
+
+
+#: Pairs whose ``|A| · |B|`` does not exceed this are recorded by the
+#: ε-certified separation even when uncertified: refining such a pair with
+#: one exact (batched) BCCP costs at most this many distance evaluations,
+#: which is cheaper than splitting it further — and it bounds the
+#: decomposition by the classical ``s``-separated one, so tiny ε can never
+#: degenerate into a near-quadratic recursion.
+SMALL_PAIR_CAP = 64
+
+
+def node_representatives(flat: FlatKDTree) -> np.ndarray:
+    """Center-nearest representative point (original index) of every node.
+
+    For each kd-tree node, the point of its ``perm`` slice closest to the
+    node's bounding-sphere center — the representative that makes the
+    ε-certificates of the approximation subsystem tight (an arbitrary corner
+    point can sit a full diameter off-center; the center-nearest point is
+    within the radius by construction).  Computed in one vectorized pass:
+    every (node, member point) row — ``O(n log n)`` rows for a balanced
+    tree — is materialized with segment arithmetic, distances to the owning
+    node's center are taken under the tree's metric, and a lexsort picks
+    each segment's argmin (ties broken towards the first point, so
+    single-point nodes and degenerate geometry stay deterministic).
+    """
+    sizes = flat.node_end - flat.node_start
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.int64)
+    segment = np.repeat(np.arange(flat.num_nodes, dtype=np.int64), sizes)
+    within = np.arange(int(sizes.sum()), dtype=np.int64) - starts[segment]
+    rows = flat.node_start[segment] + within
+    members = flat.perm[rows]
+    distances = flat.metric.diff_norms(
+        flat.points[members] - flat.node_center[segment]
+    )
+    order = np.lexsort((within, distances, segment))
+    first = starts  # one winner per segment, at the segment's start after the sort
+    representatives = np.empty(flat.num_nodes, dtype=np.int64)
+    representatives[segment[order[first]]] = members[order[first]]
+    return representatives
+
+
+def representative_distances(
+    flat: FlatKDTree,
+    a: np.ndarray,
+    b: np.ndarray,
+    representatives: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Distance between the representatives of every pair of a node-id
+    frontier.
+
+    ``representatives`` maps node id to a point index
+    (:func:`node_representatives`); without it the deterministic first point
+    of each node's ``perm`` slice is used.  Weights come from the metric's
+    exact (cancellation-safe) kernel because they can end up as MST edge
+    weights.
+    """
+    if representatives is None:
+        rep_a = flat.perm[flat.node_start[a]]
+        rep_b = flat.perm[flat.node_start[b]]
+    else:
+        rep_a = representatives[a]
+        rep_b = representatives[b]
+    return flat.metric.exact_edge_weights(flat.points, rep_a, rep_b)
+
+
+def box_gaps(flat: FlatKDTree, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Minimum box-to-box distance of node-id arrays under the tree's metric.
+
+    The norm of the per-axis gap vector between the axis-aligned bounding
+    boxes — a valid (and usually far tighter than sphere-based) lower bound
+    on every cross distance for any norm-induced metric.
+    """
+    gap = np.maximum(
+        flat.node_lower[a] - flat.node_upper[b],
+        flat.node_lower[b] - flat.node_upper[a],
+    )
+    np.maximum(gap, 0.0, out=gap)
+    return flat.metric.diff_norms(gap)
+
+
+def bccp_lower_bounds(
+    flat: FlatKDTree,
+    a: np.ndarray,
+    b: np.ndarray,
+    rep_distances: np.ndarray,
+) -> np.ndarray:
+    """Per-pair lower bound on ``BCCP(A, B)`` from stored bounding geometry.
+
+    ``max(boxgap(A, B), d(rep) − diam(A) − diam(B))``: the box gap bounds
+    every cross distance from below, and by the triangle inequality no cross
+    pair can undercut the representative edge by more than the two (sphere)
+    diameters.  Valid for every norm-induced metric.
+    """
+    diameters = 2.0 * (flat.node_radius[a] + flat.node_radius[b])
+    return np.maximum(box_gaps(flat, a, b), rep_distances - diameters)
+
+
+def epsilon_certified_mask(
+    flat: FlatKDTree,
+    a: np.ndarray,
+    b: np.ndarray,
+    s: float,
+    epsilon: float,
+    representatives: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """ε-certified separation: classically separated AND (the representative
+    edge is provably within ``(1 + ε)`` of the pair's BCCP, OR the pair is
+    small enough to refine exactly).
+
+    This is the approximation subsystem's third notion of well-separation
+    (next to ``geometric`` and the paper's disjunctive ``hdbscan`` notion):
+    the FIND_PAIR recursion keeps splitting a pair until its deterministic
+    representative edge is certified against the geometric lower bound of
+    :func:`bccp_lower_bounds` — so small ε splits deeper and produces more
+    pairs — except that pairs of at most :data:`SMALL_PAIR_CAP` candidate
+    distances are recorded regardless (the consumer refines them with one
+    exact batched BCCP, per-pair factor 1, which caps the recursion at the
+    classical decomposition's granularity).  Every recorded pair therefore
+    contributes a candidate edge within ``(1 + ε)`` of its bichromatic
+    closest pair while remaining classically well-separated, which is
+    exactly what the (1+ε)-approximate EMST argument needs.
+    """
+    rep = representative_distances(flat, a, b, representatives)
+    certified = rep <= (1.0 + epsilon) * bccp_lower_bounds(flat, a, b, rep)
+    small = flat.node_sizes[a] * flat.node_sizes[b] <= SMALL_PAIR_CAP
+    return well_separated_mask(flat, a, b, s) & (certified | small)

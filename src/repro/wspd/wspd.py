@@ -34,6 +34,7 @@ from repro.parallel.scheduler import current_tracker
 from repro.spatial.flat import FlatKDTree
 from repro.spatial.kdtree import KDNode, KDTree
 from repro.wspd.separation import (
+    epsilon_certified_mask,
     hdbscan_well_separated_mask,
     well_separated_mask,
 )
@@ -56,9 +57,16 @@ PairMask = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 def separation_mask(
-    flat: FlatKDTree, separation: str, s: float
+    flat: FlatKDTree, separation: str, s: float, epsilon: Optional[float] = None
 ) -> PairMask:
-    """Vectorized separation predicate over node-id arrays of ``flat``."""
+    """Vectorized separation predicate over node-id arrays of ``flat``.
+
+    ``"geometric"`` and ``"hdbscan"`` are the paper's two notions;
+    ``"epsilon-certified"`` (requires ``epsilon``) is the approximation
+    subsystem's notion — classically separated *and* the representative edge
+    certified within ``(1 + ε)`` of the pair's BCCP — used by
+    :func:`repro.approx.emst.approx_emst`.
+    """
     if separation == "geometric":
         return lambda a, b: well_separated_mask(flat, a, b, s)
     if separation == "hdbscan":
@@ -67,8 +75,15 @@ def separation_mask(
                 "hdbscan separation requires annotate_core_distances() on the tree"
             )
         return lambda a, b: hdbscan_well_separated_mask(flat, a, b)
+    if separation == "epsilon-certified":
+        if epsilon is None:
+            raise InvalidParameterError(
+                "epsilon-certified separation requires an epsilon value"
+            )
+        return lambda a, b: epsilon_certified_mask(flat, a, b, s, epsilon)
     raise InvalidParameterError(
-        f"separation must be 'geometric' or 'hdbscan', got {separation!r}"
+        "separation must be 'geometric', 'hdbscan' or 'epsilon-certified', "
+        f"got {separation!r}"
     )
 
 
@@ -161,6 +176,8 @@ def iterate_wspd_ids(
     *,
     separation: str = "geometric",
     s: float = 2.0,
+    epsilon: Optional[float] = None,
+    predicate: Optional[PairMask] = None,
     num_threads: Optional[int] = None,
 ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
     """Yield the WSPD of ``flat`` as batches of node-id array pairs.
@@ -170,9 +187,15 @@ def iterate_wspd_ids(
     This is the array-native core that :func:`iterate_wspd`,
     :func:`compute_wspd_ids` and the GFK driver all share.  ``num_threads``
     shards each round's separation test over the worker pool; the yielded
-    batches are byte-identical at any setting.
+    batches are byte-identical at any setting.  ``epsilon`` parameterizes the
+    ``"epsilon-certified"`` separation; ``predicate`` overrides the named
+    separation with a custom pair mask (the approximate HDBSCAN* pipeline
+    supplies its mutual-reachability certificate this way) — coverage is
+    guaranteed for any predicate because unsplittable pairs are always
+    recorded.
     """
-    predicate = separation_mask(flat, separation, s)
+    if predicate is None:
+        predicate = separation_mask(flat, separation, s, epsilon)
     tracker = current_tracker()
     n = max(flat.size, 2)
     log_n = max(math.log2(n), 1.0)
@@ -226,13 +249,20 @@ def compute_wspd_ids(
     *,
     separation: str = "geometric",
     s: float = 2.0,
+    epsilon: Optional[float] = None,
+    predicate: Optional[PairMask] = None,
     num_threads: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """The full decomposition as two parallel node-id arrays."""
     _check_wspd_tree(tree)
     batches = list(
         iterate_wspd_ids(
-            tree.flat, separation=separation, s=s, num_threads=num_threads
+            tree.flat,
+            separation=separation,
+            s=s,
+            epsilon=epsilon,
+            predicate=predicate,
+            num_threads=num_threads,
         )
     )
     if not batches:

@@ -1,0 +1,130 @@
+"""Cross-method conformance helpers shared by the test suite.
+
+One place for the "every exact method must produce the same tree" logic the
+suite previously re-implemented as ad-hoc loops per PR: canonical edge-set
+extraction, tree-agreement assertions, the (1+ε) weight-bound assertion for
+the approximate methods, and the lists that define the conformance matrix
+(methods × metrics × thread counts × dtypes).
+
+Adding a new EMST method means it appears in ``EXACT_EMST_METHODS``
+automatically (it is derived from the live registry) and the whole matrix in
+``tests/test_conformance.py`` applies to it; a method with restricted support
+(like the 2D-Euclidean-only Delaunay variant) only needs a clause in
+:func:`emst_method_supports`.  Adding a metric means extending
+``CONFORMANCE_METRICS``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.emst.api import EMST_METHODS
+from repro.emst.result import EMSTResult
+from repro.hdbscan.api import HDBSCAN_METHODS
+
+#: Methods whose output is contractually approximate: they assert the
+#: (1+ε) weight bound instead of edge-set agreement.
+APPROX_EMST_METHODS: Tuple[str, ...] = ("wspd-approx",)
+APPROX_HDBSCAN_METHODS: Tuple[str, ...] = ("wspd-approx", "optics-approx")
+
+#: Exact methods, derived from the live registries so a newly registered
+#: method is conformance-tested without touching this module.
+EXACT_EMST_METHODS: Tuple[str, ...] = tuple(
+    sorted(set(EMST_METHODS) - set(APPROX_EMST_METHODS))
+)
+EXACT_HDBSCAN_METHODS: Tuple[str, ...] = tuple(
+    sorted(set(HDBSCAN_METHODS) - set(APPROX_HDBSCAN_METHODS))
+)
+
+#: The metric axis of the matrix (one representative of every metric family).
+CONFORMANCE_METRICS: Tuple[str, ...] = (
+    "euclidean",
+    "manhattan",
+    "chebyshev",
+    "minkowski:3",
+)
+
+#: The thread-count axis (1 = inline, 2 = sharded onto the worker pool).
+CONFORMANCE_THREAD_COUNTS: Tuple[int, ...] = (1, 2)
+
+#: The input-dtype axis: inputs are handed to the library in this dtype (the
+#: boundary coerces to float64, so both must yield the float64-cast tree).
+CONFORMANCE_DTYPES: Tuple[str, ...] = ("float64", "float32")
+
+#: ε values the approximate methods are exercised at.
+CONFORMANCE_EPSILONS: Tuple[float, ...] = (0.01, 0.1, 0.5, 1.0)
+
+
+def emst_method_supports(method: str, metric: str, dimensions: int) -> bool:
+    """Whether an EMST method supports a (metric, dimensionality) cell."""
+    if method == "delaunay":
+        return metric == "euclidean" and dimensions == 2
+    return True
+
+
+def skip_unless_supported(method: str, metric: str, dimensions: int) -> None:
+    """``pytest.skip`` a matrix cell the method documentedly cannot serve."""
+    if not emst_method_supports(method, metric, dimensions):
+        pytest.skip(f"{method} does not support metric={metric}, d={dimensions}")
+
+
+def canonical_edges(result: EMSTResult) -> np.ndarray:
+    """The tree's edge set as a lexicographically sorted ``(m, 2)`` array.
+
+    Endpoints are ordered within each edge and the rows are sorted, so two
+    trees over the same points are equal iff these arrays are equal —
+    independent of edge order, edge direction, or which algorithm produced
+    them.
+    """
+    u, v, _ = result.edges.as_arrays()
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    edges = np.column_stack([lo, hi])
+    order = np.lexsort((hi, lo))
+    return edges[order]
+
+
+def assert_same_tree(
+    result: EMSTResult, reference: EMSTResult, *, rel: float = 1e-9
+) -> None:
+    """Assert two exact results describe the identical spanning tree.
+
+    Total weights must agree to relative tolerance ``rel`` and the canonical
+    edge sets must be identical (the conformance datasets are in generic
+    position, so the MST is unique and edge sets are comparable).
+    """
+    assert result.num_edges == reference.num_edges
+    assert result.total_weight == pytest.approx(reference.total_weight, rel=rel)
+    assert np.array_equal(canonical_edges(result), canonical_edges(reference)), (
+        f"{result.method} and {reference.method} returned different edge sets"
+    )
+
+
+def assert_weight_bound(
+    result: EMSTResult,
+    exact_weight: float,
+    epsilon: float,
+    *,
+    num_points: Optional[int] = None,
+) -> None:
+    """Assert the approximate-method contract.
+
+    The result must be a spanning tree whose total weight lies in
+    ``[exact, (1 + epsilon) * exact]`` (with a hair of floating-point slack
+    on both sides).
+    """
+    if num_points is not None:
+        assert result.num_points == num_points
+    assert result.is_spanning_tree()
+    weight = result.total_weight
+    slack = 1e-9 * max(exact_weight, 1.0)
+    assert weight >= exact_weight - slack, (
+        f"approximate weight {weight} below exact {exact_weight}"
+    )
+    bound = (1.0 + epsilon) * exact_weight
+    assert weight <= bound + slack, (
+        f"approximate weight {weight} exceeds (1+{epsilon}) * exact = {bound}"
+    )

@@ -1,0 +1,189 @@
+"""The cross-method conformance matrix.
+
+One parametrized grid — method × metric × num_threads × dtype — asserting
+that every *exact* EMST method returns the identical spanning tree (total
+weight and edge set) on a generic-position dataset, that the exact HDBSCAN*
+methods agree on the mutual-reachability MST weight, and that the
+*approximate* methods honour their ``(1 + ε)`` weight contract instead.
+This replaces the per-PR ad-hoc cross-check loops; the helpers live in
+``tests/conformance.py`` and new methods/metrics join the matrix by being
+registered (see that module's docstring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conformance import (
+    APPROX_EMST_METHODS,
+    CONFORMANCE_DTYPES,
+    CONFORMANCE_EPSILONS,
+    CONFORMANCE_METRICS,
+    CONFORMANCE_THREAD_COUNTS,
+    EXACT_EMST_METHODS,
+    EXACT_HDBSCAN_METHODS,
+    assert_same_tree,
+    assert_weight_bound,
+    canonical_edges,
+    skip_unless_supported,
+)
+from repro.approx import approx_emst, approx_hdbscan_mst
+from repro.emst.api import emst
+from repro.hdbscan.api import hdbscan
+
+#: Conformance dataset shape: 2D so the Delaunay method participates, large
+#: enough that the engines take their batched paths, small enough that the
+#: O(n^2) bruteforce reference stays cheap.
+N_POINTS = 150
+DIMENSIONS = 2
+MIN_PTS = 5
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """Generic-position points per input dtype.
+
+    The float32 input is a *different* dataset than the float64 one (its
+    values round); each dtype cell is compared against the reference
+    computed from the same input, which checks that coercion at the boundary
+    is value-exact and shared by every method.
+    """
+    base = np.random.default_rng(421).random((N_POINTS, DIMENSIONS))
+    return {
+        "float64": base,
+        "float32": base.astype(np.float32),
+    }
+
+
+@pytest.fixture(scope="module")
+def emst_references(dataset):
+    """Bruteforce EMST per (metric, dtype) — the matrix's ground truth."""
+    cache = {}
+    for metric in CONFORMANCE_METRICS:
+        for dtype in CONFORMANCE_DTYPES:
+            cache[(metric, dtype)] = emst(
+                dataset[dtype], method="bruteforce", metric=metric
+            )
+    return cache
+
+
+@pytest.fixture(scope="module")
+def hdbscan_references(dataset):
+    """Bruteforce mutual-reachability MST weight per (metric, dtype)."""
+    cache = {}
+    for metric in CONFORMANCE_METRICS:
+        for dtype in CONFORMANCE_DTYPES:
+            result = hdbscan(
+                dataset[dtype],
+                min_pts=MIN_PTS,
+                method="bruteforce",
+                metric=metric,
+                compute_dendrogram=False,
+            )
+            cache[(metric, dtype)] = result.mst.total_weight
+    return cache
+
+
+class TestExactEMSTConformance:
+    @pytest.mark.parametrize("method", EXACT_EMST_METHODS)
+    @pytest.mark.parametrize("metric", CONFORMANCE_METRICS)
+    @pytest.mark.parametrize("num_threads", CONFORMANCE_THREAD_COUNTS)
+    @pytest.mark.parametrize("dtype", CONFORMANCE_DTYPES)
+    def test_same_tree(
+        self, method, metric, num_threads, dtype, dataset, emst_references
+    ):
+        skip_unless_supported(method, metric, DIMENSIONS)
+        result = emst(
+            dataset[dtype], method=method, metric=metric, num_threads=num_threads
+        )
+        assert_same_tree(result, emst_references[(metric, dtype)])
+
+    def test_canonical_edges_ignore_order_and_direction(self, dataset):
+        result = emst(dataset["float64"], method="naive")
+        edges = canonical_edges(result)
+        assert np.all(edges[:, 0] < edges[:, 1])
+        assert edges.shape == (N_POINTS - 1, 2)
+
+
+class TestApproxEMSTConformance:
+    @pytest.mark.parametrize("method", APPROX_EMST_METHODS)
+    @pytest.mark.parametrize("metric", CONFORMANCE_METRICS)
+    @pytest.mark.parametrize("num_threads", CONFORMANCE_THREAD_COUNTS)
+    @pytest.mark.parametrize("epsilon", CONFORMANCE_EPSILONS)
+    def test_weight_bound(
+        self, method, metric, num_threads, epsilon, dataset, emst_references
+    ):
+        result = emst(
+            dataset["float64"],
+            method=method,
+            metric=metric,
+            num_threads=num_threads,
+            epsilon=epsilon,
+        )
+        assert_weight_bound(
+            result,
+            emst_references[(metric, "float64")].total_weight,
+            epsilon,
+            num_points=N_POINTS,
+        )
+
+    @pytest.mark.parametrize("representative", ("sample", "bccp"))
+    @pytest.mark.parametrize("epsilon", CONFORMANCE_EPSILONS)
+    def test_representative_strategies(
+        self, representative, epsilon, dataset, emst_references
+    ):
+        result = approx_emst(
+            dataset["float64"], epsilon, representative=representative
+        )
+        assert_weight_bound(
+            result,
+            emst_references[("euclidean", "float64")].total_weight,
+            epsilon,
+            num_points=N_POINTS,
+        )
+
+    def test_epsilon_zero_is_exact(self, dataset, emst_references):
+        result = emst(dataset["float64"], method="wspd-approx", epsilon=0.0)
+        assert_same_tree(result, emst_references[("euclidean", "float64")])
+
+
+class TestExactHDBSCANConformance:
+    # Mutual reachability distances tie heavily (many pairs share a core
+    # distance), so exact methods must agree on total weight but may pick
+    # different (equally minimal) edge sets.
+    @pytest.mark.parametrize("method", EXACT_HDBSCAN_METHODS)
+    @pytest.mark.parametrize("metric", CONFORMANCE_METRICS)
+    @pytest.mark.parametrize("num_threads", CONFORMANCE_THREAD_COUNTS)
+    @pytest.mark.parametrize("dtype", CONFORMANCE_DTYPES)
+    def test_same_weight(
+        self, method, metric, num_threads, dtype, dataset, hdbscan_references
+    ):
+        kwargs = {} if method == "bruteforce" else {"num_threads": num_threads}
+        result = hdbscan(
+            dataset[dtype],
+            min_pts=MIN_PTS,
+            method=method,
+            metric=metric,
+            compute_dendrogram=False,
+            **kwargs,
+        )
+        assert result.mst.is_spanning_tree()
+        assert result.mst.total_weight == pytest.approx(
+            hdbscan_references[(metric, dtype)], rel=1e-9
+        )
+
+
+class TestApproxHDBSCANConformance:
+    @pytest.mark.parametrize("metric", CONFORMANCE_METRICS)
+    @pytest.mark.parametrize("epsilon", CONFORMANCE_EPSILONS)
+    def test_weight_bound(self, metric, epsilon, dataset, hdbscan_references):
+        result = approx_hdbscan_mst(
+            dataset["float64"], MIN_PTS, epsilon=epsilon, metric=metric
+        )
+        assert_weight_bound(
+            result,
+            hdbscan_references[(metric, "float64")],
+            epsilon,
+            num_points=N_POINTS,
+        )

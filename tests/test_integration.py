@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from conformance import EXACT_EMST_METHODS, assert_same_tree, skip_unless_supported
 from repro import emst, hdbscan, single_linkage
 from repro.bench import run_with_tracker
 from repro.datasets import gaussian_blobs, load_dataset, seed_spreader
@@ -62,16 +63,15 @@ class TestClusteringQuality:
 
 
 class TestDifferentMethodsAgreeEndToEnd:
-    def test_emst_methods_identical_edges_for_distinct_weights(self):
+    # The method × metric × threads × dtype agreement matrix lives in
+    # tests/test_conformance.py; this spot-check covers a dataset shape the
+    # matrix does not (200 points from a different seed) via the same
+    # helpers.
+    @pytest.mark.parametrize("method", EXACT_EMST_METHODS)
+    def test_emst_methods_identical_edges_for_distinct_weights(self, method):
         points = np.random.default_rng(6).random((200, 2))
-        reference = {
-            (min(u, v), max(u, v)) for u, v, _ in emst(points, method="naive").edges
-        }
-        for method in ("gfk", "memogfk", "dualtree-boruvka", "delaunay"):
-            edges = {
-                (min(u, v), max(u, v)) for u, v, _ in emst(points, method=method).edges
-            }
-            assert edges == reference
+        skip_unless_supported(method, "euclidean", points.shape[1])
+        assert_same_tree(emst(points, method=method), emst(points, method="naive"))
 
     def test_hdbscan_gantao_and_memogfk_same_dbscan_clusters(self):
         points = seed_spreader(300, 2, seed=7)

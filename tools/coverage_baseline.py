@@ -1,0 +1,93 @@
+"""Measure statement coverage of ``src/repro`` under the tier-1 suite.
+
+The development container does not ship ``coverage``; CI installs it and
+enforces ``coverage report --fail-under`` (see ``.github/workflows/ci.yml``).
+This script reproduces the measurement locally with only the standard
+library so the CI baseline can be recorded and re-derived:
+
+* *executable lines* per file come from the compiled code objects
+  (``co_lines`` over the module and every nested code object) — the same
+  source of truth ``coverage.py`` uses;
+* *executed lines* come from a ``sys.settrace`` / ``threading.settrace``
+  line tracer restricted to files under ``src/repro`` (other frames are
+  skipped wholesale, so the slowdown stays tolerable).
+
+The numbers track ``coverage.py``'s within a couple of percent (docstring
+and def-line accounting differ slightly); the CI gate is therefore set a few
+points below the figure printed here.
+
+Run with::
+
+    PYTHONPATH=src python tools/coverage_baseline.py [pytest args...]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from collections import defaultdict
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def executable_lines(path: Path) -> set:
+    """Line numbers of executable statements, from the compiled code objects."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        lines.update(line for _, _, line in obj.co_lines() if line is not None)
+        for const in obj.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+    return lines
+
+
+def main() -> int:
+    import pytest
+
+    targets = {str(p) for p in SOURCE_ROOT.rglob("*.py")}
+    executed = defaultdict(set)
+
+    def tracer(frame, event, arg):
+        filename = frame.f_code.co_filename
+        if filename not in targets:
+            return None
+        if event == "line":
+            executed[filename].add(frame.f_lineno)
+        return tracer
+
+    threading.settrace(tracer)
+    sys.settrace(tracer)
+    try:
+        exit_code = pytest.main(sys.argv[1:] or ["-x", "-q", str(REPO_ROOT / "tests")])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+
+    total_statements = 0
+    total_hit = 0
+    rows = []
+    for filename in sorted(targets):
+        statements = executable_lines(Path(filename))
+        hit = executed[filename] & statements
+        total_statements += len(statements)
+        total_hit += len(hit)
+        percent = 100.0 * len(hit) / len(statements) if statements else 100.0
+        rows.append((percent, filename, len(hit), len(statements)))
+
+    rows.sort()
+    for percent, filename, hit, statements in rows:
+        relative = os.path.relpath(filename, REPO_ROOT)
+        print(f"{percent:6.1f}%  {hit:5d}/{statements:<5d}  {relative}")
+    overall = 100.0 * total_hit / total_statements if total_statements else 100.0
+    print(f"\nTOTAL: {overall:.1f}% ({total_hit}/{total_statements} statements)")
+    return int(exit_code)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
