@@ -14,8 +14,10 @@ Quickstart
 >>> labels = clustering.dbscan_labels(0.1)    # flat DBSCAN* cut
 
 Every pipeline takes a ``metric=`` knob (``"euclidean"``, ``"manhattan"``,
-``"chebyshev"``, ``"minkowski:p"``), and :mod:`repro.estimators` provides
-the scikit-learn-style facade:
+``"chebyshev"``, ``"minkowski:p"``) and a ``backend=`` knob (``"numpy"``,
+``"numba"``, ``"numpy-f32"``, ``"numba-f32"`` — compiled and float32-lowered
+kernel variants; see :mod:`repro.core.backend`), and :mod:`repro.estimators`
+provides the scikit-learn-style facade:
 
 >>> from repro.estimators import HDBSCAN
 >>> labels = HDBSCAN(min_pts=10, metric="manhattan").fit_predict(points)
@@ -25,6 +27,16 @@ paper-versus-measured record of every reproduced table and figure.
 """
 
 from repro.core import PointSet, as_points
+from repro.core.backend import (
+    BACKEND_NAMES,
+    BackendFallbackWarning,
+    KernelBackend,
+    available_backends,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.core.metric import (
     ChebyshevMetric,
     EuclideanMetric,
@@ -85,6 +97,14 @@ __all__ = [
     "ChebyshevMetric",
     "MinkowskiMetric",
     "resolve_metric",
+    "BACKEND_NAMES",
+    "BackendFallbackWarning",
+    "KernelBackend",
+    "available_backends",
+    "get_default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
     "estimators",
     "EMST",
     "HDBSCAN",

@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from repro.core.backend import resolve_backend
 from repro.core.metric import resolve_metric
 from repro.parallel.scheduler import WorkDepthTracker, simulated_time, use_tracker
 
@@ -36,6 +37,17 @@ def _metric_spec(kwargs: Dict) -> str:
     ``metric`` kwarg is reported as ``"euclidean"``.
     """
     return resolve_metric(kwargs.get("metric")).spec()
+
+
+def _backend_spec(kwargs: Dict) -> Tuple[str, str]:
+    """``(backend name, effective scoring dtype)`` of a measured call.
+
+    A missing ``backend`` kwarg reports the ambient default (which is what
+    the call will actually run on).  An unavailable compiled backend reports
+    its fallback — the backend that really executed — not the requested name.
+    """
+    backend = resolve_backend(kwargs.get("backend"))
+    return backend.name, backend.scoring_dtype.name
 
 #: Thread counts reported in the paper's scaling figures; the final entry is
 #: the hyper-threaded configuration ("48h").
@@ -105,12 +117,15 @@ def scaling_curve(
         )
     t1 = times[0]
     speedups = [t1 / t for t in times]
+    backend_name, scoring_dtype = _backend_spec(kwargs)
     return {
         "result": result,
         "t1_seconds": elapsed,
         "work": work,
         "depth": depth,
         "metric": _metric_spec(kwargs),
+        "backend": backend_name,
+        "dtype": scoring_dtype,
         "thread_counts": list(thread_counts),
         "times": times,
         "speedups": speedups,
@@ -150,8 +165,11 @@ def measured_scaling_curve(
         times.append(best)
         results.append(result)
     t1 = times[0]
+    backend_name, scoring_dtype = _backend_spec(kwargs)
     return {
         "metric": _metric_spec(kwargs),
+        "backend": backend_name,
+        "dtype": scoring_dtype,
         "thread_counts": list(thread_counts),
         "times": times,
         "speedups": [t1 / t for t in times],

@@ -13,8 +13,11 @@ edges as ``u,v,weight`` rows, cluster labels as one integer per row.
 
 Every subcommand takes ``--num-threads N`` to shard the batched kernels
 across the persistent worker pool (outputs are byte-identical at any
-setting) and ``--metric NAME`` to pick the distance metric (``euclidean``,
-``manhattan``, ``chebyshev``, or ``minkowski:p``, e.g. ``minkowski:3``).
+setting), ``--metric NAME`` to pick the distance metric (``euclidean``,
+``manhattan``, ``chebyshev``, or ``minkowski:p``, e.g. ``minkowski:3``) and
+``--backend NAME`` to pick the kernel backend (``numpy``, ``numba``,
+``numpy-f32``, ``numba-f32``; compiled backends fall back to their numpy
+equivalent with a warning when numba is not installed).
 ``emst`` and ``single-linkage`` take ``--epsilon EPS`` — and ``hdbscan``
 takes ``--approx-epsilon EPS`` (``--epsilon`` being its DBSCAN* cut level) —
 to compute the (1+EPS)-approximate tree instead of the exact one.
@@ -30,6 +33,7 @@ from typing import Optional
 import numpy as np
 
 from repro.approx import resolve_approx_method
+from repro.core.backend import BACKEND_NAMES, resolve_backend
 from repro.core.errors import ReproError
 from repro.core.metric import METRIC_NAMES, resolve_metric
 from repro.dendrogram.single_linkage import single_linkage
@@ -82,6 +86,20 @@ def _parse_metric(text: str):
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _parse_backend(text: str):
+    """argparse ``type=`` hook: backend name -> KernelBackend instance.
+
+    Resolution happens here, at parse time, so a bad name fails fast with the
+    registry's own message listing the available backends (an unavailable
+    compiled backend still resolves — to its numpy fallback, with a warning —
+    rather than erroring).
+    """
+    try:
+        return resolve_backend(text)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -106,6 +124,18 @@ def build_parser() -> argparse.ArgumentParser:
             + ", ".join(METRIC_NAMES)
             + " (minkowski takes an order, e.g. minkowski:3); "
             "default: euclidean",
+        )
+        subparser.add_argument(
+            "--backend",
+            type=_parse_backend,
+            default=None,
+            metavar="BACKEND",
+            help="kernel backend: one of "
+            + ", ".join(BACKEND_NAMES)
+            + " (-f32 variants score candidates in float32 and re-evaluate "
+            "surviving edges in exact float64; numba backends fall back to "
+            "numpy with a warning when numba is not installed); "
+            "default: the REPRO_BACKEND environment variable, else numpy",
         )
 
     def add_epsilon(subparser: argparse.ArgumentParser, flag: str = "--epsilon") -> None:
@@ -181,6 +211,7 @@ def main(argv: Optional[list] = None) -> int:
             result = emst(
                 points,
                 metric=metric,
+                backend=args.backend,
                 num_threads=args.num_threads,
                 **_approx_method_kwargs(args),
             )
@@ -194,6 +225,7 @@ def main(argv: Optional[list] = None) -> int:
                 points,
                 min_pts=args.min_pts,
                 metric=metric,
+                backend=args.backend,
                 num_threads=args.num_threads,
                 **_approx_method_kwargs(args),
             )
@@ -213,6 +245,7 @@ def main(argv: Optional[list] = None) -> int:
             result = single_linkage(
                 points,
                 metric=metric,
+                backend=args.backend,
                 num_threads=args.num_threads,
                 **_approx_method_kwargs(args),
             )

@@ -13,6 +13,16 @@ from repro.core.errors import (
     NotComputedError,
 )
 from repro.core.points import PointSet, as_points
+from repro.core.backend import (
+    BACKEND_NAMES,
+    BackendFallbackWarning,
+    KernelBackend,
+    available_backends,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.core.metric import (
     CHEBYSHEV,
     EUCLIDEAN,
@@ -42,6 +52,14 @@ __all__ = [
     "NotComputedError",
     "PointSet",
     "as_points",
+    "BACKEND_NAMES",
+    "BackendFallbackWarning",
+    "KernelBackend",
+    "available_backends",
+    "get_default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
     "Metric",
     "EuclideanMetric",
     "ManhattanMetric",

@@ -46,13 +46,29 @@ from repro.core.errors import InvalidParameterError
 MetricLike = Union[None, str, "Metric"]
 
 
+def _as_float(array: np.ndarray) -> np.ndarray:
+    """Coerce to a floating dtype, *preserving* float32.
+
+    The dense kernels are dtype-polymorphic so the lowered (float32-scoring)
+    backends can run them at half the memory traffic; every other input dtype
+    is promoted to float64 exactly as before.
+    """
+    array = np.asarray(array)
+    if array.dtype == np.float32:
+        return array
+    return np.asarray(array, dtype=np.float64)
+
+
 class Metric:
     """A norm-induced distance metric and its batched kernels.
 
     Subclasses implement the row-norm primitive :meth:`diff_norms` plus the
-    dense kernels that have metric-specific fast paths.  All arrays are
-    float64; inputs are assumed validated by the callers (the public entry
-    points coerce through :func:`repro.core.points.as_points`).
+    dense kernels that have metric-specific fast paths.  The dense kernels
+    are dtype-polymorphic over float64 and float32 (float32 inputs score in
+    float32 — the lowered-backend fast path; every other dtype promotes to
+    float64); the scalar kernels and :meth:`exact_edge_weights` always
+    compute in float64.  Inputs are assumed validated by the callers (the
+    public entry points coerce through :func:`repro.core.points.as_points`).
     """
 
     #: Canonical metric name (``"euclidean"``, ``"manhattan"``, …).
@@ -103,7 +119,7 @@ class Metric:
 
     def pairwise_distances(self, points: np.ndarray) -> np.ndarray:
         """Full ``(n, n)`` distance matrix of a point set."""
-        points = np.asarray(points, dtype=np.float64)
+        points = _as_float(points)
         return self.cross_distances(points, points)
 
     def exact_edge_weights(
@@ -179,8 +195,8 @@ class EuclideanMetric(Metric):
         return np.einsum("ij,ij->i", diff, diff)
 
     def cross_distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
+        a = _as_float(a)
+        b = _as_float(b)
         a_sq = np.einsum("ij,ij->i", a, a)
         b_sq = np.einsum("ij,ij->i", b, b)
         sq = a_sq[:, None] + b_sq[None, :] - 2.0 * (a @ b.T)
@@ -217,7 +233,7 @@ class EuclideanMetric(Metric):
         # largest temporary — lives in the calling thread's reusable
         # workspace, so each pool worker allocates it once across all its
         # class chunks.
-        cross = workspace.take("bccp.cross", (g, p_a, p_b))
+        cross = workspace.take("bccp.cross", (g, p_a, p_b), dtype=pts_a.dtype)
         np.matmul(pts_a, pts_b.transpose(0, 2, 1), out=cross)
         sq_a = np.einsum("gpd,gpd->gp", pts_a, pts_a)
         sq_b = np.einsum("gqd,gqd->gq", pts_b, pts_b)
@@ -245,9 +261,9 @@ class _AxisAccumulatingMetric(Metric):
         return acc
 
     def cross_distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
-        acc = np.zeros((a.shape[0], b.shape[0]), dtype=np.float64)
+        a = _as_float(a)
+        b = _as_float(b)
+        acc = np.zeros((a.shape[0], b.shape[0]), dtype=np.result_type(a, b))
         for axis in range(a.shape[1]):
             diff = a[:, axis, None] - b[None, :, axis]
             np.abs(diff, out=diff)
@@ -259,9 +275,9 @@ class _AxisAccumulatingMetric(Metric):
     ) -> np.ndarray:
         g, p_a, d = pts_a.shape
         p_b = pts_b.shape[1]
-        acc = workspace.take("bccp.cross", (g, p_a, p_b))
+        acc = workspace.take("bccp.cross", (g, p_a, p_b), dtype=pts_a.dtype)
         acc.fill(0.0)
-        diff = workspace.take("bccp.axis", (g, p_a, p_b))
+        diff = workspace.take("bccp.axis", (g, p_a, p_b), dtype=pts_a.dtype)
         for axis in range(d):
             np.subtract(
                 pts_a[:, :, None, axis], pts_b[:, None, :, axis], out=diff

@@ -1,21 +1,40 @@
 """Point-set container and validation.
 
-Every algorithm in the library takes an ``(n, d)`` float64 array of points.
-:func:`as_points` is the single entry point that normalizes user input into
-that canonical form, and :class:`PointSet` is a light wrapper that carries the
-array together with a few cached summary statistics (bounding box, number of
-points, dimensionality) that several algorithms need.
+Every *algorithm* in the library takes an ``(n, d)`` float64 array of points:
+the public entry points (``emst``, ``hdbscan``, the estimators) call
+:func:`as_points` with its default ``dtype=np.float64``, which promotes
+whatever the user supplied — this is where float32 embedding matrices are
+upcast, deliberately and exactly once, so every exact kernel downstream
+(edge-weight re-evaluation, metric scalar paths) runs in full precision.
+
+Code that wants to *keep* a float32 input in float32 — the lowered kernel
+backends of :mod:`repro.core.backend`, user pre-processing pipelines — passes
+``dtype=None``, which preserves a float32 or float64 input instead of
+silently upcasting.  :class:`PointSet` preserves the input dtype the same
+way, so wrapping an embedding matrix no longer doubles its memory.
+
+:class:`PointSet` is a light wrapper that carries the array together with a
+few cached summary statistics (bounding box, number of points,
+dimensionality) that several algorithms need.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
 from repro.core.errors import InvalidPointSetError
 
 
-def as_points(points, *, copy: bool = False, min_points: int = 1) -> np.ndarray:
-    """Validate and normalize ``points`` into an ``(n, d)`` float64 array.
+def as_points(
+    points,
+    *,
+    copy: bool = False,
+    min_points: int = 1,
+    dtype: Optional[np.dtype] = np.float64,
+) -> np.ndarray:
+    """Validate and normalize ``points`` into an ``(n, d)`` float array.
 
     Parameters
     ----------
@@ -28,22 +47,39 @@ def as_points(points, *, copy: bool = False, min_points: int = 1) -> np.ndarray:
     min_points:
         Minimum number of rows required; most algorithms need at least one
         point and MST-style algorithms need at least two.
+    dtype:
+        ``np.float64`` (the default) reproduces the historical
+        promote-everything boundary the exact engine is specified against.
+        ``None`` preserves a float32 (or float64) input's dtype instead of
+        silently upcasting — any other input dtype still promotes to
+        float64.  ``np.float32`` forces the lowered precision.
 
     Raises
     ------
     InvalidPointSetError
         If the array is not two-dimensional, has zero columns, has fewer than
-        ``min_points`` rows, or contains non-finite values.
+        ``min_points`` rows, contains non-finite values, or ``dtype`` is not
+        float32/float64/None.
     """
     if isinstance(points, PointSet):
         array = points.coordinates
     else:
         try:
-            array = np.asarray(points, dtype=np.float64)
+            array = np.asarray(points)
+            if not np.issubdtype(array.dtype, np.floating):
+                array = np.asarray(array, dtype=np.float64)
         except (TypeError, ValueError) as error:
             raise InvalidPointSetError(
-                f"points could not be converted to a float64 array: {error}"
+                f"points could not be converted to a float array: {error}"
             ) from None
+    if dtype is None:
+        target = np.dtype(np.float32 if array.dtype == np.float32 else np.float64)
+    else:
+        target = np.dtype(dtype)
+        if target not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise InvalidPointSetError(
+                f"dtype must be float32, float64 or None, got {dtype!r}"
+            )
     if array.size == 0:
         raise InvalidPointSetError(
             "points is empty; provide at least one point as an (n, d) array"
@@ -66,9 +102,9 @@ def as_points(points, *, copy: bool = False, min_points: int = 1) -> np.ndarray:
     if not np.all(np.isfinite(array)):
         raise InvalidPointSetError("points must not contain NaN or infinite values")
     if copy:
-        array = np.array(array, dtype=np.float64, order="C", copy=True)
-    elif array.dtype != np.float64 or not array.flags["C_CONTIGUOUS"]:
-        array = np.ascontiguousarray(array, dtype=np.float64)
+        array = np.array(array, dtype=target, order="C", copy=True)
+    elif array.dtype != target or not array.flags["C_CONTIGUOUS"]:
+        array = np.ascontiguousarray(array, dtype=target)
     return array
 
 
@@ -78,10 +114,15 @@ class PointSet:
     The class is a thin convenience wrapper: algorithms accept raw arrays just
     as happily, but a ``PointSet`` caches the global bounding box and exposes
     named accessors which keep example and benchmark code readable.
+
+    The input dtype is preserved (float32 stays float32, everything else
+    normalizes to float64), so wrapping a float32 embedding matrix does not
+    double its memory; the algorithm entry points still promote to float64 at
+    their own boundary unless a lowered backend is selected.
     """
 
     def __init__(self, points):
-        self._coords = as_points(points, copy=True)
+        self._coords = as_points(points, copy=True, dtype=None)
         self._coords.setflags(write=False)
         self._lower_bound = None
         self._upper_bound = None

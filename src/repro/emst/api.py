@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from repro.core.backend import BackendLike, use_backend
 from repro.core.errors import InvalidParameterError
 from repro.core.metric import MetricLike
 from repro.core.points import as_points
@@ -47,7 +48,12 @@ EMST_METHODS: Dict[str, Callable[..., EMSTResult]] = {
 
 
 def emst(
-    points, *, method: str = "memogfk", metric: MetricLike = None, **kwargs
+    points,
+    *,
+    method: str = "memogfk",
+    metric: MetricLike = None,
+    backend: BackendLike = None,
+    **kwargs,
 ) -> EMSTResult:
     """Compute the minimum spanning tree of a point set under a metric.
 
@@ -68,6 +74,16 @@ def emst(
         :class:`~repro.core.metric.Metric` instance, or ``None`` for
         Euclidean.  The Euclidean path is byte-identical to the historical
         Euclidean-only engine.
+    backend:
+        Kernel backend: a name (``"numpy"``, ``"numba"``, ``"numpy-f32"``,
+        ``"numba-f32"``), a :class:`~repro.core.backend.KernelBackend`
+        instance, or ``None`` for the ambient default (see
+        :func:`repro.core.backend.use_backend`; initialized from the
+        ``REPRO_BACKEND`` environment variable).  Exact (float64-scoring)
+        backends return byte-identical trees; lowered (``-f32``) backends
+        score candidates in float32 and re-evaluate every surviving edge in
+        exact float64.  Selecting an uninstalled compiled backend falls back
+        to its numpy equivalent with a ``BackendFallbackWarning``.
     kwargs:
         Forwarded to the selected implementation.  Every method accepts
         ``num_threads``: the number of worker threads the batched kernels
@@ -90,4 +106,7 @@ def emst(
             f"unknown EMST method {method!r}; choose from {sorted(EMST_METHODS)}"
         ) from None
     data = as_points(points, min_points=1)
-    return implementation(data, metric=metric, **kwargs)
+    # One scope covers the whole pipeline: every tree the implementation
+    # builds snapshots this backend, with no per-method plumbing.
+    with use_backend(backend):
+        return implementation(data, metric=metric, **kwargs)

@@ -8,8 +8,8 @@ read ``labels_``-style attributes, round-trip parameters through
 ``get_params`` / ``set_params``.  This module provides exactly that facade:
 :class:`EMST` and :class:`HDBSCAN` validate and coerce inputs once at the
 boundary (contiguous float64, clear errors for NaN/inf/empty), thread the
-``metric`` and ``num_threads`` knobs through the engine, and expose the
-fitted artifacts as plain NumPy attributes.
+``metric``, ``backend`` and ``num_threads`` knobs through the engine, and
+expose the fitted artifacts as plain NumPy attributes.
 
 >>> from repro.estimators import HDBSCAN
 >>> model = HDBSCAN(min_pts=10, metric="manhattan")
@@ -24,6 +24,7 @@ from typing import Optional
 import numpy as np
 
 from repro.approx import resolve_approx_method
+from repro.core.backend import BackendLike, resolve_backend
 from repro.core.errors import InvalidParameterError, NotComputedError
 from repro.core.metric import MetricLike, resolve_metric
 from repro.core.points import as_points
@@ -112,6 +113,13 @@ class EMST(_ReproEstimator):
         When set, :meth:`fit` also derives single-linkage flat cluster labels
         by cutting the tree's dendrogram into ``n_clusters`` clusters, and
         :meth:`fit_predict` returns them.
+    backend:
+        Kernel backend: a name (``"numpy"``, ``"numba"``, ``"numpy-f32"``,
+        ``"numba-f32"``), a :class:`~repro.core.backend.KernelBackend`
+        instance, or ``None`` for the ambient default.  Exact (float64)
+        backends return byte-identical trees; ``-f32`` backends score
+        candidates in float32 with every surviving edge re-evaluated in
+        exact float64.
     num_threads:
         Worker threads for the batched kernels (results are byte-identical
         at any setting).
@@ -132,19 +140,28 @@ class EMST(_ReproEstimator):
         The full :class:`~repro.emst.result.EMSTResult`.
     """
 
-    _parameter_names = ("method", "metric", "epsilon", "n_clusters", "num_threads")
+    _parameter_names = (
+        "method",
+        "metric",
+        "backend",
+        "epsilon",
+        "n_clusters",
+        "num_threads",
+    )
 
     def __init__(
         self,
         *,
         method: str = "memogfk",
         metric: MetricLike = "euclidean",
+        backend: BackendLike = None,
         epsilon: float = 0.0,
         n_clusters: Optional[int] = None,
         num_threads: Optional[int] = None,
     ) -> None:
         self.method = method
         self.metric = metric
+        self.backend = backend
         self.epsilon = epsilon
         self.n_clusters = n_clusters
         self.num_threads = num_threads
@@ -158,6 +175,7 @@ class EMST(_ReproEstimator):
             )
         method, method_kwargs = resolve_approx_method(self.method, self.epsilon)
         resolve_metric(self.metric)  # fail fast on bad metric specs
+        resolve_backend(self.backend)  # fail fast on bad backend names
         data = as_points(X, min_points=1)
         # Validate everything parameter-shaped before the (potentially
         # expensive) MST computation runs.
@@ -172,6 +190,7 @@ class EMST(_ReproEstimator):
             data,
             method=method,
             metric=self.metric,
+            backend=self.backend,
             num_threads=self.num_threads,
             **method_kwargs,
         )
@@ -231,6 +250,10 @@ class HDBSCAN(_ReproEstimator):
         default or set to ``"wspd-approx"`` explicitly.
     allow_single_cluster:
         Whether EOM selection may return the root as a single cluster.
+    backend:
+        Kernel backend (name, :class:`~repro.core.backend.KernelBackend`
+        instance, or ``None`` for the ambient default); see
+        :class:`EMST`.
     num_threads:
         Worker threads for the batched kernels.
 
@@ -258,6 +281,7 @@ class HDBSCAN(_ReproEstimator):
         "epsilon",
         "approx_epsilon",
         "allow_single_cluster",
+        "backend",
         "num_threads",
     )
 
@@ -271,6 +295,7 @@ class HDBSCAN(_ReproEstimator):
         epsilon: Optional[float] = None,
         approx_epsilon: float = 0.0,
         allow_single_cluster: bool = False,
+        backend: BackendLike = None,
         num_threads: Optional[int] = None,
     ) -> None:
         self.min_pts = min_pts
@@ -280,6 +305,7 @@ class HDBSCAN(_ReproEstimator):
         self.epsilon = epsilon
         self.approx_epsilon = approx_epsilon
         self.allow_single_cluster = allow_single_cluster
+        self.backend = backend
         self.num_threads = num_threads
 
     def fit(self, X, y=None) -> "HDBSCAN":
@@ -293,6 +319,7 @@ class HDBSCAN(_ReproEstimator):
             self.method, self.approx_epsilon, knob="approx_epsilon"
         )
         resolve_metric(self.metric)
+        resolve_backend(self.backend)  # fail fast on bad backend names
         data = as_points(X, min_points=1)
         n = data.shape[0]
         self.n_features_in_ = int(data.shape[1])
@@ -318,6 +345,7 @@ class HDBSCAN(_ReproEstimator):
             min_pts=int(self.min_pts),
             method=method,
             metric=self.metric,
+            backend=self.backend,
             num_threads=self.num_threads,
             **method_kwargs,
         )

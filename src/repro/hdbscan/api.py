@@ -13,6 +13,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.core.backend import BackendLike, use_backend
 from repro.core.errors import InvalidParameterError
 from repro.core.metric import MetricLike
 from repro.core.points import as_points
@@ -55,6 +56,7 @@ def hdbscan(
     heavy_fraction: float = 0.1,
     num_threads: Optional[int] = None,
     metric: MetricLike = None,
+    backend: BackendLike = None,
     **method_kwargs,
 ) -> HDBSCANResult:
     """Compute the HDBSCAN* hierarchy of a point set.
@@ -91,6 +93,12 @@ def hdbscan(
         under: a name (``"euclidean"``, ``"manhattan"``, ``"chebyshev"``,
         ``"minkowski:p"``), a :class:`~repro.core.metric.Metric` instance, or
         ``None`` for Euclidean (byte-identical to the historical engine).
+    backend:
+        Kernel backend for every batched stage (name,
+        :class:`~repro.core.backend.KernelBackend` instance, or ``None`` for
+        the ambient default).  Exact backends return byte-identical results;
+        lowered (``-f32``) backends score candidates in float32 with every
+        surviving edge weight re-evaluated in exact float64.
     method_kwargs:
         Additional arguments forwarded to the MST implementation.
 
@@ -110,25 +118,28 @@ def hdbscan(
         ) from None
 
     timings = {}
-    start_time = time.perf_counter()
-    core_dists = compute_core_distances(
-        data, min_pts, num_threads=num_threads, metric=metric
-    )
-    timings["core-dist"] = time.perf_counter() - start_time
-
-    start_time = time.perf_counter()
-    if method == "bruteforce":
-        mst = mst_function(data, min_pts, core_dists=core_dists, metric=metric)
-    else:
-        mst = mst_function(
-            data,
-            min_pts,
-            core_dists=core_dists,
-            num_threads=num_threads,
-            metric=metric,
-            **method_kwargs,
+    # One scope covers core distances and the MST: every tree built inside
+    # snapshots this backend, with no per-method plumbing.
+    with use_backend(backend):
+        start_time = time.perf_counter()
+        core_dists = compute_core_distances(
+            data, min_pts, num_threads=num_threads, metric=metric
         )
-    timings["mst"] = time.perf_counter() - start_time
+        timings["core-dist"] = time.perf_counter() - start_time
+
+        start_time = time.perf_counter()
+        if method == "bruteforce":
+            mst = mst_function(data, min_pts, core_dists=core_dists, metric=metric)
+        else:
+            mst = mst_function(
+                data,
+                min_pts,
+                core_dists=core_dists,
+                num_threads=num_threads,
+                metric=metric,
+                **method_kwargs,
+            )
+        timings["mst"] = time.perf_counter() - start_time
 
     dendrogram = None
     if compute_dendrogram and n > 1:

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.backend import BackendLike, resolve_backend
 from repro.core.errors import InvalidParameterError
 from repro.core.metric import MetricLike, resolve_metric
 from repro.core.points import as_points
@@ -33,6 +34,7 @@ def core_distances(
     tree: Optional[KDTree] = None,
     num_threads: Optional[int] = None,
     metric: MetricLike = None,
+    backend: BackendLike = None,
 ) -> np.ndarray:
     """Core distance of every point for the given ``minPts``.
 
@@ -53,9 +55,15 @@ def core_distances(
         Thread count for the underlying k-NN batches.
     metric:
         Distance metric (name, Metric instance, or ``None`` for Euclidean).
+    backend:
+        Kernel backend for the k-NN batches (name, KernelBackend instance,
+        or ``None`` for the ambient default).  Core distances are always
+        returned in exact float64: lowered backends re-evaluate the selected
+        neighbours before the ``minPts``-th distance is read off.
     """
     data = as_points(points)
     resolved_metric = resolve_metric(metric)
+    resolved_backend = resolve_backend(backend)
     n = data.shape[0]
     if not 1 <= min_pts <= n:
         raise InvalidParameterError(f"minPts must be in [1, {n}], got {min_pts}")
@@ -69,11 +77,20 @@ def core_distances(
         return np.zeros(n, dtype=np.float64)
     if method == "bruteforce":
         _, distances = knn_bruteforce(
-            data, min_pts, num_threads=num_threads, metric=resolved_metric
+            data,
+            min_pts,
+            num_threads=num_threads,
+            metric=resolved_metric,
+            backend=resolved_backend,
         )
     elif method == "kdtree":
         if tree is None:
-            tree = KDTree(data, leaf_size=max(16, min_pts), metric=resolved_metric)
+            tree = KDTree(
+                data,
+                leaf_size=max(16, min_pts),
+                metric=resolved_metric,
+                backend=resolved_backend,
+            )
         _, distances = knn(tree, min_pts, num_threads=num_threads)
     else:
         raise InvalidParameterError("method must be 'bruteforce' or 'kdtree'")

@@ -38,6 +38,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.backend import BackendLike, resolve_backend
 from repro.core.errors import InvalidParameterError
 from repro.core.metric import MetricLike, resolve_metric
 from repro.parallel.primitives import segment_ranges as _segment_ranges
@@ -65,7 +66,9 @@ class FlatKDTree:
 
     __slots__ = (
         "points",
+        "scoring_points",
         "metric",
+        "backend",
         "leaf_size",
         "perm",
         "node_lower",
@@ -88,6 +91,7 @@ class FlatKDTree:
         *,
         leaf_size: int = 1,
         metric: MetricLike = None,
+        backend: BackendLike = None,
     ) -> None:
         if leaf_size < 1:
             raise InvalidParameterError("leaf_size must be >= 1")
@@ -96,6 +100,15 @@ class FlatKDTree:
             raise InvalidParameterError("points must be an (n, d) array")
         self.points = points
         self.metric = resolve_metric(metric)
+        # The kernel backend rides the tree like the metric does.  Under an
+        # exact backend ``scoring_points`` *is* ``points`` (no copy, and all
+        # derived node arrays stay float64, byte-identical to the historical
+        # engine); under a lowered backend it is the float32 copy the build,
+        # the WSPD frontier masks, the BCCP candidate scoring and the k-NN
+        # folds all run on — the float64 array remains the source of truth
+        # for exact edge-weight refinement.
+        self.backend = resolve_backend(backend)
+        self.scoring_points = self.backend.lower_points(points)
         self.leaf_size = leaf_size
         self.cd_min: Optional[np.ndarray] = None
         self.cd_max: Optional[np.ndarray] = None
@@ -107,14 +120,19 @@ class FlatKDTree:
     # -- construction --------------------------------------------------------
 
     def _build(self) -> None:
-        points = self.points
+        # Under a lowered backend the whole build (bounding boxes, split
+        # coordinates, partitions) runs on the float32 scoring copy — half
+        # the memory traffic of the float64 build; under an exact backend
+        # ``scoring_points`` aliases ``points`` and nothing changes.
+        points = self.scoring_points
+        dtype = self.backend.scoring_dtype
         n, d = points.shape
         leaf_size = self.leaf_size
         cap = max(2 * n, 1)
 
         perm = np.arange(n, dtype=np.int64)
-        node_lower = np.empty((cap, d), dtype=np.float64)
-        node_upper = np.empty((cap, d), dtype=np.float64)
+        node_lower = np.empty((cap, d), dtype=dtype)
+        node_upper = np.empty((cap, d), dtype=dtype)
         node_start = np.empty(cap, dtype=np.int64)
         node_end = np.empty(cap, dtype=np.int64)
         left_child = np.full(cap, -1, dtype=np.int64)
@@ -295,8 +313,16 @@ class FlatKDTree:
     # -- core-distance annotation (HDBSCAN*) ----------------------------------
 
     def annotate_core_distances(self, core_distances: np.ndarray) -> None:
-        """Fill ``cd_min`` / ``cd_max`` for every node (one vectorized sweep)."""
-        core_distances = np.asarray(core_distances, dtype=np.float64)
+        """Fill ``cd_min`` / ``cd_max`` for every node (one vectorized sweep).
+
+        The per-node extrema are stored in the backend's scoring dtype: they
+        only ever feed the separation *masks* (never an edge weight), so
+        under a lowered backend they ride the float32 fast path with the
+        rest of the node arrays.
+        """
+        core_distances = np.asarray(
+            core_distances, dtype=self.backend.scoring_dtype
+        )
         if core_distances.shape != (self.size,):
             raise InvalidParameterError("core_distances must have one value per point")
         current_tracker().add(
@@ -340,7 +366,10 @@ class FlatKDTree:
         Returns ``(indices, distances)`` of shape ``(len(queries), k)`` with
         neighbours sorted by increasing distance.
         """
-        queries = np.ascontiguousarray(queries, dtype=np.float64)
+        # Queries are lowered to the tree's scoring dtype so the whole
+        # traversal (gap pruning, candidate folds) runs in one precision;
+        # lowered-mode callers refine the returned distances in float64.
+        queries = np.ascontiguousarray(queries, dtype=self.backend.scoring_dtype)
         nq = queries.shape[0]
         if k < 1:
             raise InvalidParameterError("k must be >= 1")
@@ -348,9 +377,10 @@ class FlatKDTree:
             raise InvalidParameterError(
                 f"k={k} exceeds the number of points {self.size}"
             )
-        best_dist = np.full((nq, k), np.inf)
+        dtype = self.backend.scoring_dtype
+        best_dist = np.full((nq, k), np.inf, dtype=dtype)
         best_idx = np.full((nq, k), -1, dtype=np.int64)
-        bound = np.full(nq, np.inf)
+        bound = np.full(nq, np.inf, dtype=dtype)
         if nq == 0:
             return best_idx, best_dist
 
@@ -416,7 +446,7 @@ class FlatKDTree:
         counts = self.node_end[pair_n] - self.node_start[pair_n]
         cand_q = np.repeat(pair_q, counts)
         cand_i = self.perm[_segment_ranges(self.node_start[pair_n], counts)]
-        diff = self.points[cand_i] - queries[cand_q]
+        diff = self.scoring_points[cand_i] - queries[cand_q]
         cand_d = self.metric.diff_norms(diff)
 
         # Keep at most k candidates per query before the padded merge.
@@ -433,7 +463,7 @@ class FlatKDTree:
         keep = within < k
         rows = np.repeat(np.arange(uq.shape[0], dtype=np.int64), grp_counts)[keep]
         cols = within[keep]
-        padded_d = np.full((uq.shape[0], k), np.inf)
+        padded_d = np.full((uq.shape[0], k), np.inf, dtype=best_dist.dtype)
         padded_i = np.full((uq.shape[0], k), -1, dtype=np.int64)
         padded_d[rows, cols] = cand_d[keep]
         padded_i[rows, cols] = cand_i[keep]

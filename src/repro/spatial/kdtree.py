@@ -22,6 +22,7 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
+from repro.core.backend import BackendLike, resolve_backend
 from repro.core.bounding import BoundingBox, BoundingSphere
 from repro.core.errors import InvalidParameterError, NotComputedError
 from repro.core.metric import EUCLIDEAN, Metric, MetricLike, resolve_metric
@@ -135,19 +136,34 @@ class KDTree:
         or ``None`` for Euclidean).  The metric rides the tree: the flat
         engine's node radii and gap distances, the WSPD separation masks and
         the BCCP kernels all read it from here.
+    backend:
+        Kernel backend (name, :class:`~repro.core.backend.KernelBackend`
+        instance, or ``None`` for the ambient default).  Like the metric it
+        rides the tree: the flat engine snapshots it at construction and
+        every batched kernel driven through this tree dispatches through it.
 
     The underlying storage is the flat array engine, exposed as ``tree.flat``;
     the batch traversals in :mod:`repro.spatial.knn`, :mod:`repro.wspd` and
     :mod:`repro.emst` drive it directly.
     """
 
-    def __init__(self, points, *, leaf_size: int = 1, metric: MetricLike = None) -> None:
+    def __init__(
+        self,
+        points,
+        *,
+        leaf_size: int = 1,
+        metric: MetricLike = None,
+        backend: BackendLike = None,
+    ) -> None:
         if leaf_size < 1:
             raise InvalidParameterError("leaf_size must be >= 1")
         self.points = as_points(points)
         self.leaf_size = leaf_size
         self.metric = resolve_metric(metric)
-        self.flat = FlatKDTree(self.points, leaf_size=leaf_size, metric=self.metric)
+        self.backend = resolve_backend(backend)
+        self.flat = FlatKDTree(
+            self.points, leaf_size=leaf_size, metric=self.metric, backend=self.backend
+        )
         self._views: dict = {}
         self._core_distances: Optional[np.ndarray] = None
 

@@ -24,8 +24,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.backend import BackendLike, resolve_backend
 from repro.core.errors import InvalidParameterError
-from repro.core.metric import MetricLike, resolve_metric
+from repro.core.metric import Metric, MetricLike, resolve_metric
 from repro.core.points import as_points
 from repro.parallel.pool import parallel_map
 from repro.parallel.scheduler import current_tracker
@@ -63,6 +64,25 @@ def _bruteforce_chunk_rows(n: int, k: int, dim: int) -> int:
     """Rows per brute-force chunk: one chunk materializes ``rows × n`` distances."""
     per_row = 8 * (2 * n + 4 * k + dim)
     return int(min(max(_CHUNK_BUDGET_BYTES // per_row, 1), _MAX_BLOCK_ROWS))
+
+
+def _refine_block(
+    metric: Metric, queries: np.ndarray, data: np.ndarray, idx: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact float64 distances of already-selected neighbours, re-sorted.
+
+    Lowered (float32-scoring) backends select the neighbour *sets* in float32;
+    this pass restores the reported distances — and the within-row order — to
+    exact float64 with a difference-and-norm evaluation over only the selected
+    ``rows × k`` pairs, never the full candidate set.  ``queries`` / ``data``
+    must be the original float64 arrays.
+    """
+    gathered = data[idx]  # (rows, k, d)
+    diff = (queries[:, None, :] - gathered).reshape(-1, queries.shape[1])
+    refined = metric.diff_norms(diff).reshape(idx.shape)
+    order = np.argsort(refined, axis=1, kind="stable")
+    rows = np.arange(idx.shape[0])[:, None]
+    return idx[rows, order], refined[rows, order]
 
 
 def knn(
@@ -118,12 +138,20 @@ def knn(
     )
 
     flat = tree.flat
+    lowered = flat.backend.lowered
     block = _tree_query_block_rows(k, tree.dimension)
     block_starts = list(range(0, n_queries, block))
 
     def query_block(start: int) -> Tuple[np.ndarray, np.ndarray]:
         stop = min(start + block, n_queries)
-        return flat.query_knn(query_points[start:stop], k)
+        idx, dist = flat.query_knn(query_points[start:stop], k)
+        if lowered:
+            # The traversal scored candidates in float32; re-evaluate only
+            # the selected neighbours in exact float64.
+            idx, dist = _refine_block(
+                tree.metric, query_points[start:stop], tree.points, idx
+            )
+        return idx, dist
 
     results = parallel_map(query_block, block_starts, num_threads=num_threads)
     indices = np.vstack([r[0] for r in results])
@@ -138,20 +166,27 @@ def knn_bruteforce(
     chunk_size: Optional[int] = None,
     num_threads: Optional[int] = None,
     metric: MetricLike = None,
+    backend: BackendLike = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Exact k-NN of every point against the whole set via chunked brute force.
 
     The ``(n, n)`` distance matrix is never materialized: queries are processed
     in chunks (by default sized so one chunk's ``rows × n`` distance block
     fits the bytes-per-chunk budget; pass ``chunk_size`` to override), and
-    within a chunk ``np.argpartition`` selects the k smallest distances before
-    a final sort of only those k.  With ``num_threads > 1`` the chunks run on
+    within a chunk the backend's selection kernel keeps the k smallest
+    distances (``argpartition`` + stable sort for numpy, a compiled bounded
+    insertion scan for numba).  With ``num_threads > 1`` the chunks run on
     the persistent worker pool; chunk boundaries are independent of the thread
     count, so results are byte-identical at any setting.  ``metric`` selects
-    the distance (Euclidean by default).
+    the distance (Euclidean by default); ``backend`` the kernel backend
+    (``None`` for the ambient default).  Under a lowered backend the scan
+    runs in float32 and the selected neighbours are re-evaluated in exact
+    float64.
     """
     data = as_points(points)
     resolved_metric = resolve_metric(metric)
+    resolved_backend = resolve_backend(backend)
+    scoring_data = resolved_backend.lower_points(data)
     n = data.shape[0]
     if k < 1:
         raise InvalidParameterError("k must be >= 1")
@@ -166,12 +201,12 @@ def knn_bruteforce(
 
     def process_chunk(start: int) -> Tuple[np.ndarray, np.ndarray]:
         stop = min(start + chunk_size, n)
-        dists = resolved_metric.cross_distances(data[start:stop], data)
-        part = np.argpartition(dists, k - 1, axis=1)[:, :k]
-        rows = np.arange(stop - start)[:, None]
-        part_d = dists[rows, part]
-        order = np.argsort(part_d, axis=1, kind="stable")
-        return part[rows, order], part_d[rows, order]
+        idx, dist = resolved_backend.knn_chunk(
+            resolved_metric, scoring_data[start:stop], scoring_data, k
+        )
+        if resolved_backend.lowered:
+            idx, dist = _refine_block(resolved_metric, data[start:stop], data, idx)
+        return idx, dist
 
     results = parallel_map(process_chunk, chunk_starts, num_threads=num_threads)
     indices = np.vstack([r[0] for r in results]).astype(np.int64)

@@ -15,9 +15,14 @@ Two kernel shapes are provided:
   and tests;
 * the batched kernel :func:`bccp_batch` evaluates *arrays* of node pairs
   against the :class:`~repro.spatial.flat.FlatKDTree` SoA layout: pairs are
-  grouped by padded size class and each class is resolved with one 3-d
-  ``einsum`` + one masked ``argmin`` — no per-pair Python dispatch.  This is
-  what the GFK / MemoGFK round drivers submit whole frontiers to.
+  grouped by padded size class and each class is resolved by the tree's
+  :class:`~repro.core.backend.KernelBackend` — the numpy backend with one 3-d
+  ``einsum`` + one masked ``argmin``, the numba backend with a compiled
+  per-pair scan that never materializes the distance tensor — with no
+  per-pair Python dispatch either way.  This is what the GFK / MemoGFK round
+  drivers submit whole frontiers to.  Under a lowered (float32) backend the
+  scan runs on the tree's ``scoring_points``; the winning pairs' weights are
+  always re-evaluated in exact float64.
 
 Both shapes share :func:`repro.core.distance.exact_edge_weights` for the
 winning pair's weight, so the cancellation-prone matrix expansion never leaks
@@ -44,7 +49,6 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.metric import Metric
 from repro.parallel.pool import current_workspace, parallel_map, resolve_num_threads
 from repro.parallel.scheduler import current_tracker
 from repro.spatial.flat import FlatKDTree
@@ -157,15 +161,22 @@ def bccp_batch(
         return out_pa, out_pb, np.empty(0, dtype=np.float64)
 
     metric = flat.metric
+    backend = flat.backend
     points = flat.points
+    # Candidate scoring runs on the backend's scoring view of the points
+    # (aliases ``points`` for exact backends, float32 copy for lowered ones);
+    # the winners' reported weights always come from the float64 ``points``.
+    scoring_points = flat.scoring_points
     perm = flat.perm
     start_a = flat.node_start[a_ids]
     start_b = flat.node_start[b_ids]
     size_a = flat.node_end[a_ids] - start_a
     size_b = flat.node_end[b_ids] - start_b
     current_tracker().add(float((size_a * size_b).sum()), 1.0, phase="bccp")
+    scoring_cd = None
     if core_distances is not None:
         core_distances = np.asarray(core_distances, dtype=np.float64)
+        scoring_cd = np.asarray(core_distances, dtype=backend.scoring_dtype)
 
     # Pairs whose own distance matrix is already large amortize one kernel
     # dispatch by themselves; evaluating them individually avoids any padding
@@ -207,11 +218,11 @@ def bccp_batch(
 
     def run_task(task) -> None:
         sub, p_a, p_b = task
-        _bccp_class(
+        backend.bccp_class(
             metric,
-            points,
+            scoring_points,
             perm,
-            core_distances,
+            scoring_cd,
             start_a[sub],
             size_a[sub],
             start_b[sub],
@@ -221,61 +232,12 @@ def bccp_batch(
             sub,
             out_pa,
             out_pb,
+            current_workspace(),
         )
 
     parallel_map(run_task, tasks, num_threads=workers)
     weights = metric.exact_edge_weights(points, out_pa, out_pb, core_distances)
     return out_pa, out_pb, weights
-
-
-def _bccp_class(
-    metric: Metric,
-    points: np.ndarray,
-    perm: np.ndarray,
-    core_distances: Optional[np.ndarray],
-    start_a: np.ndarray,
-    size_a: np.ndarray,
-    start_b: np.ndarray,
-    size_b: np.ndarray,
-    p_a: int,
-    p_b: int,
-    rows: np.ndarray,
-    out_pa: np.ndarray,
-    out_pb: np.ndarray,
-) -> None:
-    """Resolve one padded size class of node pairs into ``out_pa`` / ``out_pb``."""
-    g = rows.size
-    cols_a = np.arange(p_a, dtype=np.int64)
-    cols_b = np.arange(p_b, dtype=np.int64)
-    mask_a = cols_a[None, :] >= size_a[:, None]
-    mask_b = cols_b[None, :] >= size_b[:, None]
-    # Padded slots repeat the node's first point; they are masked to +inf
-    # before the argmin so they can never win (every pair has at least one
-    # finite entry).
-    idx_a = perm[start_a[:, None] + np.where(mask_a, 0, cols_a[None, :])]
-    idx_b = perm[start_b[:, None] + np.where(mask_b, 0, cols_b[None, :])]
-
-    pts_a = points[idx_a]  # (g, p_a, d)
-    pts_b = points[idx_b]  # (g, p_b, d)
-    # The metric's block kernel applies the same expansion, summation kernels
-    # and rounding as its scalar ``cross_distances`` (for Euclidean: einsum
-    # row norms, BLAS matmul cross terms, clamp, sqrt), so the minimized
-    # values — and therefore the argmin tie-breaking — agree with the scalar
-    # kernel bit-for-bit.  The distance tensor — the largest temporary —
-    # lives in the calling thread's reusable workspace, so each pool worker
-    # allocates it once across all its class chunks.
-    dist = metric.block_cross_distances(pts_a, pts_b, current_workspace())
-    if core_distances is not None:
-        np.maximum(dist, core_distances[idx_a][:, :, None], out=dist)
-        np.maximum(dist, core_distances[idx_b][:, None, :], out=dist)
-    dist[np.broadcast_to(mask_a[:, :, None], dist.shape)] = np.inf
-    dist[np.broadcast_to(mask_b[:, None, :], dist.shape)] = np.inf
-
-    winners = np.argmin(dist.reshape(g, p_a * p_b), axis=1)
-    win_i, win_j = np.divmod(winners, p_b)
-    arange_g = np.arange(g, dtype=np.int64)
-    out_pa[rows] = idx_a[arange_g, win_i]
-    out_pb[rows] = idx_b[arange_g, win_j]
 
 
 class BCCPCache:

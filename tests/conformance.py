@@ -4,14 +4,17 @@ One place for the "every exact method must produce the same tree" logic the
 suite previously re-implemented as ad-hoc loops per PR: canonical edge-set
 extraction, tree-agreement assertions, the (1+ε) weight-bound assertion for
 the approximate methods, and the lists that define the conformance matrix
-(methods × metrics × thread counts × dtypes).
+(methods × metrics × thread counts × dtypes × kernel backends).
 
 Adding a new EMST method means it appears in ``EXACT_EMST_METHODS``
 automatically (it is derived from the live registry) and the whole matrix in
 ``tests/test_conformance.py`` applies to it; a method with restricted support
 (like the 2D-Euclidean-only Delaunay variant) only needs a clause in
 :func:`emst_method_supports`.  Adding a metric means extending
-``CONFORMANCE_METRICS``.
+``CONFORMANCE_METRICS``; adding a kernel backend means extending
+``CONFORMANCE_BACKENDS`` (exact backends are held to byte-identity against
+the default engine, lowered float32-scoring backends to bounded agreement —
+the per-backend analogue of the exact/approximate method split).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from typing import Optional, Tuple
 import numpy as np
 import pytest
 
+from repro.core.backend import BACKENDS
 from repro.emst.api import EMST_METHODS
 from repro.emst.result import EMSTResult
 from repro.hdbscan.api import HDBSCAN_METHODS
@@ -56,6 +60,27 @@ CONFORMANCE_DTYPES: Tuple[str, ...] = ("float64", "float32")
 
 #: ε values the approximate methods are exercised at.
 CONFORMANCE_EPSILONS: Tuple[float, ...] = (0.01, 0.1, 0.5, 1.0)
+
+#: The kernel-backend axis: the default engine, the compiled engine
+#: (skipped when numba is not installed) and the float32-lowered engine.
+#: ``numba-f32`` is covered by the registry/unit tests; the full matrix runs
+#: the one representative of each contract class per backend family.
+CONFORMANCE_BACKENDS: Tuple[str, ...] = ("numpy", "numba", "numpy-f32")
+
+#: Thread counts the backend axis is exercised at (the compiled kernels run
+#: nogil inside the worker pool, so sharding must not change results).
+CONFORMANCE_BACKEND_THREAD_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
+
+def backend_is_exact(backend: str) -> bool:
+    """Whether a backend is held to byte-identity (vs bounded agreement)."""
+    return BACKENDS[backend].exact
+
+
+def skip_unless_backend_available(backend: str) -> None:
+    """``pytest.skip`` a backend cell that cannot run in this environment."""
+    if not BACKENDS[backend].available():
+        pytest.skip(f"backend {backend} is unavailable (numba not installed)")
 
 
 def emst_method_supports(method: str, metric: str, dimensions: int) -> bool:
@@ -101,6 +126,39 @@ def assert_same_tree(
     assert np.array_equal(canonical_edges(result), canonical_edges(reference)), (
         f"{result.method} and {reference.method} returned different edge sets"
     )
+
+
+def assert_byte_identical(result: EMSTResult, reference: EMSTResult) -> None:
+    """Assert two results are the same tree byte for byte.
+
+    Stronger than :func:`assert_same_tree`: endpoint arrays and weight arrays
+    must be *equal*, in order — the contract exact (float64-scoring) backends
+    are held to against the default engine.
+    """
+    u_r, v_r, w_r = result.edges.as_arrays()
+    u_ref, v_ref, w_ref = reference.edges.as_arrays()
+    assert np.array_equal(u_r, u_ref), "edge endpoints differ"
+    assert np.array_equal(v_r, v_ref), "edge endpoints differ"
+    assert np.array_equal(w_r, w_ref), "edge weights differ"
+
+
+def assert_bounded_agreement(
+    result: EMSTResult, reference: EMSTResult, *, rel: float = 1e-5
+) -> None:
+    """Assert the lowered-backend contract against an exact reference.
+
+    The result must be a spanning tree of the same size whose total weight
+    and sorted edge-weight profile agree with the exact tree to relative
+    tolerance ``rel`` — float32 scoring may swap near-tied candidate edges,
+    but every surviving weight is re-evaluated in exact float64, so any
+    discrepancy is bounded by the float32 rounding of the *selection*.
+    """
+    assert result.num_edges == reference.num_edges
+    assert result.is_spanning_tree()
+    assert result.total_weight == pytest.approx(reference.total_weight, rel=rel)
+    w_res = np.sort(result.edges.as_arrays()[2])
+    w_ref = np.sort(reference.edges.as_arrays()[2])
+    np.testing.assert_allclose(w_res, w_ref, rtol=rel, atol=rel)
 
 
 def assert_weight_bound(

@@ -17,20 +17,27 @@ import pytest
 
 from conformance import (
     APPROX_EMST_METHODS,
+    CONFORMANCE_BACKEND_THREAD_COUNTS,
+    CONFORMANCE_BACKENDS,
     CONFORMANCE_DTYPES,
     CONFORMANCE_EPSILONS,
     CONFORMANCE_METRICS,
     CONFORMANCE_THREAD_COUNTS,
     EXACT_EMST_METHODS,
     EXACT_HDBSCAN_METHODS,
+    assert_bounded_agreement,
+    assert_byte_identical,
     assert_same_tree,
     assert_weight_bound,
+    backend_is_exact,
     canonical_edges,
+    skip_unless_backend_available,
     skip_unless_supported,
 )
 from repro.approx import approx_emst, approx_hdbscan_mst
 from repro.emst.api import emst
 from repro.hdbscan.api import hdbscan
+from repro.hdbscan.core_distance import core_distances
 
 #: Conformance dataset shape: 2D so the Delaunay method participates, large
 #: enough that the engines take their batched paths, small enough that the
@@ -172,6 +179,96 @@ class TestExactHDBSCANConformance:
         assert result.mst.total_weight == pytest.approx(
             hdbscan_references[(metric, dtype)], rel=1e-9
         )
+
+
+class TestBackendConformance:
+    """The kernel-backend axis: backend × metric × num_threads.
+
+    Exact (float64-scoring) backends must reproduce the default engine's
+    tree **byte for byte** at every thread count; lowered (float32-scoring)
+    backends are held to bounded weight/edge agreement — the same contract
+    split the backend registry documents.
+    """
+
+    @pytest.fixture(scope="class")
+    def emst_numpy_baseline(self, dataset):
+        """Default-backend MemoGFK tree per metric (the byte-identity anchor)."""
+        return {
+            metric: emst(
+                dataset["float64"], method="memogfk", metric=metric, backend="numpy"
+            )
+            for metric in CONFORMANCE_METRICS
+        }
+
+    @pytest.mark.parametrize("backend", CONFORMANCE_BACKENDS)
+    @pytest.mark.parametrize("metric", CONFORMANCE_METRICS)
+    @pytest.mark.parametrize("num_threads", CONFORMANCE_BACKEND_THREAD_COUNTS)
+    def test_emst_backend(
+        self,
+        backend,
+        metric,
+        num_threads,
+        dataset,
+        emst_references,
+        emst_numpy_baseline,
+    ):
+        skip_unless_backend_available(backend)
+        result = emst(
+            dataset["float64"],
+            method="memogfk",
+            metric=metric,
+            backend=backend,
+            num_threads=num_threads,
+        )
+        if backend_is_exact(backend):
+            assert_byte_identical(result, emst_numpy_baseline[metric])
+        else:
+            assert_bounded_agreement(result, emst_references[(metric, "float64")])
+
+    @pytest.mark.parametrize("backend", CONFORMANCE_BACKENDS)
+    @pytest.mark.parametrize("num_threads", CONFORMANCE_BACKEND_THREAD_COUNTS)
+    def test_hdbscan_backend(
+        self, backend, num_threads, dataset, hdbscan_references
+    ):
+        skip_unless_backend_available(backend)
+        result = hdbscan(
+            dataset["float64"],
+            min_pts=MIN_PTS,
+            method="memogfk",
+            backend=backend,
+            num_threads=num_threads,
+            compute_dendrogram=False,
+        )
+        assert result.mst.is_spanning_tree()
+        # Mutual-reachability weights tie heavily, so even exact backends are
+        # compared on total weight (like the method matrix above); the lowered
+        # backend gets the same bounded tolerance as its EMST contract.
+        rel = 1e-9 if backend_is_exact(backend) else 1e-5
+        assert result.mst.total_weight == pytest.approx(
+            hdbscan_references[("euclidean", "float64")], rel=rel
+        )
+
+    @pytest.mark.parametrize("backend", CONFORMANCE_BACKENDS)
+    @pytest.mark.parametrize("knn_method", ("bruteforce", "kdtree"))
+    def test_core_distances_backend(self, backend, knn_method, dataset):
+        skip_unless_backend_available(backend)
+        reference = core_distances(
+            dataset["float64"], MIN_PTS, method=knn_method, backend="numpy"
+        )
+        cds = core_distances(
+            dataset["float64"], MIN_PTS, method=knn_method, backend=backend
+        )
+        assert cds.dtype == np.float64
+        if backend == "numpy":
+            assert np.array_equal(cds, reference)
+        elif backend_is_exact(backend):
+            # The compiled kernel accumulates squared differences directly
+            # instead of the BLAS expansion, so raw k-NN distances may differ
+            # in the last ulp even though the selected neighbour sets (and
+            # every re-evaluated MST edge weight) agree.
+            np.testing.assert_allclose(cds, reference, rtol=1e-12, atol=0.0)
+        else:
+            np.testing.assert_allclose(cds, reference, rtol=1e-5, atol=1e-7)
 
 
 class TestApproxHDBSCANConformance:
