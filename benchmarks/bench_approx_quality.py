@@ -34,6 +34,7 @@ import time
 import numpy as np
 
 from repro.approx import approx_emst, approx_hdbscan
+from repro.bench.harness import memory_snapshot
 from repro.emst import emst_memogfk
 from repro.hdbscan import adjusted_rand_index, hdbscan
 
@@ -75,6 +76,7 @@ def _scale() -> float:
 def _record(name: str, payload) -> None:
     _RESULTS[name] = payload
     _RESULTS.setdefault("machine", {})["scale"] = _scale()
+    _RESULTS["machine"].update(memory_snapshot())
     path = os.environ.get("REPRO_BENCH_JSON", "BENCH_approx_quality.json")
     with open(path, "w") as handle:
         json.dump(_RESULTS, handle, indent=2, sort_keys=True)

@@ -30,6 +30,7 @@ import time
 
 import numpy as np
 
+from repro.bench.harness import memory_snapshot
 from repro.core.backend import BACKENDS, HAVE_NUMBA, resolve_backend
 from repro.emst.api import emst
 from repro.spatial.kdtree import KDTree
@@ -63,6 +64,7 @@ def _record(name: str, payload: dict) -> None:
         os.environ.get("REPRO_BENCH_SCALE", "1.0")
     )
     _RESULTS["machine"]["have_numba"] = HAVE_NUMBA
+    _RESULTS["machine"].update(memory_snapshot())
     path = os.environ.get("REPRO_BENCH_JSON", "BENCH_backends.json")
     with open(path, "w") as handle:
         json.dump(_RESULTS, handle, indent=2, sort_keys=True)

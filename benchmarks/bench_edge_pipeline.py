@@ -33,6 +33,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.bench.harness import memory_snapshot
 from repro.dendrogram import dendrogram_sequential
 from repro.dendrogram.sequential import _ordered_children, tree_vertex_distances
 from repro.dendrogram.structure import Dendrogram
@@ -56,6 +57,7 @@ def _at_full_scale() -> bool:
 
 def _record(name: str, payload: dict) -> None:
     _RESULTS[name] = payload
+    _RESULTS.setdefault("machine", {}).update(memory_snapshot())
     path = os.environ.get("REPRO_BENCH_JSON", "bench_edge_pipeline.json")
     with open(path, "w") as handle:
         json.dump(_RESULTS, handle, indent=2, sort_keys=True)

@@ -30,6 +30,7 @@ import os
 
 import numpy as np
 
+from repro.bench.harness import memory_snapshot
 from repro.core.metric import EuclideanMetric, resolve_metric
 from repro.emst import emst_bruteforce, emst_memogfk
 from repro.hdbscan import hdbscan
@@ -50,6 +51,7 @@ def _record(name: str, payload: dict) -> None:
     _RESULTS.setdefault("machine", {})["scale"] = float(
         os.environ.get("REPRO_BENCH_SCALE", "1.0")
     )
+    _RESULTS["machine"].update(memory_snapshot())
     path = os.environ.get("REPRO_BENCH_JSON", "BENCH_metrics.json")
     with open(path, "w") as handle:
         json.dump(_RESULTS, handle, indent=2, sort_keys=True)

@@ -35,7 +35,7 @@ import os
 
 import numpy as np
 
-from repro.bench.harness import measured_scaling_curve
+from repro.bench.harness import measured_scaling_curve, memory_snapshot
 from repro.dendrogram.topdown import dendrogram_topdown
 from repro.emst import emst_memogfk
 from repro.hdbscan import hdbscan
@@ -77,6 +77,7 @@ def _record(name: str, payload: dict) -> None:
     _RESULTS["machine"] = {
         "available_cores": _available_cores(),
         "scale": float(os.environ.get("REPRO_BENCH_SCALE", "1.0")),
+        **memory_snapshot(),
     }
     path = os.environ.get("REPRO_BENCH_JSON", "BENCH_parallel_scaling.json")
     with open(path, "w") as handle:

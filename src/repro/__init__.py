@@ -26,7 +26,15 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-versus-measured record of every reproduced table and figure.
 """
 
-from repro.core import PointSet, as_points
+from repro.core import PointSet, as_points, open_memmap_points
+from repro.core.budget import (
+    MemoryBudget,
+    current_memory_budget,
+    parse_memory_size,
+    resolve_memory_budget,
+    set_default_memory_budget,
+    use_memory_budget,
+)
 from repro.core.backend import (
     BACKEND_NAMES,
     BackendFallbackWarning,

@@ -8,6 +8,9 @@ programmatically (e.g. from the examples or notebooks).
 
 from repro.bench.harness import (
     measure,
+    measured_scaling_curve,
+    memory_snapshot,
+    peak_rss_bytes,
     run_with_tracker,
     scaling_curve,
     phase_breakdown,
@@ -17,6 +20,9 @@ from repro.bench.tables import format_table, format_scaling_series
 
 __all__ = [
     "measure",
+    "measured_scaling_curve",
+    "memory_snapshot",
+    "peak_rss_bytes",
     "run_with_tracker",
     "scaling_curve",
     "phase_breakdown",

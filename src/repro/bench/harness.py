@@ -22,12 +22,71 @@ Two kinds of multi-thread scaling curve are available:
 
 from __future__ import annotations
 
+import sys
 import time
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.backend import resolve_backend
+from repro.core.budget import current_memory_budget, resolve_memory_budget
 from repro.core.metric import resolve_metric
 from repro.parallel.scheduler import WorkDepthTracker, simulated_time, use_tracker
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows has no resource module
+    resource = None
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """The process's lifetime peak resident set size, in bytes.
+
+    Read from ``resource.getrusage`` (``ru_maxrss`` is kilobytes on Linux,
+    bytes on macOS).  Where the ``resource`` module is unavailable, falls
+    back to ``tracemalloc``'s traced peak when tracing is active, else
+    ``None`` — callers record the value as-is, so artifacts stay honest about
+    what was actually measured.
+
+    Note this is a high-water mark for the whole process: it never decreases,
+    so deltas across a measured call (``peak_after - peak_before``) only
+    attribute growth, not a concurrent baseline.
+    """
+    if resource is not None:
+        peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        return peak * 1024 if sys.platform != "darwin" else peak
+    import tracemalloc
+
+    if tracemalloc.is_tracing():  # pragma: no cover - fallback platform path
+        return int(tracemalloc.get_traced_memory()[1])
+    return None  # pragma: no cover - fallback platform path
+
+
+def memory_snapshot() -> Dict[str, object]:
+    """Current memory facts every benchmark artifact records.
+
+    ``peak_rss_bytes`` is the process high-water mark
+    (:func:`peak_rss_bytes`); ``memory_budget`` is the ambient budget's
+    canonical spec (``"unbounded"`` without one) and ``budget_peak_bytes``
+    the budget's own planned high-water mark, so artifacts can compare
+    planned against measured peaks.
+    """
+    budget = current_memory_budget()
+    return {
+        "peak_rss_bytes": peak_rss_bytes(),
+        "memory_budget": budget.spec(),
+        "budget_peak_bytes": int(budget.peak_bytes),
+    }
+
+
+def _memory_spec(kwargs: Dict) -> str:
+    """Canonical budget spec of a measured call, for JSON metadata.
+
+    A ``memory_budget`` kwarg wins; otherwise the ambient budget (which is
+    what the call will actually run under) is reported.
+    """
+    budget = kwargs.get("memory_budget")
+    if budget is None:
+        return current_memory_budget().spec()
+    return resolve_memory_budget(budget).spec()
 
 
 def _metric_spec(kwargs: Dict) -> str:
@@ -126,6 +185,8 @@ def scaling_curve(
         "metric": _metric_spec(kwargs),
         "backend": backend_name,
         "dtype": scoring_dtype,
+        "memory_budget": _memory_spec(kwargs),
+        "peak_rss_bytes": peak_rss_bytes(),
         "thread_counts": list(thread_counts),
         "times": times,
         "speedups": speedups,
@@ -170,6 +231,8 @@ def measured_scaling_curve(
         "metric": _metric_spec(kwargs),
         "backend": backend_name,
         "dtype": scoring_dtype,
+        "memory_budget": _memory_spec(kwargs),
+        "peak_rss_bytes": peak_rss_bytes(),
         "thread_counts": list(thread_counts),
         "times": times,
         "speedups": [t1 / t for t in times],

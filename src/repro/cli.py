@@ -21,6 +21,12 @@ equivalent with a warning when numba is not installed).
 ``emst`` and ``single-linkage`` take ``--epsilon EPS`` — and ``hdbscan``
 takes ``--approx-epsilon EPS`` (``--epsilon`` being its DBSCAN* cut level) —
 to compute the (1+EPS)-approximate tree instead of the exact one.
+
+``--memory-budget SIZE`` (``512M``, ``2G``, or plain bytes) caps the bytes
+the engine's tiled kernels and growable buffers plan to materialize: tiles
+shrink to the budget's share, edge buffers past its spill threshold go to
+unlinked temporary-file memmaps, and ``.npy`` inputs are memory-mapped
+instead of loaded into RAM — outputs are byte-identical at any budget.
 """
 
 from __future__ import annotations
@@ -34,19 +40,28 @@ import numpy as np
 
 from repro.approx import resolve_approx_method
 from repro.core.backend import BACKEND_NAMES, resolve_backend
+from repro.core.budget import MemoryBudget, parse_memory_size
 from repro.core.errors import ReproError
 from repro.core.metric import METRIC_NAMES, resolve_metric
+from repro.core.points import open_memmap_points
 from repro.dendrogram.single_linkage import single_linkage
 from repro.emst.api import EMST_METHODS, emst
 from repro.hdbscan.api import HDBSCAN_METHODS, hdbscan
 
 
-def load_points(path: str) -> np.ndarray:
-    """Load an ``(n, d)`` point array from a .npy, .csv or whitespace text file."""
+def load_points(path: str, *, memory_budget: Optional[MemoryBudget] = None) -> np.ndarray:
+    """Load an ``(n, d)`` point array from a .npy, .csv or whitespace text file.
+
+    Under a bounded ``memory_budget``, a ``.npy`` input is opened as a
+    read-only memory map (:func:`repro.core.points.open_memmap_points`) so
+    the points never occupy budgeted RAM; text formats always parse into RAM.
+    """
     file_path = Path(path)
     if not file_path.exists():
         raise ReproError(f"input file not found: {path}")
     if file_path.suffix == ".npy":
+        if memory_budget is not None and memory_budget.bounded:
+            return open_memmap_points(file_path)
         return np.load(file_path)
     text = file_path.read_text().strip()
     if not text:
@@ -82,6 +97,19 @@ def _parse_metric(text: str):
     """argparse ``type=`` hook: metric spec string -> Metric instance."""
     try:
         return resolve_metric(text)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _parse_memory_budget(text: str) -> MemoryBudget:
+    """argparse ``type=`` hook: size spec string -> MemoryBudget.
+
+    Shares :func:`repro.core.budget.parse_memory_size` with the estimators'
+    ``memory_budget=`` validation, so ``--memory-budget 12X`` fails fast at
+    parse time with the same message the Python API gives.
+    """
+    try:
+        return MemoryBudget(parse_memory_size(text))
     except ReproError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
 
@@ -136,6 +164,19 @@ def build_parser() -> argparse.ArgumentParser:
             "surviving edges in exact float64; numba backends fall back to "
             "numpy with a warning when numba is not installed); "
             "default: the REPRO_BACKEND environment variable, else numpy",
+        )
+        subparser.add_argument(
+            "--memory-budget",
+            type=_parse_memory_budget,
+            default=None,
+            metavar="SIZE",
+            help="bytes ceiling for the tiled kernels and growable buffers "
+            "(e.g. 512M, 2G, or plain bytes; K/M/G/T suffixes are binary). "
+            ".npy inputs are memory-mapped instead of loaded, oversized "
+            "edge buffers spill to unlinked temporary files, and outputs "
+            "stay byte-identical at any budget; "
+            "default: the REPRO_MEMORY_BUDGET environment variable, "
+            "else unbounded",
         )
 
     def add_epsilon(subparser: argparse.ArgumentParser, flag: str = "--epsilon") -> None:
@@ -205,13 +246,14 @@ def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        points = load_points(args.input)
+        points = load_points(args.input, memory_budget=args.memory_budget)
         metric = resolve_metric(getattr(args, "metric", None))
         if args.command == "emst":
             result = emst(
                 points,
                 metric=metric,
                 backend=args.backend,
+                memory_budget=args.memory_budget,
                 num_threads=args.num_threads,
                 **_approx_method_kwargs(args),
             )
@@ -226,6 +268,7 @@ def main(argv: Optional[list] = None) -> int:
                 min_pts=args.min_pts,
                 metric=metric,
                 backend=args.backend,
+                memory_budget=args.memory_budget,
                 num_threads=args.num_threads,
                 **_approx_method_kwargs(args),
             )
@@ -246,6 +289,7 @@ def main(argv: Optional[list] = None) -> int:
                 points,
                 metric=metric,
                 backend=args.backend,
+                memory_budget=args.memory_budget,
                 num_threads=args.num_threads,
                 **_approx_method_kwargs(args),
             )

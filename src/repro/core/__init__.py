@@ -12,7 +12,16 @@ from repro.core.errors import (
     InvalidPointSetError,
     NotComputedError,
 )
-from repro.core.points import PointSet, as_points
+from repro.core.points import PointSet, as_points, open_memmap_points
+from repro.core.budget import (
+    MemoryBudget,
+    current_memory_budget,
+    format_memory_size,
+    parse_memory_size,
+    resolve_memory_budget,
+    set_default_memory_budget,
+    use_memory_budget,
+)
 from repro.core.backend import (
     BACKEND_NAMES,
     BackendFallbackWarning,
@@ -52,6 +61,14 @@ __all__ = [
     "NotComputedError",
     "PointSet",
     "as_points",
+    "open_memmap_points",
+    "MemoryBudget",
+    "current_memory_budget",
+    "format_memory_size",
+    "parse_memory_size",
+    "resolve_memory_budget",
+    "set_default_memory_budget",
+    "use_memory_budget",
     "BACKEND_NAMES",
     "BackendFallbackWarning",
     "KernelBackend",

@@ -16,15 +16,44 @@ way, so wrapping an embedding matrix no longer doubles its memory.
 :class:`PointSet` is a light wrapper that carries the array together with a
 few cached summary statistics (bounding box, number of points,
 dimensionality) that several algorithms need.
+
+Out-of-core inputs: a C-contiguous float64 ``np.memmap`` (e.g. an
+``np.load(..., mmap_mode='r')`` of an ``.npy`` file) passes through
+:func:`as_points` **without being copied into RAM** — validation streams the
+finiteness check in fixed-size slices instead of materializing one
+array-sized temporary, and the canonicalization step only copies when dtype
+or layout actually require it.  :func:`open_memmap_points` is the validated
+loader the CLI uses for ``.npy`` inputs under a memory budget.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional
 
 import numpy as np
 
 from repro.core.errors import InvalidPointSetError
+
+#: Rows per slice of the streamed finiteness check; sized so one slice's
+#: boolean temporary stays a few MB even for wide points.
+_FINITE_CHECK_ROWS = 1 << 18
+
+
+def _all_finite(array: np.ndarray) -> bool:
+    """``np.all(np.isfinite(array))`` evaluated in bounded-memory slices.
+
+    One shot for small arrays; for large (possibly memory-mapped) inputs the
+    check walks fixed row slices so the temporary stays bounded and a memmap
+    is streamed once instead of pulled into RAM alongside a same-sized bool
+    array.
+    """
+    if array.ndim != 2 or array.shape[0] <= _FINITE_CHECK_ROWS:
+        return bool(np.all(np.isfinite(array)))
+    for start in range(0, array.shape[0], _FINITE_CHECK_ROWS):
+        if not np.all(np.isfinite(array[start : start + _FINITE_CHECK_ROWS])):
+            return False
+    return True
 
 
 def as_points(
@@ -99,12 +128,55 @@ def as_points(
         raise InvalidPointSetError(
             f"at least {min_points} point(s) required; got {n}"
         )
-    if not np.all(np.isfinite(array)):
+    if not _all_finite(array):
         raise InvalidPointSetError("points must not contain NaN or infinite values")
     if copy:
         array = np.array(array, dtype=target, order="C", copy=True)
     elif array.dtype != target or not array.flags["C_CONTIGUOUS"]:
         array = np.ascontiguousarray(array, dtype=target)
+    return array
+
+
+def open_memmap_points(path, *, mmap_mode: str = "r") -> np.ndarray:
+    """Open an ``.npy`` file of points as a validated read-only memory map.
+
+    The returned array is an ``np.memmap`` the OS pages on demand — handing
+    it to :func:`as_points` (or any public pipeline) costs no RAM copy when
+    the file already stores C-contiguous float64 rows, which is what the
+    out-of-core engine relies on at ``n >= 10^7``.
+
+    Degenerate files fail fast with clear errors instead of surfacing deep
+    inside a kernel: a missing or empty file, a non-array payload, and a
+    non-floating dtype (an integer or structured ``.npy`` cannot be mapped
+    without a converting copy, which would defeat the point) all raise
+    :class:`~repro.core.errors.InvalidPointSetError`.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise InvalidPointSetError(f"points file not found: {path}")
+    if file_path.stat().st_size == 0:
+        raise InvalidPointSetError(f"points file is empty: {path}")
+    try:
+        array = np.load(file_path, mmap_mode=mmap_mode, allow_pickle=False)
+    except ValueError as error:
+        raise InvalidPointSetError(
+            f"could not open {path} as an .npy array: {error}"
+        ) from None
+    if not isinstance(array, np.ndarray) or array.dtype.hasobject:
+        raise InvalidPointSetError(
+            f"{path} does not contain a plain numeric array"
+        )
+    if not np.issubdtype(array.dtype, np.floating):
+        raise InvalidPointSetError(
+            f"{path} has dtype {array.dtype}; memory-mapped points must be "
+            f"float32 or float64 (convert once with "
+            f"np.save(path, array.astype(np.float64)))"
+        )
+    if array.ndim != 2 or array.shape[0] == 0 or array.shape[1] == 0:
+        raise InvalidPointSetError(
+            f"{path} must store a non-empty (n, d) array; got shape "
+            f"{array.shape}"
+        )
     return array
 
 
@@ -119,11 +191,20 @@ class PointSet:
     normalizes to float64), so wrapping a float32 embedding matrix does not
     double its memory; the algorithm entry points still promote to float64 at
     their own boundary unless a lowered backend is selected.
+
+    ``copy=False`` wraps an already-canonical array (C-contiguous
+    float32/float64) without duplicating its storage — the memory-mapped
+    mode: ``PointSet(open_memmap_points(path), copy=False)`` keeps the
+    points on disk, paged by the OS.  The wrapper is only able to enforce
+    read-only access on storage it owns, so with ``copy=False`` the caller's
+    array is left exactly as passed (a ``mmap_mode='r'`` map is already
+    non-writeable).
     """
 
-    def __init__(self, points):
-        self._coords = as_points(points, copy=True, dtype=None)
-        self._coords.setflags(write=False)
+    def __init__(self, points, *, copy: bool = True):
+        self._coords = as_points(points, copy=copy, dtype=None)
+        if copy:
+            self._coords.setflags(write=False)
         self._lower_bound = None
         self._upper_bound = None
 

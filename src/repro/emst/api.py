@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.core.backend import BackendLike, use_backend
+from repro.core.budget import BudgetLike, use_memory_budget
 from repro.core.errors import InvalidParameterError
 from repro.core.metric import MetricLike
 from repro.core.points import as_points
@@ -53,6 +54,7 @@ def emst(
     method: str = "memogfk",
     metric: MetricLike = None,
     backend: BackendLike = None,
+    memory_budget: BudgetLike = None,
     **kwargs,
 ) -> EMSTResult:
     """Compute the minimum spanning tree of a point set under a metric.
@@ -84,6 +86,17 @@ def emst(
         score candidates in float32 and re-evaluate every surviving edge in
         exact float64.  Selecting an uninstalled compiled backend falls back
         to its numpy equivalent with a ``BackendFallbackWarning``.
+    memory_budget:
+        Bytes ceiling for the engine's tiled kernels and growable buffers:
+        an int, a size string (``"512M"``, ``"2G"``), a
+        :class:`~repro.core.budget.MemoryBudget` instance, or ``None`` for
+        the ambient default (see
+        :func:`repro.core.budget.use_memory_budget`; initialized from the
+        ``REPRO_MEMORY_BUDGET`` environment variable, unbounded otherwise).
+        The budget changes only tile/chunk sizes and enables spill-to-disk
+        for edge buffers past its threshold, so the returned tree is
+        **byte-identical** to the unbudgeted engine at any budget that
+        admits at least one tile (smaller budgets clamp, they never error).
     kwargs:
         Forwarded to the selected implementation.  Every method accepts
         ``num_threads``: the number of worker threads the batched kernels
@@ -105,8 +118,11 @@ def emst(
         raise InvalidParameterError(
             f"unknown EMST method {method!r}; choose from {sorted(EMST_METHODS)}"
         ) from None
-    data = as_points(points, min_points=1)
-    # One scope covers the whole pipeline: every tree the implementation
-    # builds snapshots this backend, with no per-method plumbing.
-    with use_backend(backend):
-        return implementation(data, metric=metric, **kwargs)
+    # The budget must be ambient before input coercion so the streamed
+    # finiteness check and any spilled buffers are governed by it too.
+    with use_memory_budget(memory_budget):
+        data = as_points(points, min_points=1)
+        # One scope covers the whole pipeline: every tree the implementation
+        # builds snapshots this backend, with no per-method plumbing.
+        with use_backend(backend):
+            return implementation(data, metric=metric, **kwargs)

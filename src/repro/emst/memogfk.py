@@ -42,7 +42,6 @@ from repro.emst.gfk import pairs_fully_connected
 from repro.emst.result import EMSTResult
 from repro.mst.edges import EdgeList
 from repro.mst.kruskal import kruskal_batch_arrays
-from repro.parallel import pool as _pool
 from repro.parallel.pool import map_shards, resolve_num_threads
 from repro.parallel.scheduler import current_tracker
 from repro.parallel.unionfind import UnionFind
@@ -50,7 +49,7 @@ from repro.spatial.flat import FlatKDTree
 from repro.spatial.kdtree import KDTree
 from repro.wspd.bccp import BCCPCache
 from repro.wspd.separation import node_distances, node_max_distances
-from repro.wspd.wspd import PairMask, frontier_step, separation_mask
+from repro.wspd.wspd import PairMask, frontier_step, pair_chunk_size, separation_mask
 
 BoundMask = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
@@ -64,18 +63,21 @@ def _sharded_bound(
     """Evaluate an elementwise pair bound, sharded on the worker pool.
 
     Same determinism contract as :func:`repro.wspd.wspd.evaluate_pair_mask`:
-    fixed chunk boundaries, every shard fills its slice of one output array,
-    byte-identical to ``bound(a, b)`` at any thread count.
+    fixed chunk boundaries (the shared :func:`repro.wspd.wspd.pair_chunk_size`
+    — ``DEFAULT_CHUNK`` unbudgeted, the budget's tile share otherwise), every
+    shard fills its slice of one output array, byte-identical to
+    ``bound(a, b)`` at any thread count.
     """
     m = int(a.size)
-    if resolve_num_threads(num_threads) == 1 or m < 2 * _pool.DEFAULT_CHUNK:
+    chunk = pair_chunk_size(num_threads)
+    if resolve_num_threads(num_threads) == 1 or m < 2 * chunk:
         return bound(a, b)
     out = np.empty(m, dtype=np.float64)
 
     def shard(lo: int, hi: int) -> None:
         out[lo:hi] = bound(a[lo:hi], b[lo:hi])
 
-    map_shards(shard, m, num_threads=num_threads)
+    map_shards(shard, m, num_threads=num_threads, chunk_size=chunk)
     return out
 
 

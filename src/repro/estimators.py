@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.approx import resolve_approx_method
 from repro.core.backend import BackendLike, resolve_backend
+from repro.core.budget import BudgetLike, resolve_memory_budget
 from repro.core.errors import InvalidParameterError, NotComputedError
 from repro.core.metric import MetricLike, resolve_metric
 from repro.core.points import as_points
@@ -123,6 +124,12 @@ class EMST(_ReproEstimator):
     num_threads:
         Worker threads for the batched kernels (results are byte-identical
         at any setting).
+    memory_budget:
+        Bytes ceiling for the tiled kernels and growable buffers: an int, a
+        size string (``"512M"``, ``"2G"``), a
+        :class:`~repro.core.budget.MemoryBudget`, or ``None`` for the
+        ambient default.  Only tile/chunk sizes (and spill-to-disk) change,
+        so the fitted tree is byte-identical at any budget.
 
     Attributes (after ``fit``)
     --------------------------
@@ -147,6 +154,7 @@ class EMST(_ReproEstimator):
         "epsilon",
         "n_clusters",
         "num_threads",
+        "memory_budget",
     )
 
     def __init__(
@@ -158,6 +166,7 @@ class EMST(_ReproEstimator):
         epsilon: float = 0.0,
         n_clusters: Optional[int] = None,
         num_threads: Optional[int] = None,
+        memory_budget: BudgetLike = None,
     ) -> None:
         self.method = method
         self.metric = metric
@@ -165,6 +174,7 @@ class EMST(_ReproEstimator):
         self.epsilon = epsilon
         self.n_clusters = n_clusters
         self.num_threads = num_threads
+        self.memory_budget = memory_budget
 
     def fit(self, X, y=None) -> "EMST":
         """Compute the MST of ``X`` under the configured metric."""
@@ -176,6 +186,7 @@ class EMST(_ReproEstimator):
         method, method_kwargs = resolve_approx_method(self.method, self.epsilon)
         resolve_metric(self.metric)  # fail fast on bad metric specs
         resolve_backend(self.backend)  # fail fast on bad backend names
+        resolve_memory_budget(self.memory_budget)  # fail fast on bad budgets
         data = as_points(X, min_points=1)
         # Validate everything parameter-shaped before the (potentially
         # expensive) MST computation runs.
@@ -191,6 +202,7 @@ class EMST(_ReproEstimator):
             method=method,
             metric=self.metric,
             backend=self.backend,
+            memory_budget=self.memory_budget,
             num_threads=self.num_threads,
             **method_kwargs,
         )
@@ -256,6 +268,10 @@ class HDBSCAN(_ReproEstimator):
         :class:`EMST`.
     num_threads:
         Worker threads for the batched kernels.
+    memory_budget:
+        Bytes ceiling for the tiled kernels and growable buffers (int, size
+        string like ``"512M"``, a MemoryBudget, or ``None`` for the ambient
+        default); labels and the MST are byte-identical at any budget.
 
     Attributes (after ``fit``)
     --------------------------
@@ -283,6 +299,7 @@ class HDBSCAN(_ReproEstimator):
         "allow_single_cluster",
         "backend",
         "num_threads",
+        "memory_budget",
     )
 
     def __init__(
@@ -297,6 +314,7 @@ class HDBSCAN(_ReproEstimator):
         allow_single_cluster: bool = False,
         backend: BackendLike = None,
         num_threads: Optional[int] = None,
+        memory_budget: BudgetLike = None,
     ) -> None:
         self.min_pts = min_pts
         self.min_cluster_size = min_cluster_size
@@ -307,6 +325,7 @@ class HDBSCAN(_ReproEstimator):
         self.allow_single_cluster = allow_single_cluster
         self.backend = backend
         self.num_threads = num_threads
+        self.memory_budget = memory_budget
 
     def fit(self, X, y=None) -> "HDBSCAN":
         """Run the HDBSCAN* pipeline on ``X`` and derive flat labels."""
@@ -320,6 +339,7 @@ class HDBSCAN(_ReproEstimator):
         )
         resolve_metric(self.metric)
         resolve_backend(self.backend)  # fail fast on bad backend names
+        resolve_memory_budget(self.memory_budget)  # fail fast on bad budgets
         data = as_points(X, min_points=1)
         n = data.shape[0]
         self.n_features_in_ = int(data.shape[1])
@@ -346,6 +366,7 @@ class HDBSCAN(_ReproEstimator):
             method=method,
             metric=self.metric,
             backend=self.backend,
+            memory_budget=self.memory_budget,
             num_threads=self.num_threads,
             **method_kwargs,
         )

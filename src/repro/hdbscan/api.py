@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.core.backend import BackendLike, use_backend
+from repro.core.budget import BudgetLike, use_memory_budget
 from repro.core.errors import InvalidParameterError
 from repro.core.metric import MetricLike
 from repro.core.points import as_points
@@ -57,6 +58,7 @@ def hdbscan(
     num_threads: Optional[int] = None,
     metric: MetricLike = None,
     backend: BackendLike = None,
+    memory_budget: BudgetLike = None,
     **method_kwargs,
 ) -> HDBSCANResult:
     """Compute the HDBSCAN* hierarchy of a point set.
@@ -99,6 +101,14 @@ def hdbscan(
         the ambient default).  Exact backends return byte-identical results;
         lowered (``-f32``) backends score candidates in float32 with every
         surviving edge weight re-evaluated in exact float64.
+    memory_budget:
+        Bytes ceiling for the tiled kernels and growable buffers (int, size
+        string like ``"512M"``, a :class:`~repro.core.budget.MemoryBudget`,
+        or ``None`` for the ambient default — see
+        :func:`repro.core.budget.use_memory_budget`).  Changes only
+        tile/chunk sizes and enables spill-to-disk past its threshold, so
+        the MST, dendrogram and labels are byte-identical to the unbudgeted
+        engine at any budget admitting at least one tile.
     method_kwargs:
         Additional arguments forwarded to the MST implementation.
 
@@ -106,48 +116,50 @@ def hdbscan(
     -------
     HDBSCANResult
     """
-    data = as_points(points, min_points=1)
-    n = data.shape[0]
-    if not 1 <= min_pts <= n:
-        raise InvalidParameterError(f"minPts must be in [1, {n}], got {min_pts}")
-    try:
-        mst_function = HDBSCAN_METHODS[method]
-    except KeyError:
-        raise InvalidParameterError(
-            f"unknown HDBSCAN* method {method!r}; choose from {sorted(HDBSCAN_METHODS)}"
-        ) from None
+    with use_memory_budget(memory_budget):
+        data = as_points(points, min_points=1)
+        n = data.shape[0]
+        if not 1 <= min_pts <= n:
+            raise InvalidParameterError(f"minPts must be in [1, {n}], got {min_pts}")
+        try:
+            mst_function = HDBSCAN_METHODS[method]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown HDBSCAN* method {method!r}; "
+                f"choose from {sorted(HDBSCAN_METHODS)}"
+            ) from None
 
-    timings = {}
-    # One scope covers core distances and the MST: every tree built inside
-    # snapshots this backend, with no per-method plumbing.
-    with use_backend(backend):
-        start_time = time.perf_counter()
-        core_dists = compute_core_distances(
-            data, min_pts, num_threads=num_threads, metric=metric
-        )
-        timings["core-dist"] = time.perf_counter() - start_time
-
-        start_time = time.perf_counter()
-        if method == "bruteforce":
-            mst = mst_function(data, min_pts, core_dists=core_dists, metric=metric)
-        else:
-            mst = mst_function(
-                data,
-                min_pts,
-                core_dists=core_dists,
-                num_threads=num_threads,
-                metric=metric,
-                **method_kwargs,
+        timings = {}
+        # One scope covers core distances and the MST: every tree built inside
+        # snapshots this backend, with no per-method plumbing.
+        with use_backend(backend):
+            start_time = time.perf_counter()
+            core_dists = compute_core_distances(
+                data, min_pts, num_threads=num_threads, metric=metric
             )
-        timings["mst"] = time.perf_counter() - start_time
+            timings["core-dist"] = time.perf_counter() - start_time
 
-    dendrogram = None
-    if compute_dendrogram and n > 1:
-        start_time = time.perf_counter()
-        dendrogram = dendrogram_topdown(
-            mst.edges, n, start=start, heavy_fraction=heavy_fraction
-        )
-        timings["dendrogram"] = time.perf_counter() - start_time
+            start_time = time.perf_counter()
+            if method == "bruteforce":
+                mst = mst_function(data, min_pts, core_dists=core_dists, metric=metric)
+            else:
+                mst = mst_function(
+                    data,
+                    min_pts,
+                    core_dists=core_dists,
+                    num_threads=num_threads,
+                    metric=metric,
+                    **method_kwargs,
+                )
+            timings["mst"] = time.perf_counter() - start_time
+
+        dendrogram = None
+        if compute_dendrogram and n > 1:
+            start_time = time.perf_counter()
+            dendrogram = dendrogram_topdown(
+                mst.edges, n, start=start, heavy_fraction=heavy_fraction
+            )
+            timings["dendrogram"] = time.perf_counter() - start_time
 
     stats = dict(mst.stats)
     stats.update({f"time_{name}": value for name, value in timings.items()})

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.backend import BackendLike, resolve_backend
+from repro.core.budget import BudgetLike, use_memory_budget
 from repro.core.errors import InvalidParameterError
 from repro.core.metric import MetricLike, resolve_metric
 from repro.core.points import as_points
@@ -35,6 +36,7 @@ def core_distances(
     num_threads: Optional[int] = None,
     metric: MetricLike = None,
     backend: BackendLike = None,
+    memory_budget: BudgetLike = None,
 ) -> np.ndarray:
     """Core distance of every point for the given ``minPts``.
 
@@ -60,38 +62,43 @@ def core_distances(
         or ``None`` for the ambient default).  Core distances are always
         returned in exact float64: lowered backends re-evaluate the selected
         neighbours before the ``minPts``-th distance is read off.
+    memory_budget:
+        Bytes ceiling for the k-NN tiles (int, size string like ``"512M"``,
+        a :class:`~repro.core.budget.MemoryBudget`, or ``None`` for the
+        ambient default).  Results are byte-identical at any budget.
     """
-    data = as_points(points)
-    resolved_metric = resolve_metric(metric)
-    resolved_backend = resolve_backend(backend)
-    n = data.shape[0]
-    if not 1 <= min_pts <= n:
-        raise InvalidParameterError(f"minPts must be in [1, {n}], got {min_pts}")
-    if tree is not None and tree.metric != resolved_metric:
-        raise InvalidParameterError(
-            f"the supplied kd-tree was built under metric "
-            f"{tree.metric.spec()!r}, which conflicts with "
-            f"metric={resolved_metric.spec()!r}"
-        )
-    if min_pts == 1:
-        return np.zeros(n, dtype=np.float64)
-    if method == "bruteforce":
-        _, distances = knn_bruteforce(
-            data,
-            min_pts,
-            num_threads=num_threads,
-            metric=resolved_metric,
-            backend=resolved_backend,
-        )
-    elif method == "kdtree":
-        if tree is None:
-            tree = KDTree(
+    with use_memory_budget(memory_budget):
+        data = as_points(points)
+        resolved_metric = resolve_metric(metric)
+        resolved_backend = resolve_backend(backend)
+        n = data.shape[0]
+        if not 1 <= min_pts <= n:
+            raise InvalidParameterError(f"minPts must be in [1, {n}], got {min_pts}")
+        if tree is not None and tree.metric != resolved_metric:
+            raise InvalidParameterError(
+                f"the supplied kd-tree was built under metric "
+                f"{tree.metric.spec()!r}, which conflicts with "
+                f"metric={resolved_metric.spec()!r}"
+            )
+        if min_pts == 1:
+            return np.zeros(n, dtype=np.float64)
+        if method == "bruteforce":
+            _, distances = knn_bruteforce(
                 data,
-                leaf_size=max(16, min_pts),
+                min_pts,
+                num_threads=num_threads,
                 metric=resolved_metric,
                 backend=resolved_backend,
             )
-        _, distances = knn(tree, min_pts, num_threads=num_threads)
-    else:
-        raise InvalidParameterError("method must be 'bruteforce' or 'kdtree'")
-    return np.ascontiguousarray(distances[:, -1], dtype=np.float64)
+        elif method == "kdtree":
+            if tree is None:
+                tree = KDTree(
+                    data,
+                    leaf_size=max(16, min_pts),
+                    metric=resolved_metric,
+                    backend=resolved_backend,
+                )
+            _, distances = knn(tree, min_pts, num_threads=num_threads)
+        else:
+            raise InvalidParameterError("method must be 'bruteforce' or 'kdtree'")
+        return np.ascontiguousarray(distances[:, -1], dtype=np.float64)

@@ -7,6 +7,17 @@ plots — all want whole weight/endpoint arrays rather than Python objects.
 Array-producing stages append whole batches with :meth:`EdgeList.extend_arrays`
 and consumers read zero-copy views via :meth:`EdgeList.as_arrays`; a scalar
 :class:`Edge` named tuple is provided for readability at API boundaries.
+
+Growth policy (see :mod:`repro.core.buffers` for the shared contract): the
+three parallel buffers start at 16 slots and double on demand, so capacity is
+always less than twice the live count after any batch append;
+:meth:`EdgeList.as_arrays` never shrinks — it returns views over the live
+prefix — and :meth:`EdgeList.shrink_to_fit` releases the over-allocation
+explicitly.  :attr:`EdgeList.capacity` / :attr:`EdgeList.nbytes` make the
+over-allocation observable.  Under a bounded ambient
+:class:`~repro.core.budget.MemoryBudget`, buffers past the budget's spill
+threshold are transparently memmap-backed on disk (spill-to-disk mode);
+every accessor behaves identically either way.
 """
 
 from __future__ import annotations
@@ -15,7 +26,12 @@ from typing import Iterable, Iterator, NamedTuple, Tuple
 
 import numpy as np
 
-from repro.core.buffers import ensure_capacity, readonly_view
+from repro.core.buffers import (
+    buffers_nbytes,
+    ensure_capacity,
+    readonly_view,
+    shrink_buffers,
+)
 
 _INITIAL_CAPACITY = 16
 
@@ -44,6 +60,24 @@ class EdgeList:
 
     def _reserve(self, extra: int) -> None:
         ensure_capacity(self, ("_u", "_v", "_w"), self._n, self._n + extra)
+
+    @property
+    def capacity(self) -> int:
+        """Allocated slots (>= ``len(self)``; grows by doubling)."""
+        return int(self._u.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Total allocated bytes across the three buffers (capacity-based)."""
+        return buffers_nbytes(self, ("_u", "_v", "_w"))
+
+    def shrink_to_fit(self) -> None:
+        """Release the doubling over-allocation down to the live count.
+
+        Previously returned views stay valid (they pin the old storage);
+        subsequent :meth:`as_arrays` views come from the trimmed buffers.
+        """
+        shrink_buffers(self, ("_u", "_v", "_w"), self._n, _INITIAL_CAPACITY)
 
     # -- construction ----------------------------------------------------------
 

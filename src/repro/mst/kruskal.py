@@ -30,14 +30,33 @@ from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.budget import MemoryBudget, current_memory_budget
 from repro.mst.edges import EdgeList, coerce_edge_arrays
 from repro.parallel.pool import parallel_map, resolve_num_threads, shard_ranges
 from repro.parallel.scheduler import current_tracker
 from repro.parallel.unionfind import UnionFind
 
-#: Rows per sort chunk; fixed (never derived from the thread count) so the
-#: chunk boundaries — and therefore the merge tree — are deterministic.
+#: Rows per sort chunk when no memory budget is active; fixed (never derived
+#: from the thread count) so the chunk boundaries — and therefore the merge
+#: tree — are deterministic.  A bounded budget shrinks the chunk to its tile
+#: share instead, which is equally safe: the chunked merge sort equals
+#: ``np.argsort(..., kind="stable")`` at *any* chunk size.
 _SORT_CHUNK = 1 << 15
+
+#: Live bytes per row of one sort chunk: the gathered weight slice (8), the
+#: chunk's argsort permutation (8) and the merge round's staging copies (16).
+_SORT_BYTES_PER_ROW = 32
+
+
+def _sort_chunk_rows(budget: MemoryBudget, workers: int) -> int:
+    """Rows per sort chunk (the historical ``_SORT_CHUNK`` when unbudgeted)."""
+    return budget.tile_rows(
+        _SORT_BYTES_PER_ROW,
+        default_bytes=_SORT_CHUNK * _SORT_BYTES_PER_ROW,
+        minimum=1024,
+        parts=workers,
+        component="sort",
+    )
 
 
 def _merge_runs(
@@ -76,7 +95,9 @@ def parallel_argsort(
     ``np.argsort`` directly; both paths return bit-identical permutations.
     """
     m = int(weights.shape[0])
-    if resolve_num_threads(num_threads) == 1 or m < 2 * _SORT_CHUNK:
+    workers = resolve_num_threads(num_threads)
+    chunk = _sort_chunk_rows(current_memory_budget(), workers)
+    if workers == 1 or m < 2 * chunk:
         return np.argsort(weights, kind="stable")
 
     def sort_chunk(span: Tuple[int, int]) -> np.ndarray:
@@ -84,7 +105,7 @@ def parallel_argsort(
         return lo + np.argsort(weights[lo:hi], kind="stable")
 
     runs: List[np.ndarray] = parallel_map(
-        sort_chunk, shard_ranges(m, _SORT_CHUNK), num_threads=num_threads
+        sort_chunk, shard_ranges(m, chunk), num_threads=num_threads
     )
     while len(runs) > 1:
         pairs = [(runs[i], runs[i + 1]) for i in range(0, len(runs) - 1, 2)]

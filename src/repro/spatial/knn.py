@@ -25,19 +25,22 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.backend import BackendLike, resolve_backend
+from repro.core.budget import MemoryBudget, current_memory_budget
 from repro.core.errors import InvalidParameterError
 from repro.core.metric import Metric, MetricLike, resolve_metric
 from repro.core.points import as_points
-from repro.parallel.pool import parallel_map
+from repro.parallel.pool import parallel_map, resolve_num_threads
 from repro.parallel.scheduler import current_tracker
 from repro.spatial.kdtree import KDTree
 
-#: Bytes-per-chunk budget for the k-NN blocking.  Block sizes are derived
-#: from the actual per-query footprint (k result slots, the merge staging
-#: area, the d-dimensional rows — or, for brute force, a whole row of the
-#: distance matrix) instead of a fixed row count, so small-k/high-n workloads
-#: get large cache-friendly blocks while large-k or high-n brute-force chunks
-#: stay within the budget rather than thrashing memory.
+#: Default bytes-per-chunk for the k-NN blocking (the unbudgeted tile size).
+#: Block sizes are derived from the actual per-query footprint (k result
+#: slots, the merge staging area, the d-dimensional rows — or, for brute
+#: force, a whole row of the distance matrix) instead of a fixed row count,
+#: so small-k/high-n workloads get large cache-friendly blocks while large-k
+#: or high-n brute-force chunks stay within the budget rather than thrashing
+#: memory.  Under a bounded ambient :class:`~repro.core.budget.MemoryBudget`
+#: the per-chunk bytes shrink to the budget's tile share instead.
 _CHUNK_BUDGET_BYTES = 8 << 20
 
 #: Clamps keeping blocks big enough to amortize NumPy dispatch and small
@@ -46,24 +49,45 @@ _MIN_BLOCK_ROWS = 32
 _MAX_BLOCK_ROWS = 8192
 
 
-def _tree_query_block_rows(k: int, dim: int) -> int:
+def _tree_query_block_rows(
+    k: int, dim: int, budget: MemoryBudget, workers: int
+) -> int:
     """Queries per traversal block from the bytes-per-chunk budget.
 
     Each in-flight query carries its ``(k,)`` index/distance rows, the
     ``(2k,)`` merge staging copies and a few frontier entries of gathered
     ``dim``-vectors; the block size bounds the traversal's live footprint and
-    doubles as the unit of work dispatched to the worker pool.  The per-query
-    results are independent of the blocking, so every block size (and thread
-    count) returns identical arrays.
+    doubles as the unit of work dispatched to the worker pool (``workers``
+    concurrent blocks are live, so a bounded budget divides its tile share
+    accordingly).  The per-query results are independent of the blocking, so
+    every block size (and thread count) returns identical arrays.
     """
     per_query = 48 * k + 64 * dim + 64
-    return int(min(max(_CHUNK_BUDGET_BYTES // per_query, _MIN_BLOCK_ROWS), _MAX_BLOCK_ROWS))
+    return budget.tile_rows(
+        per_query,
+        default_bytes=_CHUNK_BUDGET_BYTES,
+        minimum=_MIN_BLOCK_ROWS,
+        maximum=_MAX_BLOCK_ROWS,
+        parts=workers,
+        component="knn",
+    )
 
 
-def _bruteforce_chunk_rows(n: int, k: int, dim: int) -> int:
-    """Rows per brute-force chunk: one chunk materializes ``rows × n`` distances."""
+def _bruteforce_chunk_rows(n: int, k: int, dim: int, budget: MemoryBudget) -> int:
+    """Rows per brute-force chunk: one chunk materializes ``rows × n`` distances.
+
+    Unlike the tree traversal's per-query folds, the brute-force distance
+    block is a single BLAS ``matmul`` whose kernel dispatch (gemm vs gemv,
+    small-matrix paths) depends on the chunk's row count — re-tiling it under
+    a budget would change low-order bits of the reported distances.  The
+    chunk size therefore stays at its fixed derivation and the chunk block is
+    recorded as an irreducible allocation, keeping the budget's peak
+    accounting honest without breaking the byte-identity contract.
+    """
     per_row = 8 * (2 * n + 4 * k + dim)
-    return int(min(max(_CHUNK_BUDGET_BYTES // per_row, 1), _MAX_BLOCK_ROWS))
+    rows = int(min(max(_CHUNK_BUDGET_BYTES // per_row, 1), _MAX_BLOCK_ROWS))
+    budget.note_allocation(rows * per_row)
+    return rows
 
 
 def _refine_block(
@@ -139,7 +163,9 @@ def knn(
 
     flat = tree.flat
     lowered = flat.backend.lowered
-    block = _tree_query_block_rows(k, tree.dimension)
+    block = _tree_query_block_rows(
+        k, tree.dimension, current_memory_budget(), resolve_num_threads(num_threads)
+    )
     block_starts = list(range(0, n_queries, block))
 
     def query_block(start: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -196,7 +222,7 @@ def knn_bruteforce(
     current_tracker().add(float(n) * n, max(math.log2(n), 1.0), phase="knn")
 
     if chunk_size is None:
-        chunk_size = _bruteforce_chunk_rows(n, k, data.shape[1])
+        chunk_size = _bruteforce_chunk_rows(n, k, data.shape[1], current_memory_budget())
     chunk_starts = list(range(0, n, chunk_size))
 
     def process_chunk(start: int) -> Tuple[np.ndarray, np.ndarray]:

@@ -49,13 +49,15 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.budget import current_memory_budget
 from repro.parallel.pool import current_workspace, parallel_map, resolve_num_threads
 from repro.parallel.scheduler import current_tracker
 from repro.spatial.flat import FlatKDTree
 from repro.spatial.kdtree import KDNode, KDTree
 
 #: Soft cap on the number of padded distance entries one batched class chunk
-#: may materialize (8M float64 entries = 64 MB).
+#: may materialize (8M float64 entries = 64 MB) when no memory budget is
+#: active; a bounded ambient budget shrinks the cap to its tile share.
 _BATCH_CHUNK_ELEMENTS = 8_000_000
 
 #: Node pairs whose own ``|A| * |B|`` distance matrix reaches this many
@@ -185,10 +187,21 @@ def bccp_batch(
     # resolves a disjoint set of output rows, so the task list can run inline
     # or on the worker pool with identical results.
     workers = resolve_num_threads(num_threads)
+    budget = current_memory_budget()
+    chunk_elements = budget.tile_elements(
+        np.float64,
+        default_elements=_BATCH_CHUNK_ELEMENTS,
+        parts=workers,
+        component="bccp",
+    )
     pair_work = size_a * size_b
     tasks: list = []
     for row in np.flatnonzero(pair_work >= _LARGE_PAIR_ELEMENTS):
         sub = np.array([row], dtype=np.int64)
+        # A single pair's |A| x |B| matrix is the irreducible tile: splitting
+        # it could change BLAS blocking and argmin tie-breaking, so it stays
+        # whole and any overshoot of the tile ceiling is recorded honestly.
+        budget.note_allocation(int(pair_work[row]) * 8)
         tasks.append((sub, int(size_a[row]), int(size_b[row])))
 
     small = np.flatnonzero(pair_work < _LARGE_PAIR_ELEMENTS)
@@ -209,7 +222,7 @@ def bccp_batch(
             p_b = int(size_b[rows].max())
             # Chunk so one class never materializes an oversized tensor; with
             # several workers, split further so the class load-balances.
-            chunk = max(1, _BATCH_CHUNK_ELEMENTS // (p_a * p_b))
+            chunk = max(1, chunk_elements // (p_a * p_b))
             if workers > 1:
                 balanced = -(-int(rows.size) // (4 * workers))
                 chunk = max(1, min(chunk, balanced))
@@ -252,6 +265,15 @@ class BCCPCache:
 
     The cache also counts distance evaluations, which the memory/ablation
     benchmarks use to quantify how many BCCPs each EMST variant avoided.
+
+    Growth policy: the four result columns are rebuilt on every merge (the
+    store must stay sorted), so there is no over-allocation to shrink —
+    capacity always equals the live count and :attr:`nbytes` is exact.  Under
+    a bounded ambient :class:`~repro.core.budget.MemoryBudget`, a store past
+    the budget's spill threshold is kept in unlinked temporary-file memmaps
+    (spill-to-disk mode) and its footprint is registered as the
+    ``"bccp_cache"`` reservation so tile sizing leaves room for it; every
+    accessor behaves identically either way.
     """
 
     def __init__(
@@ -350,6 +372,25 @@ class BCCPCache:
             self._insert(unique_keys, pa, pb, w)
         return out_pa, out_pb, out_w
 
+    @property
+    def nbytes(self) -> int:
+        """Exact bytes held by the four store columns (no over-allocation)."""
+        return int(
+            self._keys.nbytes
+            + self._point_a.nbytes
+            + self._point_b.nbytes
+            + self._weights.nbytes
+        )
+
+    @staticmethod
+    def _store(column: np.ndarray, budget) -> np.ndarray:
+        """Final storage for a merged column: RAM, or spilled past threshold."""
+        if not budget.wants_spill(column.nbytes):
+            return column
+        spilled = budget.allocate(column.shape[0], column.dtype)
+        spilled[:] = column
+        return spilled
+
     def _insert(
         self,
         keys: np.ndarray,
@@ -358,12 +399,21 @@ class BCCPCache:
         weights: np.ndarray,
     ) -> None:
         """Merge new (already unique, sorted) results into the sorted store."""
+        budget = current_memory_budget()
         merged_keys = np.concatenate([self._keys, keys])
         order = np.argsort(merged_keys, kind="stable")
-        self._keys = merged_keys[order]
-        self._point_a = np.concatenate([self._point_a, point_a])[order]
-        self._point_b = np.concatenate([self._point_b, point_b])[order]
-        self._weights = np.concatenate([self._weights, weights])[order]
+        self._keys = self._store(merged_keys[order], budget)
+        self._point_a = self._store(
+            np.concatenate([self._point_a, point_a])[order], budget
+        )
+        self._point_b = self._store(
+            np.concatenate([self._point_b, point_b])[order], budget
+        )
+        self._weights = self._store(
+            np.concatenate([self._weights, weights])[order], budget
+        )
+        if budget.bounded:
+            budget.reserve("bccp_cache", self.nbytes)
 
     def get(self, a: KDNode, b: KDNode) -> BCCPResult:
         """BCCP (or BCCP*, if core distances were supplied) of one node pair."""

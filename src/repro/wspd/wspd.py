@@ -27,6 +27,7 @@ from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.budget import current_memory_budget
 from repro.core.errors import InvalidParameterError, NotComputedError
 from repro.parallel import pool as _pool
 from repro.parallel.pool import map_shards, resolve_num_threads
@@ -87,6 +88,32 @@ def separation_mask(
     )
 
 
+#: Live bytes per frontier pair inside one predicate/bound shard: the two
+#: int64 id slices, the boolean (or float64) output slice, and the gathered
+#: per-node geometry temporaries (centers, radii, extents) the separation
+#: predicates materialize.
+_PAIR_SHARD_BYTES_PER_ROW = 128
+
+
+def pair_chunk_size(num_threads: Optional[int] = None) -> int:
+    """Pairs per frontier shard (``DEFAULT_CHUNK`` when unbudgeted).
+
+    Shared by the WSPD separation sweeps and the MemoGFK bound sweeps: the
+    unbudgeted size is ``repro.parallel.pool.DEFAULT_CHUNK`` (read at call
+    time, so tests can lower it); a bounded ambient memory budget derives the
+    shard from its tile share instead.  The sharded kernels are elementwise,
+    so every chunk size yields byte-identical results.
+    """
+    budget = current_memory_budget()
+    return budget.tile_rows(
+        _PAIR_SHARD_BYTES_PER_ROW,
+        default_bytes=_pool.DEFAULT_CHUNK * _PAIR_SHARD_BYTES_PER_ROW,
+        minimum=256,
+        parts=resolve_num_threads(num_threads),
+        component="wspd",
+    )
+
+
 def evaluate_pair_mask(
     predicate: PairMask,
     a: np.ndarray,
@@ -99,12 +126,14 @@ def evaluate_pair_mask(
 
     The frontier is cut at fixed chunk boundaries (independent of the thread
     count; defaulting to ``repro.parallel.pool.DEFAULT_CHUNK``, read at call
-    time) and every shard writes its slice of one output mask, so the result
-    is byte-identical to ``predicate(a, b)`` at any ``num_threads`` — the
-    predicates are purely elementwise over the pair arrays.
+    time, scaled down under a bounded ambient memory budget) and every shard
+    writes its slice of one output mask, so the result is byte-identical to
+    ``predicate(a, b)`` at any ``num_threads`` — the predicates are purely
+    elementwise over the pair arrays, so *any* chunk size returns the same
+    mask.
     """
     if chunk_size is None:
-        chunk_size = _pool.DEFAULT_CHUNK
+        chunk_size = pair_chunk_size(num_threads)
     m = int(a.size)
     if resolve_num_threads(num_threads) == 1 or m < 2 * chunk_size:
         return predicate(a, b)

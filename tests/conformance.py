@@ -71,6 +71,12 @@ CONFORMANCE_BACKENDS: Tuple[str, ...] = ("numpy", "numba", "numpy-f32")
 #: nogil inside the worker pool, so sharding must not change results).
 CONFORMANCE_BACKEND_THREAD_COUNTS: Tuple[int, ...] = (1, 2, 4)
 
+#: The memory-budget axis: unbudgeted, a budget comfortably above every
+#: default tile, and one byte — far below any tile floor, so every kernel
+#: clamps at its minimum tile.  All three must yield byte-identical results
+#: (the budget may change only tile/chunk sizes, never outputs).
+CONFORMANCE_MEMORY_BUDGETS: Tuple = (None, "16M", 1)
+
 
 def backend_is_exact(backend: str) -> bool:
     """Whether a backend is held to byte-identity (vs bounded agreement)."""

@@ -8,11 +8,16 @@ from repro.bench import (
     format_scaling_series,
     format_table,
     measure,
+    measured_scaling_curve,
+    memory_snapshot,
+    peak_rss_bytes,
     phase_breakdown,
     run_with_tracker,
     scaling_curve,
 )
+from repro.core.budget import use_memory_budget
 from repro.emst import emst_memogfk
+from repro.emst.api import emst
 
 
 class TestMeasure:
@@ -49,6 +54,49 @@ class TestScalingCurve:
     def test_default_thread_counts_match_paper_figures(self):
         assert THREAD_COUNTS[0] == 1
         assert THREAD_COUNTS[-1] == 96  # 48 cores with hyper-threading
+
+
+class TestMemoryKeys:
+    def test_peak_rss_is_positive_and_monotone(self):
+        first = peak_rss_bytes()
+        assert first is None or first > 0
+        # Force some growth, then re-read: the high-water mark never drops.
+        ballast = np.ones(1 << 20)
+        second = peak_rss_bytes()
+        del ballast
+        if first is not None:
+            assert second >= first
+
+    def test_memory_snapshot_reports_ambient_budget(self):
+        snapshot = memory_snapshot()
+        assert set(snapshot) == {
+            "peak_rss_bytes",
+            "memory_budget",
+            "budget_peak_bytes",
+        }
+        assert snapshot["memory_budget"] == "unbounded"
+        assert snapshot["budget_peak_bytes"] == 0
+        with use_memory_budget("64M"):
+            scoped = memory_snapshot()
+        assert scoped["memory_budget"] == "64M"
+
+    def test_scaling_curve_records_memory_keys(self):
+        points = np.random.default_rng(3).random((100, 2))
+        curve = scaling_curve(emst_memogfk, points, thread_counts=(1, 2))
+        assert curve["memory_budget"] == "unbounded"
+        assert curve["peak_rss_bytes"] is None or curve["peak_rss_bytes"] > 0
+
+    def test_measured_scaling_curve_reports_budget_kwarg(self):
+        points = np.random.default_rng(4).random((100, 2))
+        curve = measured_scaling_curve(
+            emst, points, thread_counts=(1, 2), memory_budget="32M"
+        )
+        assert curve["memory_budget"] == "32M"
+        u0, v0, w0 = curve["results"][0].edges.as_arrays()
+        u1, v1, w1 = curve["results"][1].edges.as_arrays()
+        assert np.array_equal(u0, u1)
+        assert np.array_equal(v0, v1)
+        assert np.array_equal(w0, w1)
 
 
 class TestFormatting:

@@ -21,6 +21,7 @@ from conformance import (
     CONFORMANCE_BACKENDS,
     CONFORMANCE_DTYPES,
     CONFORMANCE_EPSILONS,
+    CONFORMANCE_MEMORY_BUDGETS,
     CONFORMANCE_METRICS,
     CONFORMANCE_THREAD_COUNTS,
     EXACT_EMST_METHODS,
@@ -269,6 +270,54 @@ class TestBackendConformance:
             np.testing.assert_allclose(cds, reference, rtol=1e-12, atol=0.0)
         else:
             np.testing.assert_allclose(cds, reference, rtol=1e-5, atol=1e-7)
+
+
+class TestMemoryBudgetConformance:
+    """The memory-budget axis: budget × method × num_threads.
+
+    A bounded :class:`~repro.core.budget.MemoryBudget` may change only tile
+    and chunk sizes, so every cell is held to **byte-identity** against the
+    unbudgeted run of the same method — including the one-byte budget, where
+    every kernel clamps at its minimum tile.
+    """
+
+    @pytest.mark.parametrize("method", EXACT_EMST_METHODS)
+    @pytest.mark.parametrize("memory_budget", CONFORMANCE_MEMORY_BUDGETS)
+    def test_emst_budget(self, method, memory_budget, dataset):
+        skip_unless_supported(method, "euclidean", DIMENSIONS)
+        reference = emst(dataset["float64"], method=method)
+        result = emst(
+            dataset["float64"], method=method, memory_budget=memory_budget
+        )
+        assert_byte_identical(result, reference)
+
+    @pytest.mark.parametrize("memory_budget", CONFORMANCE_MEMORY_BUDGETS)
+    @pytest.mark.parametrize("num_threads", CONFORMANCE_THREAD_COUNTS)
+    def test_hdbscan_budget(self, memory_budget, num_threads, dataset):
+        reference = hdbscan(
+            dataset["float64"], min_pts=MIN_PTS, num_threads=num_threads
+        )
+        result = hdbscan(
+            dataset["float64"],
+            min_pts=MIN_PTS,
+            num_threads=num_threads,
+            memory_budget=memory_budget,
+        )
+        assert_byte_identical(result.mst, reference.mst)
+        assert np.array_equal(result.core_distances, reference.core_distances)
+        assert np.array_equal(result.eom_labels(), reference.eom_labels())
+
+    @pytest.mark.parametrize("knn_method", ("bruteforce", "kdtree"))
+    @pytest.mark.parametrize("memory_budget", CONFORMANCE_MEMORY_BUDGETS)
+    def test_core_distances_budget(self, knn_method, memory_budget, dataset):
+        reference = core_distances(dataset["float64"], MIN_PTS, method=knn_method)
+        cds = core_distances(
+            dataset["float64"],
+            MIN_PTS,
+            method=knn_method,
+            memory_budget=memory_budget,
+        )
+        assert np.array_equal(cds, reference)
 
 
 class TestApproxHDBSCANConformance:

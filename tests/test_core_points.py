@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core import InvalidPointSetError, PointSet, as_points
+from repro.core import InvalidPointSetError, PointSet, as_points, open_memmap_points
+from repro.core.points import _FINITE_CHECK_ROWS, _all_finite
 
 
 class TestAsPoints:
@@ -70,6 +71,51 @@ class TestAsPoints:
         view = base[:, ::2]
         array = as_points(view)
         assert array.flags["C_CONTIGUOUS"]
+
+
+class TestMemmapInputs:
+    @pytest.fixture
+    def npy_file(self, tmp_path):
+        path = tmp_path / "points.npy"
+        np.save(path, np.random.default_rng(0).random((40, 3)))
+        return path
+
+    def test_open_memmap_points_is_readonly_map(self, npy_file):
+        mapped = open_memmap_points(npy_file)
+        assert isinstance(mapped, np.memmap)
+        assert not mapped.flags.writeable
+        assert mapped.shape == (40, 3)
+        assert np.array_equal(mapped, np.load(npy_file))
+
+    def test_as_points_passes_memmap_through_uncopied(self, npy_file):
+        mapped = open_memmap_points(npy_file)
+        array = as_points(mapped)
+        # Canonical float64 C-contiguous storage needs no copy: the result is
+        # a zero-copy view over the mapped file, paged by the OS on demand.
+        assert np.shares_memory(array, mapped)
+
+    def test_pointset_wraps_memmap_without_copy(self, npy_file):
+        mapped = open_memmap_points(npy_file)
+        point_set = PointSet(mapped, copy=False)
+        assert np.shares_memory(point_set.coordinates, mapped)
+        assert point_set.size == 40
+
+    def test_streamed_finiteness_check_matches_one_shot(self):
+        tall = np.zeros((_FINITE_CHECK_ROWS + 7, 1))
+        assert _all_finite(tall)
+        tall[-1, 0] = np.nan  # in the final partial slice
+        assert not _all_finite(tall)
+        tall[-1, 0] = 0.0
+        tall[3, 0] = np.inf  # in the first slice
+        assert not _all_finite(tall)
+
+    def test_memmap_with_nan_rejected_at_validation(self, tmp_path):
+        path = tmp_path / "bad.npy"
+        data = np.zeros((10, 2))
+        data[4, 1] = np.nan
+        np.save(path, data)
+        with pytest.raises(InvalidPointSetError, match="NaN"):
+            as_points(open_memmap_points(path))
 
 
 class TestPointSet:

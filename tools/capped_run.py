@@ -1,0 +1,66 @@
+"""Run a command under a hard address-space cap (``RLIMIT_AS``).
+
+The out-of-core CI job uses this to prove the memory-budget engine actually
+fits: the child process cannot allocate past the cap — an engine that ignored
+its budget dies with ``MemoryError`` instead of quietly using more RAM than
+the runner has.  Usage::
+
+    python tools/capped_run.py 3G -- python -m pytest benchmarks/bench_memory_budget.py
+
+The cap applies to the *whole* child address space (interpreter, NumPy,
+mapped files — everything), so it must sit well above the engine budget; the
+benchmark's own RSS gate is the precise check, this wrapper is the hard
+backstop.  Sizes accept the same ``K``/``M``/``G``/``T`` binary suffixes as
+the ``--memory-budget`` CLI flag.
+
+Exits with the child's exit code; exits 2 on a nonsense size or missing
+command, and 3 where the platform lacks ``RLIMIT_AS`` (Windows) so callers
+can tell "could not cap" from "the capped run failed".
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+_REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+sys.path.insert(0, _REPO_SRC)
+
+from repro.core.budget import parse_memory_size  # noqa: E402
+from repro.core.errors import ReproError  # noqa: E402
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--" in argv:
+        argv.remove("--")
+    if len(argv) < 2:
+        print(
+            "usage: python tools/capped_run.py SIZE [--] COMMAND [ARG...]",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        cap = parse_memory_size(argv[0])
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        import resource
+    except ImportError:
+        print("error: RLIMIT_AS is unavailable on this platform", file=sys.stderr)
+        return 3
+
+    command = argv[1:]
+
+    def limit_address_space() -> None:
+        resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+
+    print(f"[capped-run] RLIMIT_AS={cap} bytes: {' '.join(command)}", file=sys.stderr)
+    completed = subprocess.run(command, preexec_fn=limit_address_space)
+    return completed.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
