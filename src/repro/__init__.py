@@ -54,11 +54,17 @@ from repro.core.metric import (
     resolve_metric,
 )
 from repro.core.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
     InvalidParameterError,
     InvalidPointSetError,
     NotComputedError,
     ReproError,
+    SpillIOError,
+    WorkerFailedError,
 )
+from repro.resilience import CheckpointManager, inject_faults
 from repro.emst import (
     EMSTResult,
     emst,
@@ -120,6 +126,13 @@ __all__ = [
     "InvalidParameterError",
     "InvalidPointSetError",
     "NotComputedError",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointMismatchError",
+    "WorkerFailedError",
+    "SpillIOError",
+    "CheckpointManager",
+    "inject_faults",
     "EMSTResult",
     "emst",
     "emst_bruteforce",

@@ -27,6 +27,14 @@ the engine's tiled kernels and growable buffers plan to materialize: tiles
 shrink to the budget's share, edge buffers past its spill threshold go to
 unlinked temporary-file memmaps, and ``.npy`` inputs are memory-mapped
 instead of loaded into RAM — outputs are byte-identical at any budget.
+
+``--checkpoint-dir DIR`` commits each finished pipeline phase to ``DIR`` so
+an interrupted run can be rerun with ``--resume`` and skip them
+(byte-identical output; identical input and parameters enforced by the
+checkpoint fingerprint).  ``--max-retries N`` / ``--task-timeout SECONDS``
+bound the worker pool's death-recovery ladder.  Failures exit with typed
+codes — 2 generic, 3 checkpoint (corrupt or mismatched), 4 worker failure,
+5 spill I/O — each with a one-line actionable message on stderr.
 """
 
 from __future__ import annotations
@@ -41,7 +49,12 @@ import numpy as np
 from repro.approx import resolve_approx_method
 from repro.core.backend import BACKEND_NAMES, resolve_backend
 from repro.core.budget import MemoryBudget, parse_memory_size
-from repro.core.errors import ReproError
+from repro.core.errors import (
+    CheckpointError,
+    ReproError,
+    SpillIOError,
+    WorkerFailedError,
+)
 from repro.core.metric import METRIC_NAMES, resolve_metric
 from repro.core.points import open_memmap_points
 from repro.dendrogram.single_linkage import single_linkage
@@ -178,6 +191,40 @@ def build_parser() -> argparse.ArgumentParser:
             "default: the REPRO_MEMORY_BUDGET environment variable, "
             "else unbounded",
         )
+        subparser.add_argument(
+            "--checkpoint-dir",
+            default=None,
+            metavar="DIR",
+            help="directory for phase-level checkpoint/resume: each finished "
+            "pipeline phase is committed atomically with a checksum, and a "
+            "rerun with --resume over the same directory skips the "
+            "completed phases and produces byte-identical output; "
+            "without --resume any existing checkpoint there is discarded",
+        )
+        subparser.add_argument(
+            "--resume",
+            action="store_true",
+            help="resume from the checkpoint in --checkpoint-dir (requires "
+            "--checkpoint-dir; identical input and parameters are enforced "
+            "via the checkpoint fingerprint)",
+        )
+        subparser.add_argument(
+            "--max-retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker-death events one pooled batch absorbs by "
+            "respawn-and-retry before degrading to a serial fallback "
+            "(default: 2)",
+        )
+        subparser.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="maximum time a pooled batch may go with no task completing "
+            "before the run fails with a worker error (default: no limit)",
+        )
 
     def add_epsilon(subparser: argparse.ArgumentParser, flag: str = "--epsilon") -> None:
         subparser.add_argument(
@@ -245,6 +292,14 @@ def _approx_method_kwargs(args) -> dict:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
+    resilience_kwargs = {
+        "checkpoint_dir": args.checkpoint_dir,
+        "resume": bool(args.resume),
+        "max_retries": args.max_retries,
+        "task_timeout": args.task_timeout,
+    }
     try:
         points = load_points(args.input, memory_budget=args.memory_budget)
         metric = resolve_metric(getattr(args, "metric", None))
@@ -255,6 +310,7 @@ def main(argv: Optional[list] = None) -> int:
                 backend=args.backend,
                 memory_budget=args.memory_budget,
                 num_threads=args.num_threads,
+                **resilience_kwargs,
                 **_approx_method_kwargs(args),
             )
             _write_edges(result, args.output)
@@ -270,6 +326,7 @@ def main(argv: Optional[list] = None) -> int:
                 backend=args.backend,
                 memory_budget=args.memory_budget,
                 num_threads=args.num_threads,
+                **resilience_kwargs,
                 **_approx_method_kwargs(args),
             )
             if args.mst_output:
@@ -291,6 +348,7 @@ def main(argv: Optional[list] = None) -> int:
                 backend=args.backend,
                 memory_budget=args.memory_budget,
                 num_threads=args.num_threads,
+                **resilience_kwargs,
                 **_approx_method_kwargs(args),
             )
             labels = result.labels_k(args.num_clusters)
@@ -298,6 +356,18 @@ def main(argv: Optional[list] = None) -> int:
             print(
                 f"# single-linkage: {len(set(labels.tolist()))} clusters", file=sys.stderr
             )
+    except CheckpointError as error:
+        # Corrupt, truncated or fingerprint-mismatched checkpoint state: the
+        # message says which and how to recover (delete the directory or drop
+        # --resume); distinct exit code so wrappers can retry from scratch.
+        print(f"checkpoint error: {error}", file=sys.stderr)
+        return 3
+    except WorkerFailedError as error:
+        print(f"worker failure: {error}", file=sys.stderr)
+        return 4
+    except SpillIOError as error:
+        print(f"spill I/O error: {error}", file=sys.stderr)
+        return 5
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -237,6 +237,14 @@ class NumbaKernelBackend(KernelBackend):
     """
 
     def available(self) -> bool:
+        # The "no-numba" fault simulates numba import failure mid-session:
+        # while armed, the compiled backend reports itself unavailable, so
+        # resolution takes the documented numpy-fallback path (with its
+        # BackendFallbackWarning) — the chaos suite pins that down.
+        from repro.resilience.faults import fault_enabled
+
+        if fault_enabled("no-numba"):
+            return False
         return HAVE_NUMBA
 
     def warmup(self) -> None:

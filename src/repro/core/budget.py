@@ -48,6 +48,7 @@ import os
 import re
 import tempfile
 import warnings
+import weakref
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Union
 
@@ -175,6 +176,11 @@ class MemoryBudget:
         #: Number of buffers this budget has spilled to disk, and their bytes.
         self.spilled_buffers = 0
         self.spilled_bytes = 0
+        #: Bytes of spilled buffers whose memmaps are still alive (decremented
+        #: by a ``weakref.finalize`` on each mapping).  The spill-lifecycle
+        #: tests pin this to zero after a fit — including a *failed* fit — to
+        #: prove no exception path leaks a mapping or its file descriptor.
+        self.live_spilled_bytes = 0
 
     # -- identity --------------------------------------------------------------
 
@@ -332,35 +338,70 @@ class MemoryBudget:
         memory map over an unlinked temporary file — the mapping keeps the
         (deleted) file alive, so the buffer needs no cleanup and cannot leak
         onto disk past the process.  Falls back to RAM with a warning if the
-        spill directory is unwritable.
+        spill directory is unwritable; if that fallback *also* fails for lack
+        of memory, raises :class:`~repro.core.errors.SpillIOError` (the typed
+        out-of-resources signal the CLI maps to its own exit code).  The file
+        handle is closed on every path, including mid-setup failures, so a
+        refused spill can never leak a descriptor.
         """
+        from repro.core.errors import SpillIOError
+        from repro.resilience.faults import fault_check
+
         dtype = np.dtype(dtype)
         nbytes = int(capacity) * dtype.itemsize
         if not self.wants_spill(nbytes):
             self.note_allocation(nbytes)
             return np.empty(int(capacity), dtype=dtype)
+        handle = None
         try:
+            fault = fault_check("spill-os-error", nbytes=nbytes)
+            if fault is not None:
+                raise OSError(f"injected spill failure ({fault.spec()})")
             handle = tempfile.TemporaryFile(
                 dir=self.spill_dir, prefix="repro-spill-"
             )
             handle.truncate(max(nbytes, 1))
             buffer = np.memmap(handle, dtype=dtype, mode="r+", shape=(int(capacity),))
-        except OSError as error:  # pragma: no cover - depends on host tmpdir
+        except OSError as error:
+            if handle is not None:
+                handle.close()
             warnings.warn(
                 f"could not spill a {nbytes}-byte buffer to disk ({error}); "
                 "keeping it in RAM",
                 RuntimeWarning,
                 stacklevel=2,
             )
+            try:
+                fault = fault_check("spill-ram-fail", nbytes=nbytes)
+                if fault is not None:
+                    raise MemoryError(f"injected RAM exhaustion ({fault.spec()})")
+                fallback = np.empty(int(capacity), dtype=dtype)
+            except MemoryError as ram_error:
+                raise SpillIOError(
+                    f"spilling a {nbytes}-byte buffer to disk failed "
+                    f"({error}) and the RAM fallback failed too "
+                    f"({ram_error}); free disk space in the spill directory "
+                    f"({self.spill_dir or 'the system tmpdir'}) or raise the "
+                    "memory budget"
+                ) from ram_error
             self.note_allocation(nbytes)
-            return np.empty(int(capacity), dtype=dtype)
+            return fallback
+        except BaseException:
+            if handle is not None:
+                handle.close()
+            raise
         # The mapping owns the pages now; the file object can go (the file
         # itself was never linked into the filesystem namespace on POSIX, or
         # is marked delete-on-close elsewhere).
         handle.close()
         self.spilled_buffers += 1
         self.spilled_bytes += nbytes
+        self.live_spilled_bytes += nbytes
+        weakref.finalize(buffer, self._release_spill, nbytes)
         return buffer
+
+    def _release_spill(self, nbytes: int) -> None:
+        self.live_spilled_bytes -= nbytes
 
 
 #: The unbounded budget every kernel sees unless a caller scopes one.

@@ -1,9 +1,15 @@
 """Exception hierarchy for the library.
 
 All exceptions raised by this package derive from :class:`ReproError`, so
-callers can catch a single base class.  The subclasses distinguish the three
-failure modes a user can hit: bad parameters, a malformed input point set, and
-asking for a result that has not been computed yet.
+callers can catch a single base class.  The subclasses distinguish the
+failure modes a user can hit: bad parameters, a malformed input point set,
+asking for a result that has not been computed yet, and the fault-tolerance
+failures introduced with :mod:`repro.resilience` — a checkpoint that cannot
+be resumed (corrupt, or written by an incompatible run), a worker pool that
+lost workers beyond what retries can absorb, and spill-to-disk I/O that
+failed with no RAM fallback left.
+
+:mod:`repro.errors` re-exports every class here as the public flat namespace.
 """
 
 
@@ -21,3 +27,39 @@ class InvalidPointSetError(ReproError, ValueError):
 
 class NotComputedError(ReproError, RuntimeError):
     """A derived result was requested before the producing step has run."""
+
+
+class CheckpointError(ReproError):
+    """Base class for checkpoint/resume failures (never silently ignored)."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file is corrupt or truncated (checksum/format mismatch).
+
+    Raised instead of ever resuming from damaged state; delete the checkpoint
+    directory (or pass ``resume=False``) to restart from scratch.
+    """
+
+
+class CheckpointMismatchError(CheckpointError):
+    """An existing checkpoint was written by an incompatible run.
+
+    The manifest fingerprint (points hash, method, metric, backend, dtype,
+    ``num_threads``, memory budget, engine version) does not match the
+    current call, so resuming could silently produce wrong results; the
+    mismatching fields are listed in the message.
+    """
+
+
+class WorkerFailedError(ReproError, RuntimeError):
+    """The worker pool could not complete a batch.
+
+    Raised when worker deaths exhausted the retry budget (including the
+    serial fallback) or a task exceeded its ``task_timeout`` — never by
+    hanging.  The pool is marked unhealthy so :func:`repro.parallel.pool.
+    get_pool` rebuilds it on the next use.
+    """
+
+
+class SpillIOError(ReproError, OSError):
+    """Spilling a buffer to disk failed and the RAM fallback failed too."""

@@ -307,5 +307,46 @@ class Dendrogram:
         matrix[:, 3] = self._size[:count]
         return matrix
 
+    # -- checkpoint state ------------------------------------------------------
+
+    def state_arrays(self) -> "dict[str, np.ndarray]":
+        """Copies of the live columns for a phase checkpoint (exact restore)."""
+        count = self._count
+        return {
+            "left": self._left[:count].copy(),
+            "right": self._right[:count].copy(),
+            "height": self._height[:count].copy(),
+            "size": self._size[:count].copy(),
+            "edge_u": self._edge_u[:count].copy(),
+            "edge_v": self._edge_v[:count].copy(),
+            "meta": np.array(
+                [self.num_points, -1 if self.root is None else self.root],
+                dtype=np.int64,
+            ),
+        }
+
+    @classmethod
+    def from_state_arrays(cls, arrays: "dict[str, np.ndarray]") -> "Dendrogram":
+        """Rebuild a dendrogram from :meth:`state_arrays` output.
+
+        The restored tree is bit-for-bit equal to the checkpointed one: the
+        columns are written back verbatim (batch append preserves order and
+        values) and the root is reinstated, so every downstream consumer —
+        linkage export, cuts, cluster extraction — sees identical bytes.
+        """
+        meta = np.asarray(arrays["meta"], dtype=np.int64)
+        dendrogram = cls(int(meta[0]))
+        dendrogram.add_internal_batch(
+            np.asarray(arrays["left"], dtype=np.int64),
+            np.asarray(arrays["right"], dtype=np.int64),
+            np.asarray(arrays["height"], dtype=np.float64),
+            np.asarray(arrays["edge_u"], dtype=np.int64),
+            np.asarray(arrays["edge_v"], dtype=np.int64),
+            np.asarray(arrays["size"], dtype=np.int64),
+        )
+        if int(meta[1]) >= 0:
+            dendrogram.set_root(int(meta[1]))
+        return dendrogram
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Dendrogram(n={self.num_points}, internal={self.num_internal})"

@@ -10,7 +10,7 @@ before any implementation runs, so every method sees identical inputs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.core.backend import BackendLike, use_backend
 from repro.core.budget import BudgetLike, use_memory_budget
@@ -21,9 +21,12 @@ from repro.emst.brute import emst_bruteforce
 from repro.emst.delaunay_emst import emst_delaunay
 from repro.emst.dualtree_boruvka import emst_dualtree_boruvka
 from repro.emst.gfk import emst_gfk
-from repro.emst.memogfk import emst_memogfk
+from repro.emst.memogfk import ROUND_PHASE, emst_memogfk
 from repro.emst.naive import emst_naive
 from repro.emst.result import EMSTResult
+from repro.mst.edges import EdgeList
+from repro.parallel.pool import use_pool_policy
+from repro.resilience.checkpoint import CheckpointManager, build_fingerprint
 
 
 def _emst_wspd_approx(points, **kwargs) -> EMSTResult:
@@ -55,6 +58,10 @@ def emst(
     metric: MetricLike = None,
     backend: BackendLike = None,
     memory_budget: BudgetLike = None,
+    checkpoint_dir=None,
+    resume: bool = True,
+    max_retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
     **kwargs,
 ) -> EMSTResult:
     """Compute the minimum spanning tree of a point set under a metric.
@@ -97,6 +104,27 @@ def emst(
         for edge buffers past its threshold, so the returned tree is
         **byte-identical** to the unbudgeted engine at any budget that
         admits at least one tile (smaller budgets clamp, they never error).
+    checkpoint_dir:
+        Directory for phase-level checkpoint/resume (see
+        :mod:`repro.resilience`).  When given, the finished MST (and, for
+        MemoGFK, every completed filter round) is committed atomically with
+        a checksum, and a rerun over the same directory with the same
+        fingerprint — same points, method, metric, backend, dtype, thread
+        count and budget — skips the completed work and returns a
+        **byte-identical** tree.  A mismatching fingerprint raises
+        ``CheckpointMismatchError``; corrupt or truncated state raises
+        ``CheckpointCorruptError``.
+    resume:
+        With ``False`` an existing checkpoint in ``checkpoint_dir`` is
+        discarded and the run starts fresh (default ``True``: reuse it).
+    max_retries:
+        Worker-death events one pooled batch absorbs by respawn-and-retry
+        before degrading to the serial fallback (``None`` keeps the ambient
+        :func:`repro.parallel.pool.use_pool_policy` default of 2).
+    task_timeout:
+        Seconds a pooled batch may go with no task completing before the run
+        fails with ``WorkerFailedError`` (``None``: no time limit; worker
+        *deaths* are still detected and retried immediately either way).
     kwargs:
         Forwarded to the selected implementation.  Every method accepts
         ``num_threads``: the number of worker threads the batched kernels
@@ -123,6 +151,44 @@ def emst(
     with use_memory_budget(memory_budget):
         data = as_points(points, min_points=1)
         # One scope covers the whole pipeline: every tree the implementation
-        # builds snapshots this backend, with no per-method plumbing.
-        with use_backend(backend):
-            return implementation(data, metric=metric, **kwargs)
+        # builds snapshots this backend, with no per-method plumbing; the pool
+        # policy scope does the same for the fault-tolerance knobs.
+        with use_backend(backend), use_pool_policy(max_retries, task_timeout):
+            if checkpoint_dir is None:
+                return implementation(data, metric=metric, **kwargs)
+            checkpoint = CheckpointManager(
+                checkpoint_dir,
+                build_fingerprint(
+                    data,
+                    algorithm="emst",
+                    method=method,
+                    metric=metric,
+                    backend=backend,
+                    memory_budget=memory_budget,
+                    num_threads=kwargs.get("num_threads"),
+                    options=repr(
+                        sorted(
+                            (key, value)
+                            for key, value in kwargs.items()
+                            if key != "num_threads"
+                        )
+                    ),
+                ),
+                resume=resume,
+            )
+            if checkpoint.has_phase("mst"):
+                arrays, meta = checkpoint.load_phase("mst")
+                edges = EdgeList()
+                edges.extend_arrays(arrays["u"], arrays["v"], arrays["w"])
+                return EMSTResult(
+                    edges, data.shape[0], method, stats=dict(meta.get("stats", {}))
+                )
+            if method == "memogfk":
+                # MemoGFK checkpoints every filter round, so even a kill
+                # mid-MST resumes at the last finished round.
+                kwargs = dict(kwargs, checkpoint=checkpoint)
+            result = implementation(data, metric=metric, **kwargs)
+            u, v, w = result.edges.as_arrays()
+            checkpoint.save_phase("mst", {"u": u, "v": v, "w": w}, {"stats": result.stats})
+            checkpoint.remove_phase(ROUND_PHASE)
+            return result

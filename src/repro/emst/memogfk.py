@@ -274,6 +274,40 @@ def _get_pairs(
     return point_a[in_window], point_b[in_window], weight[in_window]
 
 
+#: Checkpoint phase recording the MemoGFK round loop's live state.  Saved
+#: after every completed round, retired by the api layer once the final MST
+#: phase is committed.
+ROUND_PHASE = "mst-rounds"
+
+
+def _save_round_state(
+    checkpoint,
+    output: EdgeList,
+    union_find: UnionFind,
+    beta: int,
+    rho_lo: float,
+    rounds: int,
+    max_materialized: int,
+    total_materialized: int,
+) -> None:
+    u, v, w = output.as_arrays()
+    arrays = {
+        "edges_u": u,
+        "edges_v": v,
+        "edges_w": w,
+        # beta can exceed float53 after enough doublings; keep ints exact.
+        "counters": np.array(
+            [beta, rounds, max_materialized, total_materialized], dtype=np.int64
+        ),
+        # rho_lo may legitimately be +inf (last window), so it cannot ride
+        # the JSON manifest metadata.
+        "rho_lo": np.array([rho_lo], dtype=np.float64),
+    }
+    for key, value in union_find.state_arrays().items():
+        arrays[f"uf_{key}"] = value
+    checkpoint.save_phase(ROUND_PHASE, arrays, {"round": rounds})
+
+
 def memogfk_mst(
     tree: KDTree,
     *,
@@ -282,6 +316,7 @@ def memogfk_mst(
     core_distances: Optional[np.ndarray] = None,
     initial_beta: int = 2,
     num_threads: Optional[int] = None,
+    checkpoint=None,
 ) -> Tuple[EdgeList, dict]:
     """Run the MemoGFK engine over an existing kd-tree.
 
@@ -305,6 +340,14 @@ def memogfk_mst(
         Kruskal weight sort all shard onto the persistent worker pool with
         fixed chunk boundaries, so the MST is byte-identical at any thread
         count; ``None``/``0``/``1`` run inline.
+    checkpoint:
+        Optional :class:`~repro.resilience.checkpoint.CheckpointManager`.
+        When given, the loop commits its complete live state — the accepted
+        edges, the union-find forest, ``beta``/``rho_lo`` and the round
+        counters — after *every* round, and restores it on entry, so a run
+        killed mid-MST resumes at its last finished round and still produces
+        a byte-identical tree (each round is a deterministic function of the
+        restored state).
 
     Returns
     -------
@@ -339,48 +382,85 @@ def memogfk_mst(
     rounds = 0
     max_materialized = 0
     total_materialized = 0
+    if checkpoint is not None and checkpoint.has_phase(ROUND_PHASE):
+        arrays, _ = checkpoint.load_phase(ROUND_PHASE)
+        output.extend_arrays(arrays["edges_u"], arrays["edges_v"], arrays["edges_w"])
+        union_find = UnionFind.from_state_arrays(
+            {
+                "parent": arrays["uf_parent"],
+                "rank": arrays["uf_rank"],
+                "num_components": arrays["uf_num_components"],
+            }
+        )
+        counters = arrays["counters"]
+        beta = int(counters[0])
+        rounds = int(counters[1])
+        max_materialized = int(counters[2])
+        total_materialized = int(counters[3])
+        rho_lo = float(arrays["rho_lo"][0])
     tracker = current_tracker()
     log_n = max(math.log2(n), 1.0)
-    while len(output) < n - 1:
-        rounds += 1
-        # One round costs O(log n) depth: the two pruned traversals recurse to
-        # tree depth and the Kruskal batch contributes another log factor.
-        tracker.add(0.0, 2.0 * log_n, phase="wspd")
-        # The union-find only changes in the Kruskal step, so one component
-        # snapshot (per-point roots folded into per-node root ranges) is valid
-        # for both traversals of the round.
-        point_roots = union_find.roots()
-        root_min, root_max = flat.node_value_ranges(point_roots)
-        rho_hi = _get_rho(
-            flat, beta, root_min, root_max, predicate, lower_bound, num_threads
-        )
-        batch_u, batch_v, batch_w = _get_pairs(
-            tree,
-            rho_lo,
-            rho_hi,
-            point_roots,
-            root_min,
-            root_max,
-            predicate,
-            cache,
-            lower_bound,
-            upper_bound,
-            num_threads,
-        )
-        max_materialized = max(max_materialized, int(batch_u.size))
-        total_materialized += int(batch_u.size)
-        kruskal_batch_arrays(
-            batch_u, batch_v, batch_w, output, union_find, num_threads=num_threads
-        )
-        beta *= 2
-        rho_lo = rho_hi
-        if math.isinf(rho_hi) and len(output) < n - 1:
-            # Final window covered every remaining pair; if the tree is still
-            # incomplete the input must contain exact duplicates that the
-            # predicate classified as separated with zero distance, which the
-            # final batch has already handled.  Guard against an infinite
-            # loop regardless.
-            break
+    try:
+        while len(output) < n - 1:
+            rounds += 1
+            # One round costs O(log n) depth: the two pruned traversals recurse
+            # to tree depth and the Kruskal batch contributes another log
+            # factor.
+            tracker.add(0.0, 2.0 * log_n, phase="wspd")
+            # The union-find only changes in the Kruskal step, so one component
+            # snapshot (per-point roots folded into per-node root ranges) is
+            # valid for both traversals of the round.
+            point_roots = union_find.roots()
+            root_min, root_max = flat.node_value_ranges(point_roots)
+            rho_hi = _get_rho(
+                flat, beta, root_min, root_max, predicate, lower_bound, num_threads
+            )
+            batch_u, batch_v, batch_w = _get_pairs(
+                tree,
+                rho_lo,
+                rho_hi,
+                point_roots,
+                root_min,
+                root_max,
+                predicate,
+                cache,
+                lower_bound,
+                upper_bound,
+                num_threads,
+            )
+            max_materialized = max(max_materialized, int(batch_u.size))
+            total_materialized += int(batch_u.size)
+            kruskal_batch_arrays(
+                batch_u, batch_v, batch_w, output, union_find, num_threads=num_threads
+            )
+            beta *= 2
+            rho_lo = rho_hi
+            if checkpoint is not None:
+                _save_round_state(
+                    checkpoint,
+                    output,
+                    union_find,
+                    beta,
+                    rho_lo,
+                    rounds,
+                    max_materialized,
+                    total_materialized,
+                )
+            if math.isinf(rho_hi) and len(output) < n - 1:
+                # Final window covered every remaining pair; if the tree is
+                # still incomplete the input must contain exact duplicates that
+                # the predicate classified as separated with zero distance,
+                # which the final batch has already handled.  Guard against an
+                # infinite loop regardless.
+                break
+    except BaseException:
+        # Spill lifecycle: under a bounded budget the cache columns and the
+        # output buffers may be spill-file memmaps; release them now so an
+        # aborted fit drops its disk mappings (and the "bccp_cache"
+        # reservation) deterministically instead of at garbage collection.
+        cache.close()
+        output.release()
+        raise
 
     stats = {
         "rounds": rounds,
@@ -389,6 +469,9 @@ def memogfk_mst(
         "max_pairs_materialized": max_materialized,
         "pairs_materialized": total_materialized,
     }
+    # The memo served its purpose; dropping it here releases its reservation
+    # (and any spill mappings) before the caller builds on the MST.
+    cache.close()
     return output, stats
 
 
@@ -400,6 +483,7 @@ def emst_memogfk(
     initial_beta: int = 2,
     num_threads: Optional[int] = None,
     metric: MetricLike = None,
+    checkpoint=None,
 ) -> EMSTResult:
     """Exact metric MST via the memory-optimized GeoFilterKruskal (Algorithm 3).
 
@@ -407,6 +491,9 @@ def emst_memogfk(
     (see :func:`memogfk_mst`); the MST is byte-identical at any setting.
     ``metric`` selects the distance (Euclidean by default); the metric rides
     the kd-tree, so every traversal bound and BCCP kernel picks it up.
+    ``checkpoint`` enables the per-round state commits of
+    :func:`memogfk_mst` (the ``emst()`` entry point wires this up from its
+    ``checkpoint_dir=``).
     """
     data = as_points(points, min_points=1)
     n = data.shape[0]
@@ -425,6 +512,7 @@ def emst_memogfk(
         s=s,
         initial_beta=initial_beta,
         num_threads=num_threads,
+        checkpoint=checkpoint,
     )
     timings["wspd+kruskal"] = time.perf_counter() - start
 

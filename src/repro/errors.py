@@ -1,0 +1,35 @@
+"""Public flat namespace for the library's exception hierarchy.
+
+Every exception the engine raises lives in :mod:`repro.core.errors`; this
+module re-exports them so callers can write ``from repro.errors import
+WorkerFailedError`` without reaching into the core package.  The resilience
+subsystem (:mod:`repro.resilience`) raises the checkpoint/worker/spill
+classes; the rest of the engine raises the parameter/input/result classes.
+
+All classes derive from :class:`ReproError`, so ``except ReproError`` still
+catches everything.
+"""
+
+from repro.core.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    InvalidParameterError,
+    InvalidPointSetError,
+    NotComputedError,
+    ReproError,
+    SpillIOError,
+    WorkerFailedError,
+)
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "InvalidPointSetError",
+    "NotComputedError",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointMismatchError",
+    "WorkerFailedError",
+    "SpillIOError",
+]

@@ -130,6 +130,21 @@ class EMST(_ReproEstimator):
         :class:`~repro.core.budget.MemoryBudget`, or ``None`` for the
         ambient default.  Only tile/chunk sizes (and spill-to-disk) change,
         so the fitted tree is byte-identical at any budget.
+    checkpoint_dir:
+        Directory for phase-level checkpoint/resume (see
+        :mod:`repro.resilience`): a fit killed mid-computation resumes from
+        its last committed phase on the next ``fit`` with identical data and
+        parameters, byte-identically.  ``None`` (default) disables
+        checkpointing.
+    resume:
+        With ``False`` an existing checkpoint in ``checkpoint_dir`` is
+        discarded on ``fit`` instead of resumed.
+    max_retries:
+        Worker-death events one pooled batch absorbs by respawn-and-retry
+        before degrading to the serial fallback (``None``: ambient default).
+    task_timeout:
+        Seconds a pooled batch may stall with no completed task before the
+        fit fails with ``WorkerFailedError`` (``None``: no time limit).
 
     Attributes (after ``fit``)
     --------------------------
@@ -155,6 +170,10 @@ class EMST(_ReproEstimator):
         "n_clusters",
         "num_threads",
         "memory_budget",
+        "checkpoint_dir",
+        "resume",
+        "max_retries",
+        "task_timeout",
     )
 
     def __init__(
@@ -167,6 +186,10 @@ class EMST(_ReproEstimator):
         n_clusters: Optional[int] = None,
         num_threads: Optional[int] = None,
         memory_budget: BudgetLike = None,
+        checkpoint_dir=None,
+        resume: bool = True,
+        max_retries: Optional[int] = None,
+        task_timeout: Optional[float] = None,
     ) -> None:
         self.method = method
         self.metric = metric
@@ -175,6 +198,10 @@ class EMST(_ReproEstimator):
         self.n_clusters = n_clusters
         self.num_threads = num_threads
         self.memory_budget = memory_budget
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
 
     def fit(self, X, y=None) -> "EMST":
         """Compute the MST of ``X`` under the configured metric."""
@@ -203,6 +230,10 @@ class EMST(_ReproEstimator):
             metric=self.metric,
             backend=self.backend,
             memory_budget=self.memory_budget,
+            checkpoint_dir=self.checkpoint_dir,
+            resume=bool(self.resume),
+            max_retries=self.max_retries,
+            task_timeout=self.task_timeout,
             num_threads=self.num_threads,
             **method_kwargs,
         )
@@ -272,6 +303,11 @@ class HDBSCAN(_ReproEstimator):
         Bytes ceiling for the tiled kernels and growable buffers (int, size
         string like ``"512M"``, a MemoryBudget, or ``None`` for the ambient
         default); labels and the MST are byte-identical at any budget.
+    checkpoint_dir / resume / max_retries / task_timeout:
+        Fault-tolerance knobs, identical to :class:`EMST`: phase-level
+        checkpoint/resume under ``checkpoint_dir`` (byte-identical resumed
+        fits) and worker-death retry / stall-timeout policy for the pooled
+        kernels.
 
     Attributes (after ``fit``)
     --------------------------
@@ -300,6 +336,10 @@ class HDBSCAN(_ReproEstimator):
         "backend",
         "num_threads",
         "memory_budget",
+        "checkpoint_dir",
+        "resume",
+        "max_retries",
+        "task_timeout",
     )
 
     def __init__(
@@ -315,6 +355,10 @@ class HDBSCAN(_ReproEstimator):
         backend: BackendLike = None,
         num_threads: Optional[int] = None,
         memory_budget: BudgetLike = None,
+        checkpoint_dir=None,
+        resume: bool = True,
+        max_retries: Optional[int] = None,
+        task_timeout: Optional[float] = None,
     ) -> None:
         self.min_pts = min_pts
         self.min_cluster_size = min_cluster_size
@@ -326,6 +370,10 @@ class HDBSCAN(_ReproEstimator):
         self.backend = backend
         self.num_threads = num_threads
         self.memory_budget = memory_budget
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.max_retries = max_retries
+        self.task_timeout = task_timeout
 
     def fit(self, X, y=None) -> "HDBSCAN":
         """Run the HDBSCAN* pipeline on ``X`` and derive flat labels."""
@@ -367,6 +415,10 @@ class HDBSCAN(_ReproEstimator):
             metric=self.metric,
             backend=self.backend,
             memory_budget=self.memory_budget,
+            checkpoint_dir=self.checkpoint_dir,
+            resume=bool(self.resume),
+            max_retries=self.max_retries,
+            task_timeout=self.task_timeout,
             num_threads=self.num_threads,
             **method_kwargs,
         )

@@ -25,6 +25,12 @@ from repro.hdbscan.gantao import hdbscan_mst_gantao
 from repro.hdbscan.memogfk import hdbscan_mst_memogfk
 from repro.hdbscan.optics_approx import optics_approx_mst
 from repro.hdbscan.result import HDBSCANResult
+from repro.dendrogram.structure import Dendrogram
+from repro.emst.memogfk import ROUND_PHASE
+from repro.emst.result import EMSTResult
+from repro.mst.edges import EdgeList
+from repro.parallel.pool import use_pool_policy
+from repro.resilience.checkpoint import CheckpointManager, build_fingerprint
 
 
 def _hdbscan_mst_wspd_approx(points, min_pts: int = 10, **kwargs):
@@ -59,6 +65,10 @@ def hdbscan(
     metric: MetricLike = None,
     backend: BackendLike = None,
     memory_budget: BudgetLike = None,
+    checkpoint_dir=None,
+    resume: bool = True,
+    max_retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
     **method_kwargs,
 ) -> HDBSCANResult:
     """Compute the HDBSCAN* hierarchy of a point set.
@@ -109,6 +119,27 @@ def hdbscan(
         tile/chunk sizes and enables spill-to-disk past its threshold, so
         the MST, dendrogram and labels are byte-identical to the unbudgeted
         engine at any budget admitting at least one tile.
+    checkpoint_dir:
+        Directory for phase-level checkpoint/resume (see
+        :mod:`repro.resilience`).  When given, each finished pipeline phase —
+        core distances, the MST (plus, for MemoGFK, every completed filter
+        round) and the dendrogram — is committed atomically with a checksum,
+        and a rerun over the same directory with the same fingerprint (same
+        points, parameters, metric, backend, dtype, thread count and budget)
+        skips the completed phases and returns **byte-identical** results.
+        A mismatching fingerprint raises ``CheckpointMismatchError``;
+        corrupt or truncated state raises ``CheckpointCorruptError``.
+    resume:
+        With ``False`` an existing checkpoint in ``checkpoint_dir`` is
+        discarded and the run starts fresh (default ``True``: reuse it).
+    max_retries:
+        Worker-death events one pooled batch absorbs by respawn-and-retry
+        before degrading to the serial fallback (``None`` keeps the ambient
+        :func:`repro.parallel.pool.use_pool_policy` default of 2).
+    task_timeout:
+        Seconds a pooled batch may go with no task completing before the run
+        fails with ``WorkerFailedError`` (``None``: no time limit; worker
+        *deaths* are still detected and retried immediately either way).
     method_kwargs:
         Additional arguments forwarded to the MST implementation.
 
@@ -129,36 +160,97 @@ def hdbscan(
                 f"choose from {sorted(HDBSCAN_METHODS)}"
             ) from None
 
+        checkpoint = None
+        if checkpoint_dir is not None:
+            checkpoint = CheckpointManager(
+                checkpoint_dir,
+                build_fingerprint(
+                    data,
+                    algorithm="hdbscan",
+                    method=method,
+                    metric=metric,
+                    backend=backend,
+                    memory_budget=memory_budget,
+                    num_threads=num_threads,
+                    min_pts=int(min_pts),
+                    start=int(start),
+                    heavy_fraction=float(heavy_fraction),
+                    compute_dendrogram=bool(compute_dendrogram),
+                    options=repr(sorted(method_kwargs.items())),
+                ),
+                resume=resume,
+            )
+
         timings = {}
         # One scope covers core distances and the MST: every tree built inside
-        # snapshots this backend, with no per-method plumbing.
-        with use_backend(backend):
+        # snapshots this backend, with no per-method plumbing; the pool policy
+        # scope does the same for the fault-tolerance knobs.
+        with use_backend(backend), use_pool_policy(max_retries, task_timeout):
             start_time = time.perf_counter()
-            core_dists = compute_core_distances(
-                data, min_pts, num_threads=num_threads, metric=metric
-            )
+            if checkpoint is not None and checkpoint.has_phase("core-distances"):
+                arrays, _ = checkpoint.load_phase("core-distances")
+                core_dists = arrays["core_distances"]
+            else:
+                core_dists = compute_core_distances(
+                    data, min_pts, num_threads=num_threads, metric=metric
+                )
+                if checkpoint is not None:
+                    checkpoint.save_phase(
+                        "core-distances", {"core_distances": core_dists}
+                    )
             timings["core-dist"] = time.perf_counter() - start_time
 
             start_time = time.perf_counter()
-            if method == "bruteforce":
-                mst = mst_function(data, min_pts, core_dists=core_dists, metric=metric)
-            else:
-                mst = mst_function(
-                    data,
-                    min_pts,
-                    core_dists=core_dists,
-                    num_threads=num_threads,
-                    metric=metric,
-                    **method_kwargs,
+            if checkpoint is not None and checkpoint.has_phase("mst"):
+                arrays, meta = checkpoint.load_phase("mst")
+                edges = EdgeList()
+                edges.extend_arrays(arrays["u"], arrays["v"], arrays["w"])
+                mst = EMSTResult(
+                    edges,
+                    n,
+                    str(meta.get("method", method)),
+                    stats=dict(meta.get("stats", {})),
                 )
+            else:
+                if method == "bruteforce":
+                    mst = mst_function(
+                        data, min_pts, core_dists=core_dists, metric=metric
+                    )
+                else:
+                    if method == "memogfk" and checkpoint is not None:
+                        # MemoGFK checkpoints every filter round, so even a
+                        # kill mid-MST resumes at the last finished round.
+                        method_kwargs = dict(method_kwargs, checkpoint=checkpoint)
+                    mst = mst_function(
+                        data,
+                        min_pts,
+                        core_dists=core_dists,
+                        num_threads=num_threads,
+                        metric=metric,
+                        **method_kwargs,
+                    )
+                if checkpoint is not None:
+                    u, v, w = mst.edges.as_arrays()
+                    checkpoint.save_phase(
+                        "mst",
+                        {"u": u, "v": v, "w": w},
+                        {"stats": mst.stats, "method": mst.method},
+                    )
+                    checkpoint.remove_phase(ROUND_PHASE)
             timings["mst"] = time.perf_counter() - start_time
 
         dendrogram = None
         if compute_dendrogram and n > 1:
             start_time = time.perf_counter()
-            dendrogram = dendrogram_topdown(
-                mst.edges, n, start=start, heavy_fraction=heavy_fraction
-            )
+            if checkpoint is not None and checkpoint.has_phase("dendrogram"):
+                arrays, _ = checkpoint.load_phase("dendrogram")
+                dendrogram = Dendrogram.from_state_arrays(arrays)
+            else:
+                dendrogram = dendrogram_topdown(
+                    mst.edges, n, start=start, heavy_fraction=heavy_fraction
+                )
+                if checkpoint is not None:
+                    checkpoint.save_phase("dendrogram", dendrogram.state_arrays())
             timings["dendrogram"] = time.perf_counter() - start_time
 
     stats = dict(mst.stats)

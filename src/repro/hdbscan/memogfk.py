@@ -35,10 +35,15 @@ def hdbscan_mst_memogfk(
     core_dists: Optional[np.ndarray] = None,
     num_threads: Optional[int] = None,
     metric: MetricLike = None,
+    checkpoint=None,
 ) -> EMSTResult:
     """Exact MST of the mutual reachability graph with the new well-separation.
 
-    Parameters are identical to :func:`repro.hdbscan.gantao.hdbscan_mst_gantao`.
+    Parameters are identical to :func:`repro.hdbscan.gantao.hdbscan_mst_gantao`,
+    plus ``checkpoint``: a
+    :class:`~repro.resilience.checkpoint.CheckpointManager` enabling the
+    per-round state commits of :func:`repro.emst.memogfk.memogfk_mst` (the
+    ``hdbscan()`` entry point wires this up from its ``checkpoint_dir=``).
     """
     data = as_points(points, min_points=1)
     n = data.shape[0]
@@ -64,6 +69,7 @@ def hdbscan_mst_memogfk(
         separation="hdbscan",
         core_distances=core_dists,
         num_threads=num_threads,
+        checkpoint=checkpoint,
     )
     timings["wspd+kruskal"] = time.perf_counter() - start
 

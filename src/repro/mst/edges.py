@@ -160,6 +160,23 @@ class EdgeList:
     def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         return self.endpoints, self.weights
 
+    # -- lifecycle -------------------------------------------------------------
+
+    def release(self) -> None:
+        """Drop the backing buffers and reset to an empty list.
+
+        Under a bounded memory budget the buffers may be spill-file memmaps;
+        releasing them promptly (the MST drivers do this in ``finally``
+        blocks) unmaps the spill files even when a fit dies mid-round, so an
+        aborted run cannot hold disk mappings until garbage collection gets
+        around to it.  Previously returned views keep the old storage alive
+        until *they* are dropped; the list itself is empty and reusable.
+        """
+        self._u = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._v = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._w = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._n = 0
+
 
 def edges_from_arrays(endpoints: np.ndarray, weights: np.ndarray) -> EdgeList:
     """Build an :class:`EdgeList` from an ``(m, 2)`` index array and weights."""

@@ -16,7 +16,8 @@ backends take.  This module provides the machinery every hot path shares:
   kernel launches do not re-allocate their large temporaries.
 * :func:`get_pool` — process-wide cache of pools keyed by worker count, which
   is what makes the pools persistent across calls; callers never construct a
-  pool on a hot path.
+  pool on a hot path.  A cached pool that went unhealthy (dead workers, a
+  poisoning timeout) is rebuilt instead of reused.
 * :func:`parallel_map` — order-preserving map over a task list, degrading to
   an inline loop for tiny inputs or ``num_threads <= 1``.
 * :func:`shard_ranges` / :func:`map_shards` — fixed-boundary sharding of an
@@ -28,15 +29,39 @@ backends take.  This module provides the machinery every hot path shares:
 Exceptions raised by a task propagate to the caller of ``map`` after the
 whole batch has drained, so a failed round cannot leave orphan tasks writing
 into shared output arrays.
+
+**Fault tolerance** (the hardening contract the chaos suite pins down): a
+``map`` never hangs on a dead worker.  Tasks are *claimed* before execution;
+the waiting thread polls worker health and, when a worker dies mid-batch,
+respawns it and re-enqueues the dead worker's claimed-but-unfinished tasks —
+sharding is deterministic, so a re-executed task writes exactly the bytes
+the first execution would have.  After :attr:`PoolPolicy.max_retries` death
+events the pool escalates to a clean *serial fallback* (the waiting thread
+claims and runs every remaining task inline, with a
+:class:`WorkerRecoveryWarning`); if even that is killed, or a
+``task_timeout`` passes with no progress, the pool raises
+:class:`~repro.core.errors.WorkerFailedError` and marks itself unhealthy so
+:func:`get_pool` rebuilds it.  The retry/timeout knobs flow either per call
+or through the ambient :func:`use_pool_policy` scope that ``emst()`` /
+``hdbscan()`` open from their ``max_retries=`` / ``task_timeout=``
+parameters.
 """
 
 from __future__ import annotations
 
+import atexit
 import queue
 import threading
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+import time
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
+
+from repro.core.errors import InvalidParameterError, WorkerFailedError
+from repro.resilience.faults import _InjectedWorkerDeath, fault_check
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -47,6 +72,18 @@ R = TypeVar("R")
 DEFAULT_CHUNK = 32_768
 
 _STOP = object()
+
+#: How often a waiting ``map`` wakes to check worker health.  Completions
+#: notify the waiter immediately; this poll only bounds how long a worker
+#: death can go undetected.
+_HEALTH_POLL_SECONDS = 0.05
+
+# Task states inside a job.
+_QUEUED, _CLAIMED, _DONE = 0, 1, 2
+
+
+class WorkerRecoveryWarning(UserWarning):
+    """Warned when the pool degrades (serial fallback after worker deaths)."""
 
 
 #: Requests above this many bytes are served as one-shot allocations instead
@@ -108,39 +145,156 @@ def current_workspace() -> Workspace:
     return workspace
 
 
+# ---------------------------------------------------------------------------
+# Retry / timeout policy
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PoolPolicy:
+    """Ambient fault-tolerance knobs every threaded ``map`` consults.
+
+    ``max_retries`` bounds how many worker-death events one batch absorbs by
+    respawn-and-re-execute before escalating to the serial fallback;
+    ``task_timeout`` (seconds) bounds how long a batch may go with *no* task
+    completing before the pool gives up with ``WorkerFailedError`` (``None``
+    waits forever — the historical behavior — but never hangs on a death,
+    which is detected by liveness, not time).
+    """
+
+    max_retries: int = 2
+    task_timeout: Optional[float] = None
+
+
+_default_policy = PoolPolicy()
+
+
+def current_pool_policy() -> PoolPolicy:
+    """The ambient policy (see :func:`use_pool_policy`)."""
+    return _default_policy
+
+
+def _validated_policy(
+    base: PoolPolicy,
+    max_retries: Optional[int],
+    task_timeout: Optional[float],
+) -> PoolPolicy:
+    updated = base
+    if max_retries is not None:
+        if int(max_retries) < 0:
+            raise InvalidParameterError(
+                f"max_retries must be >= 0, got {max_retries!r}"
+            )
+        updated = replace(updated, max_retries=int(max_retries))
+    if task_timeout is not None:
+        if not float(task_timeout) > 0:
+            raise InvalidParameterError(
+                f"task_timeout must be a positive number of seconds, "
+                f"got {task_timeout!r}"
+            )
+        updated = replace(updated, task_timeout=float(task_timeout))
+    return updated
+
+
+@contextmanager
+def use_pool_policy(
+    max_retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+) -> Iterator[PoolPolicy]:
+    """Scope the ambient retry/timeout policy (``None`` keeps the current
+    value of a knob).  The public entry points open this scope from their
+    ``max_retries=`` / ``task_timeout=`` parameters so every pooled stage of
+    a pipeline inherits one policy without per-call-site plumbing."""
+    global _default_policy
+    previous = _default_policy
+    _default_policy = _validated_policy(previous, max_retries, task_timeout)
+    try:
+        yield _default_policy
+    finally:
+        _default_policy = previous
+
+
 class _Job:
-    """One ``map`` invocation: its tasks, results and completion latch."""
+    """One ``map`` invocation: its tasks, results and completion latch.
 
-    __slots__ = ("function", "results", "pending", "error", "condition")
+    Every task moves ``queued -> claimed -> done``; claims record the
+    claiming thread so the waiter can detect tasks orphaned by a dead worker
+    and re-issue exactly those.  ``claim`` is the double-execution guard: a
+    re-enqueued task and its stale queue entry can never both run.
+    """
 
-    def __init__(self, function: Callable, num_tasks: int) -> None:
+    __slots__ = (
+        "function",
+        "items",
+        "results",
+        "state",
+        "claimant",
+        "pending",
+        "error",
+        "condition",
+        "last_progress",
+    )
+
+    def __init__(self, function: Callable, items: List) -> None:
         self.function = function
-        self.results: List = [None] * num_tasks
-        self.pending = num_tasks
+        self.items = items
+        self.results: List = [None] * len(items)
+        self.state = [_QUEUED] * len(items)
+        self.claimant: List[Optional[threading.Thread]] = [None] * len(items)
+        self.pending = len(items)
         self.error: Optional[BaseException] = None
         self.condition = threading.Condition()
+        self.last_progress = time.monotonic()
 
-    def run_task(self, index: int, item) -> None:
+    def claim(self, index: int, thread: Optional[threading.Thread] = None) -> bool:
+        """Claim a queued task; False if it is already claimed or done."""
+        with self.condition:
+            if self.state[index] != _QUEUED:
+                return False
+            self.state[index] = _CLAIMED
+            self.claimant[index] = thread or threading.current_thread()
+            return True
+
+    def steal(self, index: int) -> bool:
+        """Claim a task even if it is held by a *dead* thread (rescue path)."""
+        with self.condition:
+            if self.state[index] == _DONE:
+                return False
+            holder = self.claimant[index]
+            if self.state[index] == _CLAIMED and holder is not None and holder.is_alive():
+                return False
+            self.state[index] = _CLAIMED
+            self.claimant[index] = threading.current_thread()
+            return True
+
+    def requeue_abandoned(self) -> List[int]:
+        """Reset tasks claimed by dead threads to queued; return their indices."""
+        orphans = []
+        with self.condition:
+            for index, state in enumerate(self.state):
+                if state != _CLAIMED:
+                    continue
+                holder = self.claimant[index]
+                if holder is not None and not holder.is_alive():
+                    self.state[index] = _QUEUED
+                    self.claimant[index] = None
+                    orphans.append(index)
+        return orphans
+
+    def run_task(self, index: int) -> None:
         try:
-            result = self.function(item)
+            result = self.function(self.items[index])
             error = None
         except BaseException as exc:  # propagated to the submitting thread
             result, error = None, exc
         with self.condition:
             self.results[index] = result
+            self.state[index] = _DONE
             if error is not None and self.error is None:
                 self.error = error
             self.pending -= 1
+            self.last_progress = time.monotonic()
             if self.pending == 0:
                 self.condition.notify_all()
-
-    def wait(self) -> List:
-        with self.condition:
-            while self.pending:
-                self.condition.wait()
-        if self.error is not None:
-            raise self.error
-        return self.results
 
 
 class WorkerPool:
@@ -161,23 +315,40 @@ class WorkerPool:
         self._name = name
         self._tasks: "queue.SimpleQueue" = queue.SimpleQueue()
         self._threads: List[threading.Thread] = []
+        self._spawned = 0
         self._lock = threading.Lock()
         self._closed = False
+        self._poisoned = False
+        #: Worker-death events absorbed over the pool's lifetime (observable
+        #: for tests and the chaos harness).
+        self.deaths_detected = 0
 
     # -- lifecycle -----------------------------------------------------------
 
     @property
     def workers_started(self) -> int:
-        """Number of worker threads spawned so far (0 until the first map)."""
+        """Number of live worker threads (0 until the first map)."""
         return len(self._threads)
 
+    @property
+    def healthy(self) -> bool:
+        """Whether the pool can be reused: open, not poisoned by a timeout,
+        and with no dead worker awaiting replacement."""
+        if self._closed or self._poisoned:
+            return False
+        return all(thread.is_alive() for thread in self._threads)
+
     def _ensure_workers_locked(self) -> None:
+        # Replace dead workers first (their threads can never run again),
+        # then top up to the requested width.
+        self._threads = [thread for thread in self._threads if thread.is_alive()]
         while len(self._threads) < self.num_threads:
             thread = threading.Thread(
                 target=self._worker,
-                name=f"{self._name}-{len(self._threads)}",
+                name=f"{self._name}-{self._spawned}",
                 daemon=True,
             )
+            self._spawned += 1
             thread.start()
             self._threads.append(thread)
 
@@ -189,17 +360,25 @@ class WorkerPool:
             task = self._tasks.get()
             if task is _STOP:
                 return
-            job, index, item = task
-            job.run_task(index, item)
+            job, index = task
+            if not job.claim(index):
+                continue  # stale entry for a re-executed or finished task
+            if fault_check("kill-worker") is not None:
+                # Injected worker death: exit with the task claimed but
+                # unfinished, exactly the state a crashed thread leaves.
+                return
+            job.run_task(index)
 
-    def shutdown(self) -> None:
+    def shutdown(self, wait: bool = True) -> None:
         """Stop the workers and reject further maps.  Idempotent.
 
         The close flag and the stop sentinels are published under the same
         lock that :meth:`map` enqueues under, so a concurrent map either
         fully enqueues before the sentinels (its tasks drain first) or
         observes the closed pool and raises — tasks can never land behind
-        the sentinels and hang their job.
+        the sentinels and hang their job.  ``wait=False`` skips joining the
+        workers (used for unhealthy pools, whose workers may be stuck; they
+        are daemons, so they cannot outlive the process).
         """
         with self._lock:
             if self._closed:
@@ -208,8 +387,9 @@ class WorkerPool:
             threads = list(self._threads)
             for _ in threads:
                 self._tasks.put(_STOP)
-        for thread in threads:
-            thread.join()
+        if wait:
+            for thread in threads:
+                thread.join()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -219,13 +399,23 @@ class WorkerPool:
 
     # -- execution -----------------------------------------------------------
 
-    def map(self, function: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    def map(
+        self,
+        function: Callable[[T], R],
+        items: Sequence[T],
+        *,
+        max_retries: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+    ) -> List[R]:
         """Apply ``function`` to every item; results in input order.
 
         Degrades to an inline loop when the pool has one worker or there is
         only one item.  The first exception raised by any task is re-raised
-        here after all tasks of the batch have finished.
+        here after all tasks of the batch have finished.  Worker deaths are
+        absorbed per the retry policy (see the module docstring); the knobs
+        default to the ambient :func:`use_pool_policy` scope.
         """
+        policy = _validated_policy(_default_policy, max_retries, task_timeout)
         items = list(items)
         if not items:
             return []
@@ -233,14 +423,105 @@ class WorkerPool:
             if self._closed:
                 raise RuntimeError("WorkerPool has been shut down")
             return [function(item) for item in items]
-        job = _Job(function, len(items))
+        job = _Job(function, items)
         with self._lock:
             if self._closed:
                 raise RuntimeError("WorkerPool has been shut down")
             self._ensure_workers_locked()
-            for index, item in enumerate(items):
-                self._tasks.put((job, index, item))
-        return job.wait()
+            for index in range(len(items)):
+                self._tasks.put((job, index))
+        return self._await_resilient(job, policy)
+
+    # -- fault-tolerant completion --------------------------------------------
+
+    def _await_resilient(self, job: _Job, policy: PoolPolicy) -> List:
+        """Wait for a job, surviving worker deaths and bounding stalls.
+
+        Invariants: a task runs at most once (claims), every death event is
+        answered by respawn + re-enqueue of exactly the orphaned tasks, and
+        the loop always exits — via completion, serial fallback, or
+        ``WorkerFailedError`` — never by waiting on a thread that cannot
+        answer.
+        """
+        deaths = 0
+        while True:
+            with job.condition:
+                if job.pending == 0:
+                    break
+                job.condition.wait(timeout=_HEALTH_POLL_SECONDS)
+                if job.pending == 0:
+                    break
+                stalled = (
+                    policy.task_timeout is not None
+                    and time.monotonic() - job.last_progress > policy.task_timeout
+                )
+            with self._lock:
+                dead = [t for t in self._threads if not t.is_alive()]
+            orphaned = job.requeue_abandoned()
+            if dead or orphaned:
+                deaths += max(len(dead), 1)
+                self.deaths_detected += max(len(dead), 1)
+                if deaths > policy.max_retries:
+                    warnings.warn(
+                        f"worker pool lost workers {deaths} times "
+                        f"(max_retries={policy.max_retries}); finishing the "
+                        "batch serially on the submitting thread",
+                        WorkerRecoveryWarning,
+                        stacklevel=3,
+                    )
+                    self._drain_serially(job)
+                    break
+                with self._lock:
+                    if not self._closed:
+                        self._ensure_workers_locked()
+                for index in orphaned:
+                    # requeue_abandoned reset them to queued; give every one a
+                    # fresh queue entry (stale entries are claim-guarded).
+                    self._tasks.put((job, index))
+                continue
+            if stalled:
+                self._poisoned = True
+                raise WorkerFailedError(
+                    f"no pool task completed within task_timeout="
+                    f"{policy.task_timeout}s ({job.pending} of "
+                    f"{len(job.items)} tasks pending); the pool is marked "
+                    "unhealthy and will be rebuilt on next use"
+                )
+        if job.error is not None:
+            raise job.error
+        return job.results
+
+    def _drain_serially(self, job: _Job) -> None:
+        """Serial fallback: claim and run every remaining task inline.
+
+        Tasks still claimed by *live* workers are left to finish there; the
+        loop re-scans until the job drains, stealing from any worker that
+        dies in the meantime, so it can never deadlock.  An injected death
+        with ``scope=any`` kills this last resort too — that is the
+        exhausted-retries contract, surfaced as ``WorkerFailedError``.
+        """
+        while True:
+            progress = False
+            for index in range(len(job.items)):
+                if not job.steal(index):
+                    continue
+                progress = True
+                try:
+                    if fault_check("kill-worker", serial=True) is not None:
+                        raise _InjectedWorkerDeath()
+                    job.run_task(index)
+                except _InjectedWorkerDeath:
+                    self._poisoned = True
+                    raise WorkerFailedError(
+                        "worker retries exhausted: the serial fallback was "
+                        "killed as well; the pool is marked unhealthy and "
+                        "will be rebuilt on next use"
+                    ) from None
+            with job.condition:
+                if job.pending == 0:
+                    return
+                if not progress:
+                    job.condition.wait(timeout=_HEALTH_POLL_SECONDS)
 
 
 # ---------------------------------------------------------------------------
@@ -265,24 +546,38 @@ def get_pool(num_threads: int) -> WorkerPool:
     stage of every algorithm run with the same ``num_threads`` reuses the same
     threads (and their workspaces).  Worker counts are kept exact — rather
     than handing a 4-thread request 8 cached workers — so measured scaling
-    curves reflect the requested parallelism.
+    curves reflect the requested parallelism.  A cached pool that went
+    unhealthy (shut down, poisoned by a timeout, or holding dead workers) is
+    replaced with a fresh pool instead of reused — a poisoned cache entry
+    must never wedge every later caller.
     """
     num_threads = resolve_num_threads(num_threads)
     with _pools_lock:
         pool = _pools.get(num_threads)
-        if pool is None or pool._closed:
+        if pool is None or not pool.healthy:
+            if pool is not None:
+                # Abandon, don't join: an unhealthy pool may hold stuck
+                # workers, and they are daemons anyway.
+                pool.shutdown(wait=False)
             pool = WorkerPool(num_threads)
             _pools[num_threads] = pool
         return pool
 
 
 def shutdown_pools() -> None:
-    """Shut down and drop every cached pool (tests and benchmarks use this)."""
+    """Shut down and drop every cached pool (tests and benchmarks use this;
+    also registered via ``atexit`` so daemon workers and their workspace
+    buffers are drained at interpreter exit)."""
     with _pools_lock:
         pools = list(_pools.values())
         _pools.clear()
     for pool in pools:
-        pool.shutdown()
+        # Healthy pools drain cleanly; unhealthy ones are abandoned rather
+        # than joined, so exit can never hang on a stuck worker.
+        pool.shutdown(wait=pool.healthy)
+
+
+atexit.register(shutdown_pools)
 
 
 # ---------------------------------------------------------------------------

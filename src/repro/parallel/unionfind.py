@@ -116,6 +116,32 @@ class UnionFind:
         self._num_components -= merged
         return accepted
 
+    # -- checkpoint state ------------------------------------------------------
+
+    def state_arrays(self) -> "dict[str, np.ndarray]":
+        """Copies of the exact internal state for phase checkpoints.
+
+        The parent array is captured as-is (compressed or not): restoring it
+        reproduces the forest *bit-for-bit*, which the byte-identical resume
+        contract requires — normalizing to roots here would change the
+        compression state subsequent finds observe and with it the charged
+        work counters, even though the answers would agree.
+        """
+        return {
+            "parent": self._parent.copy(),
+            "rank": self._rank.copy(),
+            "num_components": np.array([self._num_components], dtype=np.int64),
+        }
+
+    @classmethod
+    def from_state_arrays(cls, arrays: "dict[str, np.ndarray]") -> "UnionFind":
+        """Rebuild a forest from :meth:`state_arrays` output (exact restore)."""
+        forest = cls(0)
+        forest._parent = np.asarray(arrays["parent"], dtype=np.int64).copy()
+        forest._rank = np.asarray(arrays["rank"], dtype=np.int8).copy()
+        forest._num_components = int(np.asarray(arrays["num_components"]).reshape(-1)[0])
+        return forest
+
     def roots(self) -> np.ndarray:
         """Representative of every element at once, by vectorized pointer jumping.
 

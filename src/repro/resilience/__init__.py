@@ -1,0 +1,52 @@
+"""Fault-tolerant execution: checkpoint/resume and deterministic fault injection.
+
+Long-running fits must survive the failures a production deployment actually
+sees — a worker dying mid-shard, a disk refusing a spill, the process being
+killed at minute 50.  This package provides the two halves of that story:
+
+* :mod:`repro.resilience.checkpoint` — phase-level checkpoint/resume for
+  ``emst()`` / ``hdbscan()``: atomic, checksummed phase files plus a
+  fingerprinted manifest, with byte-identical resume semantics.
+* :mod:`repro.resilience.faults` — deterministic, seedable fault injection
+  points compiled into the engine's risky sites, driving the chaos test
+  suite (worker deaths, spill I/O errors, torn checkpoint writes,
+  phase-boundary crashes, numba import failure).
+
+The WorkerPool half of fault tolerance (death detection, deterministic shard
+retry, serial fallback, per-task timeouts) lives with the pool in
+:mod:`repro.parallel.pool`; the typed errors live in :mod:`repro.errors`.
+"""
+
+from repro.resilience.checkpoint import (
+    ENGINE_VERSION,
+    CheckpointManager,
+    build_fingerprint,
+    fingerprint_points,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    InjectedCrashError,
+    active_plan,
+    fault_check,
+    fault_enabled,
+    inject_faults,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "ENGINE_VERSION",
+    "CheckpointManager",
+    "build_fingerprint",
+    "fingerprint_points",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "InjectedCrashError",
+    "active_plan",
+    "fault_check",
+    "fault_enabled",
+    "inject_faults",
+    "parse_fault_spec",
+]

@@ -1,0 +1,279 @@
+"""Deterministic fault injection for the resilience test harness.
+
+Production code cannot be trusted to recover from failures nobody can
+reproduce, so the chaos suite drives every failure path through *named,
+deterministic injection points* compiled into the engine's risky sites:
+
+* ``kill-worker`` — the pool worker executing the matched task dies (the
+  thread exits with the task claimed but unfinished), exercising the
+  :class:`~repro.parallel.pool.WorkerPool` death detection / retry / serial
+  fallback ladder.  ``scope=any`` extends the fault to the serial rescue
+  path, which is how tests reach ``WorkerFailedError``.
+* ``spill-os-error`` — the matched spill-to-disk allocation raises
+  ``OSError`` (the budget then falls back to RAM with a warning).
+* ``spill-ram-fail`` — the RAM fallback of a failed spill raises
+  ``MemoryError`` (the budget then raises the typed ``SpillIOError``).
+* ``truncate-checkpoint`` — the matched committed checkpoint phase file is
+  truncated in place, simulating a torn write that the resume path must
+  detect by checksum (``CheckpointCorruptError``).
+* ``crash-after-phase`` — raises :class:`InjectedCrashError` immediately
+  after the matched phase commit, simulating the process dying at a phase
+  boundary (the kill-and-resume identity tests are built on this).
+* ``no-numba`` — while active, the compiled backend reports itself
+  unavailable, simulating numba import failure mid-session (resolution then
+  takes the documented numpy-fallback path).
+
+Faults are matched *deterministically*: each fault keeps its own occurrence
+counter (per ``phase`` for the checkpoint kinds) and fires on occurrences
+``at .. at+times-1`` of its injection point, so a failing chaos cell is
+reproducible from its spec string alone.  Plans are enabled either with the
+:func:`inject_faults` context manager (tests) or the ``REPRO_FAULTS``
+environment variable (subprocess chaos runs), e.g.::
+
+    REPRO_FAULTS="crash-after-phase:phase=mst" python -m repro hdbscan ...
+
+    with inject_faults("kill-worker:at=2;spill-os-error"):
+        ...
+
+The check helpers are no-ops (one module-attribute read) when no plan is
+active, so instrumented hot paths pay nothing in production.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.errors import InvalidParameterError
+
+#: Injection-point names the parser accepts.
+FAULT_KINDS = (
+    "kill-worker",
+    "spill-os-error",
+    "spill-ram-fail",
+    "truncate-checkpoint",
+    "crash-after-phase",
+    "no-numba",
+)
+
+#: ``times=inf`` in a spec string — the fault fires on every occurrence.
+UNLIMITED = -1
+
+
+class InjectedCrashError(RuntimeError):
+    """A simulated hard crash (process death) raised by ``crash-after-phase``.
+
+    Deliberately *not* a :class:`~repro.core.errors.ReproError`: nothing in
+    the engine may catch and recover from it — it stands in for ``kill -9``
+    in the in-process kill-and-resume tests.
+    """
+
+
+class _InjectedWorkerDeath(BaseException):
+    """Internal marker the pool's serial rescue path dies with under
+    ``kill-worker:scope=any``.  A ``BaseException`` so no task-level handler
+    in user functions can accidentally absorb it."""
+
+
+class Fault:
+    """One armed injection point with its own deterministic occurrence counter."""
+
+    __slots__ = ("kind", "at", "times", "phase", "scope", "seen", "fired")
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        at: int = 0,
+        times: int = 1,
+        phase: Optional[str] = None,
+        scope: str = "worker",
+    ) -> None:
+        if kind not in FAULT_KINDS:
+            raise InvalidParameterError(
+                f"unknown fault kind {kind!r}; choose from {sorted(FAULT_KINDS)}"
+            )
+        if scope not in ("worker", "any"):
+            raise InvalidParameterError(
+                f"fault scope must be 'worker' or 'any', got {scope!r}"
+            )
+        self.kind = kind
+        self.at = int(at)
+        self.times = int(times)
+        self.phase = phase
+        self.scope = scope
+        #: Occurrences of this injection point seen so far (phase-filtered).
+        self.seen = 0
+        #: Occurrences that actually fired.
+        self.fired = 0
+
+    def spec(self) -> str:
+        parts = [self.kind]
+        options = []
+        if self.at:
+            options.append(f"at={self.at}")
+        if self.times != 1:
+            options.append(f"times={'inf' if self.times < 0 else self.times}")
+        if self.phase is not None:
+            options.append(f"phase={self.phase}")
+        if self.scope != "worker":
+            options.append(f"scope={self.scope}")
+        return parts[0] + (":" + ",".join(options) if options else "")
+
+    def __repr__(self) -> str:
+        return f"Fault({self.spec()!r})"
+
+
+class FaultPlan:
+    """A set of armed faults plus the record of everything that fired."""
+
+    def __init__(self, faults: List[Fault]) -> None:
+        self._faults: Dict[str, List[Fault]] = {}
+        for fault in faults:
+            self._faults.setdefault(fault.kind, []).append(fault)
+        self._lock = threading.Lock()
+        #: ``(kind, context)`` tuples of every fired occurrence, in order.
+        self.events: List[Tuple[str, dict]] = []
+
+    @property
+    def faults(self) -> List[Fault]:
+        return [fault for group in self._faults.values() for fault in group]
+
+    def fire(self, kind: str, **context) -> Optional[Fault]:
+        """Count one occurrence of injection point ``kind``; return the fault
+        to apply, if any armed fault matches this occurrence."""
+        group = self._faults.get(kind)
+        if not group:
+            return None
+        with self._lock:
+            for fault in group:
+                if fault.phase is not None and context.get("phase") != fault.phase:
+                    continue
+                if fault.scope == "worker" and context.get("serial"):
+                    continue
+                index = fault.seen
+                fault.seen += 1
+                if index < fault.at:
+                    continue
+                if fault.times >= 0 and index >= fault.at + fault.times:
+                    continue
+                fault.fired += 1
+                self.events.append((kind, dict(context)))
+                return fault
+        return None
+
+    def enabled(self, kind: str) -> bool:
+        """Whether any fault of ``kind`` is armed (non-counting query, used by
+        switch-like faults such as ``no-numba``)."""
+        return bool(self._faults.get(kind))
+
+
+def parse_fault_spec(spec: Union[str, Fault, FaultPlan]) -> FaultPlan:
+    """Compile a spec string into a :class:`FaultPlan`.
+
+    Grammar: ``kind[:key=value[,key=value...]]`` joined by ``;``.  Keys are
+    ``at`` (first matching occurrence, default 0), ``times`` (occurrence
+    count, ``inf`` for every occurrence), ``phase`` (checkpoint kinds) and
+    ``scope`` (``kill-worker``: ``worker`` or ``any``).
+    """
+    if isinstance(spec, FaultPlan):
+        return spec
+    if isinstance(spec, Fault):
+        return FaultPlan([spec])
+    faults = []
+    for clause in str(spec).split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, _, options = clause.partition(":")
+        kwargs: Dict[str, Union[int, str]] = {}
+        for option in filter(None, (part.strip() for part in options.split(","))):
+            key, separator, value = option.partition("=")
+            if not separator:
+                raise InvalidParameterError(
+                    f"malformed fault option {option!r} in {clause!r} "
+                    "(expected key=value)"
+                )
+            key = key.strip()
+            value = value.strip()
+            if key in ("at", "times"):
+                kwargs[key] = UNLIMITED if value == "inf" else int(value)
+            elif key in ("phase", "scope"):
+                kwargs[key] = value
+            else:
+                raise InvalidParameterError(
+                    f"unknown fault option {key!r} in {clause!r}"
+                )
+        faults.append(Fault(kind.strip(), **kwargs))
+    return FaultPlan(faults)
+
+
+# ---------------------------------------------------------------------------
+# Activation
+# ---------------------------------------------------------------------------
+
+_active_plan: Optional[FaultPlan] = None
+_activation_lock = threading.Lock()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently armed plan, or ``None`` (the production state)."""
+    return _active_plan
+
+
+@contextmanager
+def inject_faults(spec: Union[str, Fault, FaultPlan]) -> Iterator[FaultPlan]:
+    """Arm a fault plan for the duration of the block (tests use this).
+
+    Plans do not nest — arming inside an armed scope replaces the outer plan
+    for the inner block, which keeps occurrence counting unambiguous.
+    """
+    global _active_plan
+    plan = parse_fault_spec(spec)
+    with _activation_lock:
+        previous = _active_plan
+        _active_plan = plan
+    try:
+        yield plan
+    finally:
+        with _activation_lock:
+            _active_plan = previous
+
+
+def fault_check(kind: str, **context) -> Optional[Fault]:
+    """Count one occurrence of injection point ``kind`` against the active
+    plan.  Returns the matched fault or ``None``; free when no plan is armed."""
+    plan = _active_plan
+    if plan is None:
+        return None
+    return plan.fire(kind, **context)
+
+
+def fault_enabled(kind: str) -> bool:
+    """Non-counting switch query against the active plan (``no-numba``)."""
+    plan = _active_plan
+    return plan is not None and plan.enabled(kind)
+
+
+def _plan_from_environment() -> Optional[FaultPlan]:
+    """Arm ``REPRO_FAULTS`` at import (subprocess chaos runs set it).
+
+    A malformed spec warns and stays unarmed rather than making the package
+    unimportable.
+    """
+    spec = os.environ.get("REPRO_FAULTS", "").strip()
+    if not spec:
+        return None
+    try:
+        return parse_fault_spec(spec)
+    except InvalidParameterError as error:
+        warnings.warn(
+            f"ignoring REPRO_FAULTS: {error}", RuntimeWarning, stacklevel=2
+        )
+        return None
+
+
+_active_plan = _plan_from_environment()

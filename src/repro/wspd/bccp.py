@@ -415,6 +415,24 @@ class BCCPCache:
         if budget.bounded:
             budget.reserve("bccp_cache", self.nbytes)
 
+    def close(self) -> None:
+        """Release the store columns and the ``"bccp_cache"`` reservation.
+
+        The MST drivers call this in ``finally`` blocks: under a bounded
+        budget the columns may be spill-file memmaps, and dropping them here
+        unmaps the spill files deterministically even when a fit dies
+        mid-round (instead of whenever garbage collection notices).  The
+        cache is empty but usable afterwards; the evaluation counters are
+        kept so post-mortem statistics stay truthful.
+        """
+        self._keys = np.empty(0, dtype=np.int64)
+        self._point_a = np.empty(0, dtype=np.int64)
+        self._point_b = np.empty(0, dtype=np.int64)
+        self._weights = np.empty(0, dtype=np.float64)
+        budget = current_memory_budget()
+        if budget.bounded:
+            budget.release("bccp_cache")
+
     def get(self, a: KDNode, b: KDNode) -> BCCPResult:
         """BCCP (or BCCP*, if core distances were supplied) of one node pair."""
         pa, pb, w = self.get_batch(

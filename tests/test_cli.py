@@ -175,3 +175,96 @@ class TestMain:
         assert code == 0
         labels = [int(v) for v in output.read_text().strip().splitlines()[1:]]
         assert len(labels) == len(points)
+
+
+class TestResilienceCli:
+    """Checkpoint/resume flags and the typed-failure exit codes."""
+
+    @pytest.mark.parametrize("command", ["emst", "hdbscan", "single-linkage"])
+    def test_resume_requires_checkpoint_dir(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "points.csv", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_interrupted_run_resumes_identically(self, csv_points, tmp_path):
+        from repro.resilience import InjectedCrashError, inject_faults
+
+        path, _ = csv_points
+        reference = tmp_path / "reference.csv"
+        resumed = tmp_path / "resumed.csv"
+        checkpoint = tmp_path / "ckpt"
+        assert main(["emst", str(path), "--output", str(reference)]) == 0
+        with inject_faults("crash-after-phase:phase=mst"):
+            # The injected crash stands in for kill -9: it is not a
+            # ReproError, so it escapes main() like a real process death.
+            with pytest.raises(InjectedCrashError):
+                main(
+                    [
+                        "emst",
+                        str(path),
+                        "--checkpoint-dir",
+                        str(checkpoint),
+                        "--output",
+                        str(resumed),
+                    ]
+                )
+        code = main(
+            [
+                "emst",
+                str(path),
+                "--checkpoint-dir",
+                str(checkpoint),
+                "--resume",
+                "--output",
+                str(resumed),
+            ]
+        )
+        assert code == 0
+        assert resumed.read_bytes() == reference.read_bytes()
+
+    def test_checkpoint_mismatch_exits_3(self, csv_points, tmp_path, capsys):
+        path, _ = csv_points
+        checkpoint = tmp_path / "ckpt"
+        base = ["hdbscan", str(path), "--checkpoint-dir", str(checkpoint)]
+        assert main(base + ["--min-pts", "5"]) == 0
+        assert main(base + ["--resume", "--min-pts", "6"]) == 3
+        assert "checkpoint error:" in capsys.readouterr().err
+
+    def test_corrupt_checkpoint_exits_3(self, csv_points, tmp_path, capsys):
+        path, _ = csv_points
+        checkpoint = tmp_path / "ckpt"
+        base = ["emst", str(path), "--checkpoint-dir", str(checkpoint)]
+        assert main(base) == 0
+        phase = checkpoint / "phase-mst.npz"
+        phase.write_bytes(phase.read_bytes()[: phase.stat().st_size // 2])
+        assert main(base + ["--resume"]) == 3
+        assert "checkpoint error:" in capsys.readouterr().err
+
+    def test_worker_failure_exits_4(self, csv_points, monkeypatch, capsys):
+        import repro.parallel.pool as pool_module
+        from repro.resilience import inject_faults
+
+        path, _ = csv_points
+        # Tiny shards so a 120-point run actually engages the pool.
+        monkeypatch.setattr(pool_module, "DEFAULT_CHUNK", 16)
+        with inject_faults("kill-worker:times=inf,scope=any"):
+            with pytest.warns(pool_module.WorkerRecoveryWarning):
+                code = main(["emst", str(path), "--num-threads", "4"])
+        assert code == 4
+        assert "worker failure:" in capsys.readouterr().err
+        pool_module.shutdown_pools()  # drop the deliberately poisoned pool
+
+    def test_spill_exhaustion_exits_5(self, csv_points, monkeypatch, capsys):
+        import repro.core.budget as budget_module
+        from repro.resilience import inject_faults
+
+        path, _ = csv_points
+        # A floor-less tiny budget makes every growable buffer spill, and the
+        # injected disk + RAM failures exhaust both homes for it.
+        monkeypatch.setattr(budget_module, "MIN_TILE_BYTES", 1)
+        with inject_faults("spill-os-error:times=inf;spill-ram-fail:times=inf"):
+            with pytest.warns(RuntimeWarning):
+                code = main(["emst", str(path), "--memory-budget", "8K"])
+        assert code == 5
+        assert "spill I/O error:" in capsys.readouterr().err

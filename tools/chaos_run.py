@@ -1,0 +1,168 @@
+"""Subprocess chaos drill: kill a CLI run at a phase boundary, then resume.
+
+The in-process kill-and-resume tests (``tests/test_resilience.py``) simulate
+process death with an injected exception; this wrapper proves the same
+contract across *real* process boundaries, the way an operator would hit it:
+
+1. run the CLI to completion once (the reference output);
+2. rerun it with ``REPRO_FAULTS=crash-after-phase:...`` and a checkpoint
+   directory — the child dies at a seeded-random phase boundary with a
+   nonzero exit code;
+3. rerun with ``--resume`` and byte-compare the output file against the
+   reference.
+
+Any divergence, any unexpected exit code, or a crashed run that somehow
+*succeeded* fails the drill.  Usage (the CI chaos job runs exactly this)::
+
+    python tools/chaos_run.py --seed 0
+    python tools/chaos_run.py --command hdbscan --rounds 3 --num-threads 4
+
+Exits 0 when every round passes, 1 on a contract violation, 2 on bad usage.
+The drill composes with ``tools/capped_run.py`` for the out-of-core job::
+
+    python tools/capped_run.py 3G -- python tools/chaos_run.py --memory-budget 64M
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import subprocess
+import sys
+import tempfile
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_REPO_SRC = os.path.join(_REPO_ROOT, "src")
+sys.path.insert(0, _REPO_SRC)
+
+import numpy as np  # noqa: E402
+
+#: Phase boundaries a run of each subcommand commits, as (phase, at) fault
+#: coordinates the drill may kill at.  ``at`` indexes occurrences of the
+#: phase's commit — the per-round MST snapshot commits many times.
+_KILL_SITES = {
+    "emst": [
+        ("mst-rounds", 0),
+        ("mst-rounds", 1),
+        ("mst", 0),
+    ],
+    "hdbscan": [
+        ("core-distances", 0),
+        ("mst-rounds", 0),
+        ("mst-rounds", 1),
+        ("mst", 0),
+        ("dendrogram", 0),
+    ],
+}
+
+
+def _run_cli(arguments, *, faults=None):
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = os.pathsep.join(
+        part for part in (_REPO_SRC, environment.get("PYTHONPATH")) if part
+    )
+    if faults is None:
+        environment.pop("REPRO_FAULTS", None)
+    else:
+        environment["REPRO_FAULTS"] = faults
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *arguments],
+        env=environment,
+        capture_output=True,
+        text=True,
+    )
+
+
+def _fail(message: str, completed=None) -> int:
+    print(f"[chaos-run] FAIL: {message}", file=sys.stderr)
+    if completed is not None and completed.stderr:
+        print(completed.stderr, file=sys.stderr)
+    return 1
+
+
+def run_drill(args, workdir: str) -> int:
+    rng = random.Random(args.seed)
+    points = np.random.default_rng(args.seed).normal(
+        size=(args.num_points, 3)
+    )
+    points_file = os.path.join(workdir, "points.npy")
+    np.save(points_file, points)
+
+    base = [args.command, points_file, "--num-threads", str(args.num_threads)]
+    if args.command == "hdbscan":
+        base += ["--min-pts", "8"]
+    if args.memory_budget:
+        base += ["--memory-budget", args.memory_budget]
+
+    reference = os.path.join(workdir, "reference.csv")
+    completed = _run_cli(base + ["--output", reference])
+    if completed.returncode != 0:
+        return _fail("reference run failed", completed)
+
+    for round_index in range(args.rounds):
+        phase, at = rng.choice(_KILL_SITES[args.command])
+        fault = f"crash-after-phase:phase={phase},at={at}"
+        checkpoint = os.path.join(workdir, f"ckpt-{round_index}")
+        output = os.path.join(workdir, f"out-{round_index}.csv")
+        print(f"[chaos-run] round {round_index}: kill at {fault}", file=sys.stderr)
+
+        crashed = _run_cli(
+            base + ["--checkpoint-dir", checkpoint, "--output", output],
+            faults=fault,
+        )
+        if crashed.returncode == 0:
+            # A kill site past this run's last commit (few MST rounds) means
+            # the fault never fired and the run simply finished — still a
+            # valid resume fixture only if the output already matches.
+            print(
+                f"[chaos-run] round {round_index}: kill site never reached, "
+                "run completed",
+                file=sys.stderr,
+            )
+        elif not os.path.isdir(checkpoint):
+            return _fail(f"crashed run left no checkpoint at {checkpoint}", crashed)
+
+        resumed = _run_cli(
+            base + ["--checkpoint-dir", checkpoint, "--resume", "--output", output]
+        )
+        if resumed.returncode != 0:
+            return _fail(
+                f"resume exited {resumed.returncode} after {fault}", resumed
+            )
+        with open(reference, "rb") as want, open(output, "rb") as got:
+            if want.read() != got.read():
+                return _fail(f"resumed output diverged after {fault}")
+        print(f"[chaos-run] round {round_index}: byte-identical", file=sys.stderr)
+    print(f"[chaos-run] PASS: {args.rounds} kill/resume rounds", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--command", choices=sorted(_KILL_SITES), default="emst",
+        help="CLI subcommand to drill (default: emst)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="drill RNG seed")
+    parser.add_argument(
+        "--rounds", type=int, default=2, help="kill/resume rounds (default: 2)"
+    )
+    parser.add_argument(
+        "--num-points", type=int, default=400, help="dataset size (default: 400)"
+    )
+    parser.add_argument(
+        "--num-threads", type=int, default=2, help="threads for the child runs"
+    )
+    parser.add_argument(
+        "--memory-budget", default=None, help="optional --memory-budget for the child"
+    )
+    args = parser.parse_args(argv)
+    if args.rounds < 1 or args.num_points < 10:
+        parser.error("--rounds must be >= 1 and --num-points >= 10")
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        return run_drill(args, workdir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
