@@ -240,6 +240,51 @@ def measured_scaling_curve(
     }
 
 
+def latency_stats(latencies_seconds: Sequence[float]) -> Dict[str, float]:
+    """Throughput/latency summary keys every serving artifact records.
+
+    Given per-request wall-clock latencies (seconds), returns ``requests``,
+    ``total_seconds``, ``requests_per_second`` and the nearest-rank
+    percentiles ``latency_p50_s`` / ``latency_p99_s``.  Percentiles are
+    nearest-rank over the measured samples (no interpolation), so a reported
+    p99 is always a latency that actually happened.
+    """
+    latencies = sorted(float(value) for value in latencies_seconds)
+    if not latencies:
+        raise ValueError("latency_stats requires at least one latency sample")
+    total = sum(latencies)
+
+    def nearest_rank(quantile: float) -> float:
+        rank = max(1, -(-int(quantile * 100) * len(latencies) // 100))
+        return latencies[min(rank, len(latencies)) - 1]
+
+    return {
+        "requests": len(latencies),
+        "total_seconds": total,
+        "requests_per_second": len(latencies) / total if total > 0 else float("inf"),
+        "latency_p50_s": nearest_rank(0.50),
+        "latency_p99_s": nearest_rank(0.99),
+    }
+
+
+def timed_requests(
+    handler: Callable, requests: Sequence
+) -> Tuple[List[object], Dict[str, float]]:
+    """Answer each request through ``handler``, timing every call.
+
+    Returns ``(responses, stats)`` where ``stats`` is
+    :func:`latency_stats` over the per-request wall clocks — the measurement
+    loop the serving benchmark and its CI smoke job share.
+    """
+    responses: List[object] = []
+    latencies: List[float] = []
+    for request in requests:
+        start = time.perf_counter()
+        responses.append(handler(request))
+        latencies.append(time.perf_counter() - start)
+    return responses, latency_stats(latencies)
+
+
 def phase_breakdown(stats: Dict[str, float]) -> Dict[str, float]:
     """Extract the ``time_<phase>`` entries of a result's stats dict."""
     breakdown = {}

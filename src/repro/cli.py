@@ -6,6 +6,13 @@ used without writing Python::
     python -m repro emst points.csv --method memogfk --output tree.csv
     python -m repro hdbscan points.csv --min-pts 10 --epsilon 0.5
     python -m repro single-linkage points.csv --num-clusters 8
+    python -m repro serve points.csv --save fit.npz
+    python -m repro serve --load fit.npz --requests queries.jsonl
+
+``serve`` is the long-lived mode: fit once (or ``--load`` a state saved with
+``--save``), then answer any number of JSON-lines re-cut / label / predict
+requests off the read-only fitted arrays with zero refitting.  A corrupt or
+fingerprint-mismatched ``--load`` file is refused with exit code 2.
 
 Input files may be ``.csv`` / ``.txt`` (one point per row, comma or whitespace
 separated, optional header) or ``.npy``.  Outputs are written as CSV: MST
@@ -141,10 +148,30 @@ def _parse_backend(text: str):
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+#: ``--help`` epilog listing the process-wide environment knobs.  Kept as a
+#: module constant so the tests can assert the help output stays complete.
+ENV_VAR_EPILOG = """\
+environment variables:
+  REPRO_BACKEND        default kernel backend when --backend is not given
+                       (numpy, numba, numpy-f32, numba-f32)
+  REPRO_MEMORY_BUDGET  default memory budget when --memory-budget is not
+                       given (e.g. 512M, 2G, or plain bytes)
+  REPRO_FAULTS         deterministic fault-injection spec for resilience
+                       drills (e.g. 'crash-after-phase:phase=mst'); see
+                       repro.resilience.faults
+
+exit codes:
+  0 success   2 usage/engine error (incl. corrupt or mismatched fit-state)
+  3 checkpoint error   4 worker failure   5 spill I/O error
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Parallel EMST and hierarchical spatial clustering (SIGMOD 2021 reproduction)",
+        epilog=ENV_VAR_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -267,6 +294,59 @@ def build_parser() -> argparse.ArgumentParser:
     add_epsilon(hdbscan_parser, "--approx-epsilon")
     add_num_threads(hdbscan_parser)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="fit (or --load) once, then answer re-cut/label/predict "
+        "requests off the fitted state",
+        description="Long-lived serving mode: run one expensive fit (or "
+        "load a saved fit-state) and answer any number of JSON-lines "
+        "requests off the read-only fitted arrays — no refitting.  One "
+        "request object per input line (e.g. {\"op\": \"recut\", "
+        "\"epsilon\": 0.5} or {\"op\": \"predict\", \"points\": [[...]]}); "
+        "one JSON response per output line.  With --save and no --requests "
+        "the command fits, saves the state and exits.",
+    )
+    serve_parser.add_argument(
+        "input", nargs="?", help="points file (.csv/.txt/.npy) to fit"
+    )
+    serve_parser.add_argument(
+        "--load",
+        metavar="STATE",
+        help="serve a fit-state saved with --save instead of fitting "
+        "(refuses a corrupt file or one fitted under a different engine "
+        "version, metric, backend or point set)",
+    )
+    serve_parser.add_argument(
+        "--save",
+        metavar="STATE",
+        help="save the fitted state to this .npz (single checksummed file)",
+    )
+    serve_parser.add_argument("--min-pts", type=int, default=10)
+    serve_parser.add_argument("--min-cluster-size", type=int, default=5)
+    serve_parser.add_argument(
+        "--allow-single-cluster", action="store_true",
+        help="let excess-of-mass selection return the root as one cluster",
+    )
+    serve_parser.add_argument(
+        "--method", default="memogfk", choices=sorted(HDBSCAN_METHODS)
+    )
+    serve_parser.add_argument(
+        "--requests",
+        metavar="FILE",
+        help="JSON-lines request file (default: stdin)",
+    )
+    serve_parser.add_argument(
+        "--output", metavar="FILE", help="responses file (default: stdout)"
+    )
+    serve_parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=128,
+        metavar="N",
+        help="capacity of the re-cut LRU cache (default: 128)",
+    )
+    add_num_threads(serve_parser)
+
     linkage_parser = subparsers.add_parser(
         "single-linkage", help="single-linkage clustering via the EMST"
     )
@@ -289,6 +369,67 @@ def _approx_method_kwargs(args) -> dict:
     return {"method": method, **kwargs}
 
 
+def _run_serve(args, parser, argv, resilience_kwargs) -> None:
+    """The ``serve`` subcommand body (fit or load, optionally save, answer)."""
+    from repro.serve import ServingEngine, fit_state, load_state
+
+    if (args.input is None) == (args.load is None):
+        parser.error("serve takes a points file or --load STATE (exactly one)")
+    if args.load is not None:
+        # Only assert the metric against the saved state when the user
+        # explicitly asked for one — the flag's default must not mask a
+        # state saved under a different metric.
+        tokens = sys.argv[1:] if argv is None else list(argv)
+        metric_given = any(
+            token == "--metric" or token.startswith("--metric=")
+            for token in tokens
+        )
+        state = load_state(
+            args.load,
+            metric=args.metric if metric_given else None,
+            backend=args.backend,
+            cut_cache_size=args.cache_size,
+        )
+    else:
+        points = load_points(args.input, memory_budget=args.memory_budget)
+        state = fit_state(
+            points,
+            min_pts=args.min_pts,
+            min_cluster_size=args.min_cluster_size,
+            allow_single_cluster=bool(args.allow_single_cluster),
+            method=args.method,
+            metric=args.metric,
+            backend=args.backend,
+            memory_budget=args.memory_budget,
+            num_threads=args.num_threads,
+            cut_cache_size=args.cache_size,
+            **resilience_kwargs,
+        )
+    if args.save:
+        state.save(args.save)
+        print(f"# serve: saved fit-state to {args.save}", file=sys.stderr)
+        if args.requests is None:
+            # Fit-and-save mode: do not block waiting on an interactive stdin.
+            return
+    engine = ServingEngine(state, num_threads=args.num_threads)
+    if args.requests is not None:
+        with open(args.requests) as input_stream:
+            if args.output:
+                with open(args.output, "w") as output_stream:
+                    answered = engine.serve_stream(input_stream, output_stream)
+            else:
+                answered = engine.serve_stream(input_stream, sys.stdout)
+    else:
+        answered = engine.serve_stream(sys.stdin, sys.stdout)
+    print(
+        f"# serve: answered {answered} requests "
+        f"({engine.requests_failed} failed), cut cache "
+        f"{state.cache_info()['hits']} hits / "
+        f"{state.cache_info()['misses']} misses",
+        file=sys.stderr,
+    )
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -301,6 +442,9 @@ def main(argv: Optional[list] = None) -> int:
         "task_timeout": args.task_timeout,
     }
     try:
+        if args.command == "serve":
+            _run_serve(args, parser, argv, resilience_kwargs)
+            return 0
         points = load_points(args.input, memory_budget=args.memory_budget)
         metric = resolve_metric(getattr(args, "metric", None))
         if args.command == "emst":

@@ -51,6 +51,17 @@ class CheckpointMismatchError(CheckpointError):
     """
 
 
+class FitStateError(ReproError):
+    """A saved serving state could not be used.
+
+    Raised by :mod:`repro.serve` when a ``.npz`` fit-state file is corrupt
+    (truncated, missing arrays, or failing its per-array checksums) or was
+    written by an incompatible run (engine version, metric, backend, dtype or
+    points hash mismatch).  Loading never silently proceeds on damaged or
+    mismatched state; refit and re-save instead.
+    """
+
+
 class WorkerFailedError(ReproError, RuntimeError):
     """The worker pool could not complete a batch.
 

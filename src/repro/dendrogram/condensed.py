@@ -190,6 +190,53 @@ class CondensedTree:
         """Excess-of-mass stability: sum over members of (lambda_leave - lambda_birth)."""
         return float(self.stabilities()[cluster])
 
+    # -- serialization --------------------------------------------------------
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """The condensed tree as a flat ``name -> ndarray`` mapping.
+
+        Cluster ids are consecutive ``0..num_clusters-1`` by construction, so
+        the ``birth_lambda`` / ``parent_of_cluster`` dicts flatten into dense
+        arrays (parent ``-1`` marks the root).  ``meta`` carries
+        ``[num_points, min_cluster_size]``.
+        """
+        count = self.num_clusters
+        parents = np.full(count, -1, dtype=np.int64)
+        for child_cluster, parent_cluster in self.parent_of_cluster.items():
+            parents[child_cluster] = parent_cluster
+        return {
+            "edge_parent": self.edge_parent,
+            "edge_child": self.edge_child,
+            "edge_lambda": self.edge_lambda,
+            "edge_size": self.edge_size,
+            "edge_is_cluster": self.edge_is_cluster,
+            "cluster_births": self.births(),
+            "cluster_parents": parents,
+            "meta": np.array(
+                [self.num_points, self.min_cluster_size], dtype=np.int64
+            ),
+        }
+
+    @classmethod
+    def from_state_arrays(cls, arrays: Dict[str, np.ndarray]) -> "CondensedTree":
+        """Exact inverse of :meth:`state_arrays`."""
+        meta = np.asarray(arrays["meta"], dtype=np.int64)
+        births = np.asarray(arrays["cluster_births"], dtype=np.float64)
+        parents = np.asarray(arrays["cluster_parents"], dtype=np.int64)
+        return cls(
+            num_points=int(meta[0]),
+            min_cluster_size=int(meta[1]),
+            edge_parent=np.asarray(arrays["edge_parent"], dtype=np.int64),
+            edge_child=np.asarray(arrays["edge_child"], dtype=np.int64),
+            edge_lambda=np.asarray(arrays["edge_lambda"], dtype=np.float64),
+            edge_size=np.asarray(arrays["edge_size"], dtype=np.int64),
+            edge_is_cluster=np.asarray(arrays["edge_is_cluster"], dtype=bool),
+            birth_lambda={i: float(b) for i, b in enumerate(births.tolist())},
+            parent_of_cluster={
+                i: int(p) for i, p in enumerate(parents.tolist()) if p >= 0
+            },
+        )
+
 
 def _lambda_of_height(height: float) -> float:
     return math.inf if height <= 0.0 else 1.0 / height
@@ -404,13 +451,26 @@ def hdbscan_flat_labels(
     return labels
 
 
-def hdbscan_labels_and_probabilities(
-    dendrogram: Dendrogram,
-    *,
-    min_cluster_size: int = 5,
-    allow_single_cluster: bool = False,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """EOM labels plus per-point cluster membership strengths.
+def point_fallout_lambdas(condensed: CondensedTree) -> np.ndarray:
+    """Per-point density level at which each point left its condensed cluster.
+
+    One gather over the condensed point records; points that never leave
+    carry ``inf``.  This is the ``lambda_p`` of the membership-probability
+    formulation, and the serving layer's ``approximate_predict`` compares new
+    points against exactly these levels.
+    """
+    point_records = ~condensed.edge_is_cluster
+    point_lambda = np.zeros(condensed.num_points, dtype=np.float64)
+    point_lambda[condensed.edge_child[point_records]] = condensed.edge_lambda[
+        point_records
+    ]
+    return point_lambda
+
+
+def membership_probabilities(
+    condensed: CondensedTree, labels: np.ndarray
+) -> np.ndarray:
+    """Per-point cluster membership strengths for an EOM labeling.
 
     The probability of a clustered point follows the standard HDBSCAN*
     membership formulation: the density level ``lambda_p`` at which the point
@@ -418,17 +478,8 @@ def hdbscan_labels_and_probabilities(
     cluster (points that persist to the cluster's maximum density get 1.0;
     noise points get 0.0).
     """
-    condensed, labels = _condense_and_extract(
-        dendrogram, min_cluster_size, allow_single_cluster
-    )
-    n = condensed.num_points
-    probabilities = np.zeros(n, dtype=np.float64)
-
-    point_records = ~condensed.edge_is_cluster
-    point_lambda = np.zeros(n, dtype=np.float64)
-    point_lambda[condensed.edge_child[point_records]] = condensed.edge_lambda[
-        point_records
-    ]
+    probabilities = np.zeros(condensed.num_points, dtype=np.float64)
+    point_lambda = point_fallout_lambdas(condensed)
     for label in np.unique(labels[labels >= 0]):
         members = labels == label
         member_lambda = point_lambda[members]
@@ -440,4 +491,36 @@ def hdbscan_labels_and_probabilities(
             # Infinite lambdas (points that never leave) divide to inf and
             # clamp to full membership.
             probabilities[members] = np.minimum(member_lambda / max_lambda, 1.0)
-    return labels, probabilities
+    return probabilities
+
+
+def labels_and_probabilities_from_condensed(
+    condensed: CondensedTree, *, allow_single_cluster: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
+    """EOM labels plus membership strengths from an existing condensed tree.
+
+    The serving layer's zero-refit ``recut`` calls this directly on its
+    cached :class:`CondensedTree`; :func:`hdbscan_labels_and_probabilities`
+    is this plus the condense step, so both paths produce byte-identical
+    output for the same ``min_cluster_size``.
+    """
+    labels, _ = extract_eom_clusters(
+        condensed, allow_single_cluster=allow_single_cluster
+    )
+    return labels, membership_probabilities(condensed, labels)
+
+
+def hdbscan_labels_and_probabilities(
+    dendrogram: Dendrogram,
+    *,
+    min_cluster_size: int = 5,
+    allow_single_cluster: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """EOM labels plus per-point cluster membership strengths.
+
+    See :func:`membership_probabilities` for the probability formulation.
+    """
+    condensed = condense_dendrogram(dendrogram, min_cluster_size)
+    return labels_and_probabilities_from_condensed(
+        condensed, allow_single_cluster=allow_single_cluster
+    )

@@ -135,33 +135,60 @@ def dbscan_star_labels(
     The remaining (core) points are clustered by the connected components of
     the MST edges with weight at most ``epsilon`` restricted to core points.
     Components smaller than ``min_cluster_size`` are also labelled noise.
+
+    The whole computation is vectorized — one masked ``union_many`` over the
+    edge columns, a ``bincount`` for component sizes, and a first-occurrence
+    relabeling — and produces byte-identical labels to the historical
+    per-edge/per-point loops: components are independent of union order, and
+    labels are assigned in order of each component's first core point.  This
+    is the serving layer's epsilon re-cut primitive, so a warm re-cut costs
+    one pass over ``n - 1`` edges rather than a refit.
     """
     core_distances = np.asarray(core_distances, dtype=np.float64)
     n = core_distances.shape[0]
-    is_core = core_distances <= epsilon
-    union_find = UnionFind(n)
-    for u, v, weight in mst_edges:
-        u, v = int(u), int(v)
-        if weight <= epsilon and is_core[u] and is_core[v]:
-            union_find.union(u, v)
+    if hasattr(mst_edges, "as_arrays"):
+        edge_u, edge_v, edge_w = mst_edges.as_arrays()
+    elif (
+        isinstance(mst_edges, tuple)
+        and len(mst_edges) == 3
+        and all(isinstance(column, np.ndarray) for column in mst_edges)
+    ):
+        # Already-columnar edges (the serving layer's FitState stores the
+        # MST as three parallel arrays).
+        edge_u, edge_v, edge_w = mst_edges
+    else:
+        rows = [(int(u), int(v), float(w)) for u, v, w in mst_edges]
+        edge_u = np.array([r[0] for r in rows], dtype=np.int64)
+        edge_v = np.array([r[1] for r in rows], dtype=np.int64)
+        edge_w = np.array([r[2] for r in rows], dtype=np.float64)
+    edge_u = np.asarray(edge_u, dtype=np.int64)
+    edge_v = np.asarray(edge_v, dtype=np.int64)
+    edge_w = np.asarray(edge_w, dtype=np.float64)
 
+    is_core = core_distances <= epsilon
     labels = np.full(n, -1, dtype=np.int64)
-    component_label = {}
-    component_size = {}
-    for index in range(n):
-        if not is_core[index]:
-            continue
-        root = union_find.find(index)
-        component_size[root] = component_size.get(root, 0) + 1
-    next_label = 0
-    for index in range(n):
-        if not is_core[index]:
-            continue
-        root = union_find.find(index)
-        if component_size[root] < min_cluster_size:
-            continue
-        if root not in component_label:
-            component_label[root] = next_label
-            next_label += 1
-        labels[index] = component_label[root]
+    core_index = np.flatnonzero(is_core)
+    if core_index.size == 0:
+        return labels
+
+    union_find = UnionFind(n)
+    keep = (edge_w <= epsilon) & is_core[edge_u] & is_core[edge_v]
+    union_find.union_many(edge_u[keep], edge_v[keep])
+    roots = union_find.roots()
+
+    core_roots = roots[core_index]
+    component_size = np.bincount(core_roots, minlength=n)
+    eligible = core_index[component_size[core_roots] >= min_cluster_size]
+    if eligible.size == 0:
+        return labels
+
+    # Label components by the index order of their first eligible point,
+    # exactly as the historical sequential scan did.
+    _, first_pos, inverse = np.unique(
+        roots[eligible], return_index=True, return_inverse=True
+    )
+    order = np.argsort(first_pos, kind="stable")
+    rank = np.empty(order.size, dtype=np.int64)
+    rank[order] = np.arange(order.size, dtype=np.int64)
+    labels[eligible] = rank[inverse]
     return labels

@@ -29,6 +29,16 @@ from repro.parallel.pool import use_pool_policy
 from repro.resilience.checkpoint import CheckpointManager, build_fingerprint
 
 
+def _shrunk(result: EMSTResult) -> EMSTResult:
+    """Drop the edge buffers' doubling over-allocation before returning.
+
+    The fit is over when a result crosses this boundary; long-lived holders
+    (the serving layer) should pin only live edge data.
+    """
+    result.edges.shrink_to_fit()
+    return result
+
+
 def _emst_wspd_approx(points, **kwargs) -> EMSTResult:
     """(1+ε)-approximate EMST (``epsilon=``, ``representative=`` kwargs).
 
@@ -155,7 +165,7 @@ def emst(
         # policy scope does the same for the fault-tolerance knobs.
         with use_backend(backend), use_pool_policy(max_retries, task_timeout):
             if checkpoint_dir is None:
-                return implementation(data, metric=metric, **kwargs)
+                return _shrunk(implementation(data, metric=metric, **kwargs))
             checkpoint = CheckpointManager(
                 checkpoint_dir,
                 build_fingerprint(
@@ -180,8 +190,10 @@ def emst(
                 arrays, meta = checkpoint.load_phase("mst")
                 edges = EdgeList()
                 edges.extend_arrays(arrays["u"], arrays["v"], arrays["w"])
-                return EMSTResult(
-                    edges, data.shape[0], method, stats=dict(meta.get("stats", {}))
+                return _shrunk(
+                    EMSTResult(
+                        edges, data.shape[0], method, stats=dict(meta.get("stats", {}))
+                    )
                 )
             if method == "memogfk":
                 # MemoGFK checkpoints every filter round, so even a kill
@@ -191,4 +203,4 @@ def emst(
             u, v, w = result.edges.as_arrays()
             checkpoint.save_phase("mst", {"u": u, "v": v, "w": w}, {"stats": result.stats})
             checkpoint.remove_phase(ROUND_PHASE)
-            return result
+            return _shrunk(result)

@@ -159,57 +159,63 @@ def emst_gfk(
     start = time.perf_counter()
     beta = 2
     rounds = 0
-    while len(output) < n - 1 and pair_a.size:
-        rounds += 1
-        cheap = cardinality <= beta
-        tracker.add(
-            float(pair_a.size), math.log2(pair_a.size + 1), phase="gfk-split"
-        )
-        exp_a, exp_b = pair_a[~cheap], pair_b[~cheap]
-        if exp_a.size:
-            rho_hi = sharded_min(
-                lambda lo, hi: node_distances(flat, exp_a[lo:hi], exp_b[lo:hi]),
-                int(exp_a.size),
+    try:
+        while len(output) < n - 1 and pair_a.size:
+            rounds += 1
+            cheap = cardinality <= beta
+            tracker.add(
+                float(pair_a.size), math.log2(pair_a.size + 1), phase="gfk-split"
+            )
+            exp_a, exp_b = pair_a[~cheap], pair_b[~cheap]
+            if exp_a.size:
+                rho_hi = sharded_min(
+                    lambda lo, hi: node_distances(flat, exp_a[lo:hi], exp_b[lo:hi]),
+                    int(exp_a.size),
+                    num_threads=num_threads,
+                )
+                tracker.add(float(exp_a.size), math.log2(exp_a.size + 1), phase="gfk-split")
+            else:
+                rho_hi = math.inf
+
+            cheap_a, cheap_b = pair_a[cheap], pair_b[cheap]
+            with tracker.parallel("gfk-bccp"):
+                point_a, point_b, weight = cache.get_batch(cheap_a, cheap_b)
+            light = weight <= rho_hi
+            heavy_mask = ~light
+
+            kruskal_batch_arrays(
+                point_a[light],
+                point_b[light],
+                weight[light],
+                output,
+                union_find,
                 num_threads=num_threads,
             )
-            tracker.add(float(exp_a.size), math.log2(exp_a.size + 1), phase="gfk-split")
-        else:
-            rho_hi = math.inf
 
-        cheap_a, cheap_b = pair_a[cheap], pair_b[cheap]
-        with tracker.parallel("gfk-bccp"):
-            point_a, point_b, weight = cache.get_batch(cheap_a, cheap_b)
-        light = weight <= rho_hi
-        heavy_mask = ~light
+            remaining_a = np.concatenate([cheap_a[heavy_mask], exp_a])
+            remaining_b = np.concatenate([cheap_b[heavy_mask], exp_b])
+            if remaining_a.size:
+                root_min, root_max = connectivity_snapshot(flat, union_find)
+                alive = ~pairs_fully_connected(root_min, root_max, remaining_a, remaining_b)
+                pair_a = remaining_a[alive]
+                pair_b = remaining_b[alive]
+            else:
+                pair_a = remaining_a
+                pair_b = remaining_b
+            cardinality = sizes[pair_a] + sizes[pair_b]
+            tracker.add(
+                float(remaining_a.size), math.log2(remaining_a.size + 1), phase="gfk-filter"
+            )
 
-        kruskal_batch_arrays(
-            point_a[light],
-            point_b[light],
-            weight[light],
-            output,
-            union_find,
-            num_threads=num_threads,
-        )
-
-        remaining_a = np.concatenate([cheap_a[heavy_mask], exp_a])
-        remaining_b = np.concatenate([cheap_b[heavy_mask], exp_b])
-        if remaining_a.size:
-            root_min, root_max = connectivity_snapshot(flat, union_find)
-            alive = ~pairs_fully_connected(root_min, root_max, remaining_a, remaining_b)
-            pair_a = remaining_a[alive]
-            pair_b = remaining_b[alive]
-        else:
-            pair_a = remaining_a
-            pair_b = remaining_b
-        cardinality = sizes[pair_a] + sizes[pair_b]
-        tracker.add(
-            float(remaining_a.size), math.log2(remaining_a.size + 1), phase="gfk-filter"
-        )
-
-        if beta_growth == "double":
-            beta *= 2
-        else:
-            beta += 1
+            if beta_growth == "double":
+                beta *= 2
+            else:
+                beta += 1
+    finally:
+        # Under a bounded budget the store columns may be spill-file
+        # memmaps; closing here unmaps them even if a round dies.  The
+        # evaluation counters survive for the stats below.
+        cache.close()
     timings["kruskal"] = time.perf_counter() - start
 
     stats = {

@@ -14,6 +14,7 @@ from repro.core.errors import (
     CheckpointCorruptError,
     CheckpointError,
     CheckpointMismatchError,
+    FitStateError,
     InvalidParameterError,
     InvalidPointSetError,
     NotComputedError,
@@ -30,6 +31,7 @@ __all__ = [
     "CheckpointError",
     "CheckpointCorruptError",
     "CheckpointMismatchError",
+    "FitStateError",
     "WorkerFailedError",
     "SpillIOError",
 ]

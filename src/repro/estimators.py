@@ -19,6 +19,7 @@ expose the fitted artifacts as plain NumPy attributes.
 
 from __future__ import annotations
 
+import inspect
 from typing import Optional
 
 import numpy as np
@@ -85,11 +86,33 @@ class _ReproEstimator:
             )
         raise AttributeError(name)
 
+    @classmethod
+    def _parameter_defaults(cls) -> dict:
+        """Constructor defaults, read off the signature (cached per class)."""
+        defaults = cls.__dict__.get("_parameter_defaults_cache")
+        if defaults is None:
+            defaults = {
+                name: parameter.default
+                for name, parameter in inspect.signature(
+                    cls.__init__
+                ).parameters.items()
+                if parameter.default is not inspect.Parameter.empty
+            }
+            cls._parameter_defaults_cache = defaults
+        return defaults
+
     def __repr__(self) -> str:
-        params = ", ".join(
-            f"{name}={getattr(self, name)!r}" for name in self._parameter_names
-        )
-        return f"{type(self).__name__}({params})"
+        # sklearn-style: print only the parameters that differ from their
+        # constructor defaults, so HDBSCAN(min_pts=20) reads as exactly that
+        # instead of a fourteen-knob wall.
+        defaults = self._parameter_defaults()
+        shown = []
+        for name in self._parameter_names:
+            value = getattr(self, name)
+            if name in defaults and value == defaults[name]:
+                continue
+            shown.append(f"{name}={value!r}")
+        return f"{type(self).__name__}({', '.join(shown)})"
 
 
 class EMST(_ReproEstimator):

@@ -253,6 +253,9 @@ def hdbscan(
                     checkpoint.save_phase("dendrogram", dendrogram.state_arrays())
             timings["dendrogram"] = time.perf_counter() - start_time
 
+    # The fit is over: drop the edge buffers' doubling over-allocation so a
+    # long-lived holder of the result (the serving layer) pins only live data.
+    mst.edges.shrink_to_fit()
     stats = dict(mst.stats)
     stats.update({f"time_{name}": value for name, value in timings.items()})
     return HDBSCANResult(

@@ -1,0 +1,47 @@
+"""Fit-once serving layer: zero-refit reads over an immutable fit-state.
+
+The expensive artifact of this engine is the fit (core distances, the
+mutual-reachability MST, the dendrogram and its condensed tree); everything
+users actually query is derivable from those arrays in micro- to
+milliseconds.  This package splits the two apart:
+
+* :func:`fit_state` runs one fit and freezes its artifacts into an immutable
+  :class:`FitState` (all structure-of-arrays storage);
+* :meth:`FitState.recut` / :func:`compute_cut` answer ``epsilon`` /
+  ``n_clusters`` / ``min_cluster_size`` re-cuts off the fitted arrays with
+  an LRU for repeated cuts;
+* :func:`approximate_predict` drops new points into the fitted hierarchy via
+  batched k-NN against the fitted tree;
+* :meth:`FitState.save` / :func:`load_state` persist the whole state to one
+  checksummed ``.npz`` guarded by the PR-8 run fingerprint
+  (:class:`~repro.core.errors.FitStateError` on corruption or mismatch);
+* :class:`ServingEngine` wraps it all into the long-lived request loop the
+  CLI ``serve`` mode runs.
+"""
+
+from repro.serve.predict import PredictTables, approximate_predict
+from repro.serve.recut import Cut, compute_cut, cut_key
+from repro.serve.server import ServingEngine
+from repro.serve.state import (
+    DEFAULT_CUT_CACHE,
+    SERVING_LEAF_SIZE,
+    STATE_FORMAT,
+    FitState,
+    fit_state,
+    load_state,
+)
+
+__all__ = [
+    "Cut",
+    "DEFAULT_CUT_CACHE",
+    "FitState",
+    "PredictTables",
+    "SERVING_LEAF_SIZE",
+    "STATE_FORMAT",
+    "ServingEngine",
+    "approximate_predict",
+    "compute_cut",
+    "cut_key",
+    "fit_state",
+    "load_state",
+]

@@ -1,0 +1,179 @@
+"""Zero-refit flat clusterings from a fitted state.
+
+A fitted :class:`~repro.serve.state.FitState` already holds everything a new
+cut needs: the mutual-reachability MST columns (for DBSCAN* at any
+``epsilon``), the SoA dendrogram (for exactly-``k`` single-linkage cuts) and
+the columnar condensed tree (for excess-of-mass extraction at any
+``min_cluster_size``).  :func:`compute_cut` dispatches between the three —
+every path is a scan over preexisting arrays, never a refit — and produces
+labels byte-identical to what a cold
+:class:`repro.estimators.HDBSCAN`/``fit_predict`` run with the same
+parameters would return, because both sides call the very same extraction
+primitives on the very same MST/dendrogram.
+
+:func:`cut_key` canonicalizes the parameters into the LRU key the state's
+cut cache uses, so semantically identical requests (``epsilon=0.5`` vs
+``epsilon=0.50``) share one entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.dendrogram.condensed import (
+    condense_dendrogram,
+    labels_and_probabilities_from_condensed,
+)
+from repro.dendrogram.extract import cut_num_clusters, dbscan_star_labels
+
+
+@dataclass(frozen=True)
+class Cut:
+    """One flat clustering read off a fitted state.
+
+    ``kind`` is ``"eom"``, ``"epsilon"`` or ``"n_clusters"``; ``params`` is
+    the canonical parameter tuple (the LRU key tail).  ``labels`` and
+    ``probabilities`` are read-only arrays — cuts are shared through the
+    cache across concurrent readers, so nobody may write to them.
+    """
+
+    kind: str
+    params: Tuple
+    labels: np.ndarray
+    probabilities: np.ndarray
+
+    @property
+    def num_clusters(self) -> int:
+        return int(self.labels.max() + 1) if self.labels.size else 0
+
+    @property
+    def num_noise(self) -> int:
+        return int(np.count_nonzero(self.labels < 0))
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    array = np.asarray(array)
+    if array.flags.writeable:
+        if not array.flags.owndata:
+            array = array.copy()
+        array.setflags(write=False)
+    return array
+
+
+def cut_key(
+    state,
+    *,
+    epsilon: Optional[float] = None,
+    n_clusters: Optional[int] = None,
+    min_cluster_size: Optional[int] = None,
+    allow_single_cluster: Optional[bool] = None,
+) -> Tuple:
+    """Canonical cache key for one set of cut parameters.
+
+    Defaults resolve against the state's fitted parameters before keying, so
+    ``recut()`` and ``recut(min_cluster_size=<the fitted value>)`` share one
+    cache entry.
+    """
+    if epsilon is not None and n_clusters is not None:
+        raise InvalidParameterError(
+            "pass at most one of epsilon and n_clusters to recut"
+        )
+    if epsilon is not None:
+        mcs = (
+            state.min_cluster_size
+            if min_cluster_size is None
+            else int(min_cluster_size)
+        )
+        if mcs < 1:
+            raise InvalidParameterError("min_cluster_size must be >= 1")
+        return ("epsilon", float(epsilon), mcs)
+    if n_clusters is not None:
+        if min_cluster_size is not None or allow_single_cluster is not None:
+            raise InvalidParameterError(
+                "n_clusters cuts take no min_cluster_size or "
+                "allow_single_cluster"
+            )
+        k = int(n_clusters)
+        if k < 1:
+            raise InvalidParameterError("n_clusters must be >= 1")
+        return ("n_clusters", k)
+    mcs = (
+        state.min_cluster_size
+        if min_cluster_size is None
+        else int(min_cluster_size)
+    )
+    if mcs < 1:
+        raise InvalidParameterError("min_cluster_size must be >= 1")
+    asc = (
+        state.allow_single_cluster
+        if allow_single_cluster is None
+        else bool(allow_single_cluster)
+    )
+    return ("eom", mcs, asc)
+
+
+def compute_cut(
+    state,
+    *,
+    epsilon: Optional[float] = None,
+    n_clusters: Optional[int] = None,
+    min_cluster_size: Optional[int] = None,
+    allow_single_cluster: Optional[bool] = None,
+) -> Cut:
+    """One cold cut over the fitted arrays (no caching, no refitting).
+
+    * ``epsilon=`` — the DBSCAN* cut at that density level: byte-identical
+      to ``HDBSCAN(epsilon=..., min_cluster_size=...).fit_predict`` on the
+      fitted points.  ``min_cluster_size`` defaults to the fitted value.
+    * ``n_clusters=`` — exactly-``k`` single-linkage clusters by splitting
+      the ``k - 1`` highest dendrogram nodes.
+    * neither — excess-of-mass extraction; ``min_cluster_size`` /
+      ``allow_single_cluster`` default to the fitted values, and the fitted
+      ``min_cluster_size`` reuses the cached condensed tree (any other value
+      re-condenses the dendrogram, still refit-free).
+    """
+    key = cut_key(
+        state,
+        epsilon=epsilon,
+        n_clusters=n_clusters,
+        min_cluster_size=min_cluster_size,
+        allow_single_cluster=allow_single_cluster,
+    )
+    kind, params = key[0], key[1:]
+    if kind == "epsilon":
+        eps, mcs = params
+        labels = dbscan_star_labels(
+            (state.mst_u, state.mst_v, state.mst_w),
+            state.core_distances,
+            eps,
+            min_cluster_size=mcs,
+        )
+        probabilities = (labels >= 0).astype(np.float64)
+    elif kind == "n_clusters":
+        (k,) = params
+        if k > state.num_points:
+            raise InvalidParameterError(
+                f"n_clusters must be in [1, {state.num_points}], got {k}"
+            )
+        labels = cut_num_clusters(state.dendrogram, k)
+        probabilities = (labels >= 0).astype(np.float64)
+    else:
+        mcs, asc = params
+        condensed = (
+            state.condensed
+            if mcs == state.min_cluster_size
+            else condense_dendrogram(state.dendrogram, mcs)
+        )
+        labels, probabilities = labels_and_probabilities_from_condensed(
+            condensed, allow_single_cluster=asc
+        )
+    return Cut(
+        kind=kind,
+        params=params,
+        labels=_freeze(labels),
+        probabilities=_freeze(probabilities),
+    )

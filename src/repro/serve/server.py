@@ -1,0 +1,163 @@
+"""Long-lived query engine over one immutable fit-state.
+
+:class:`ServingEngine` is the read side the CLI ``serve`` mode (and the
+serving benchmark) drive: construct it around a :class:`~repro.serve.state.
+FitState`, then answer any number of re-cut / label / predict requests off
+the read-only arrays.  Requests are plain dicts (JSON objects on the wire)
+with an ``op`` field:
+
+``{"op": "recut", "epsilon": 0.25}``
+    Flat labels at new cut parameters (``epsilon`` | ``n_clusters`` |
+    ``min_cluster_size`` [+ ``allow_single_cluster``]); repeated cuts hit
+    the state's LRU and report ``"cached": true``.
+``{"op": "labels"}``
+    The clustering at the fitted parameters (an EOM recut with defaults).
+``{"op": "predict", "points": [[...], ...]}``
+    Approximate membership of new points (see
+    :func:`repro.serve.predict.approximate_predict`).
+``{"op": "info"}`` / ``{"op": "stats"}``
+    Model card / request counters and cache statistics.
+
+Every response carries ``"ok"``; failures come back as
+``{"ok": false, "error": ...}`` instead of taking the server down.  Batches
+dispatch onto the persistent :mod:`repro.parallel.pool` worker pool —
+handlers only read the shared state (cut-cache inserts are lock-guarded),
+so one FitState serves concurrent requests without copies.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.parallel.pool import parallel_map
+from repro.serve.predict import approximate_predict
+from repro.serve.state import FitState
+
+
+class ServingEngine:
+    """Answer re-cut / label / predict requests off one fitted state."""
+
+    def __init__(
+        self, state: FitState, *, num_threads: Optional[int] = None
+    ) -> None:
+        self.state = state
+        self.num_threads = num_threads
+        self.requests_served = 0
+        self.requests_failed = 0
+
+    # -- request handling ----------------------------------------------------
+
+    def handle(self, request: Dict) -> Dict:
+        """Answer one request dict; never raises on bad requests."""
+        try:
+            response = self._dispatch(request)
+            response["ok"] = True
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            self.requests_failed += 1
+            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+        self.requests_served += 1
+        return response
+
+    def handle_batch(
+        self, requests: List[Dict], *, num_threads: Optional[int] = None
+    ) -> List[Dict]:
+        """Answer a batch concurrently on the shared worker pool.
+
+        Handlers run with inline (single-thread) kernels — the concurrency
+        axis is across requests, so one slow predict cannot serialize the
+        whole batch behind nested pool submissions.  Responses keep request
+        order.
+        """
+        threads = self.num_threads if num_threads is None else num_threads
+        return parallel_map(self.handle, requests, num_threads=threads)
+
+    def _dispatch(self, request: Dict) -> Dict:
+        if not isinstance(request, dict):
+            raise TypeError("request must be a JSON object")
+        op = request.get("op", "recut")
+        if op in ("recut", "labels"):
+            cut, cached = self.state.recut_with_info(
+                epsilon=_maybe(request, "epsilon", float),
+                n_clusters=_maybe(request, "n_clusters", int),
+                min_cluster_size=_maybe(request, "min_cluster_size", int),
+                allow_single_cluster=_maybe(
+                    request, "allow_single_cluster", bool
+                ),
+            )
+            return {
+                "op": op,
+                "kind": cut.kind,
+                "cached": cached,
+                "num_clusters": cut.num_clusters,
+                "num_noise": cut.num_noise,
+                "labels": cut.labels.tolist(),
+                "probabilities": cut.probabilities.tolist(),
+            }
+        if op == "predict":
+            points = np.asarray(request["points"], dtype=np.float64)
+            labels, probabilities = approximate_predict(self.state, points)
+            return {
+                "op": op,
+                "labels": labels.tolist(),
+                "probabilities": probabilities.tolist(),
+            }
+        if op == "info":
+            state = self.state
+            return {
+                "op": op,
+                "num_points": state.num_points,
+                "dimension": state.dimension,
+                "min_pts": state.min_pts,
+                "min_cluster_size": state.min_cluster_size,
+                "allow_single_cluster": state.allow_single_cluster,
+                "method": state.method,
+                "metric": state.metric.spec(),
+                "backend": state.backend.name,
+                "points_sha256": state.fingerprint.get("points_sha256"),
+            }
+        if op == "stats":
+            return {
+                "op": op,
+                "requests_served": self.requests_served,
+                "requests_failed": self.requests_failed,
+                "cut_cache": self.state.cache_info(),
+            }
+        raise ValueError(
+            f"unknown op {op!r}; expected recut, labels, predict, info or stats"
+        )
+
+    # -- stream serving (the CLI loop) ---------------------------------------
+
+    def serve_stream(self, input_stream, output_stream) -> int:
+        """Answer JSON-lines requests until EOF; returns requests answered.
+
+        One request object per input line, one response object per output
+        line, in order.  Blank lines are skipped; a line that does not parse
+        as JSON produces an ``ok: false`` response rather than stopping the
+        stream.
+        """
+        answered = 0
+        for line in input_stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                response = {"ok": False, "error": f"invalid JSON: {error}"}
+                self.requests_failed += 1
+            else:
+                response = self.handle(request)
+            output_stream.write(json.dumps(response) + "\n")
+            output_stream.flush()
+            answered += 1
+        return answered
+
+
+def _maybe(request: Dict, key: str, convert):
+    value = request.get(key)
+    return None if value is None else convert(value)

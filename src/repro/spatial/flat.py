@@ -246,6 +246,101 @@ class FlatKDTree:
         self.node_radius = self.metric.box_radii(extent)
         self.levels = levels
 
+    # -- serialization ---------------------------------------------------------
+
+    #: Arrays that fully determine the built tree (beyond the point set and
+    #: construction parameters).  ``node_center`` / ``node_radius`` and the
+    #: level schedule are deterministic functions of these and are recomputed
+    #: on restore; ``cd_min`` / ``cd_max`` ride along only when annotated.
+    STATE_ARRAY_NAMES = (
+        "perm",
+        "node_lower",
+        "node_upper",
+        "node_start",
+        "node_end",
+        "left_child",
+        "right_child",
+    )
+
+    def state_arrays(self) -> dict:
+        """The built tree as a flat ``name -> ndarray`` mapping.
+
+        Together with the point set, ``leaf_size``, metric and backend this
+        is everything :meth:`from_state_arrays` needs to reconstruct a tree
+        whose queries are byte-identical to this one — without re-running the
+        build.
+        """
+        arrays = {name: getattr(self, name) for name in self.STATE_ARRAY_NAMES}
+        if self.cd_min is not None:
+            arrays["cd_min"] = self.cd_min
+            arrays["cd_max"] = self.cd_max
+        return arrays
+
+    @classmethod
+    def from_state_arrays(
+        cls,
+        points: np.ndarray,
+        arrays: dict,
+        *,
+        leaf_size: int,
+        metric: MetricLike = None,
+        backend: BackendLike = None,
+    ) -> "FlatKDTree":
+        """Reconstruct a built tree from :meth:`state_arrays` output.
+
+        The level schedule is rebuilt by a breadth-first sweep that mirrors
+        the build's child-allocation order exactly (children of each level's
+        split nodes, interleaved left/right in split order), and the derived
+        sphere geometry is recomputed from the stored boxes, so the restored
+        tree traverses byte-identically to the original.
+        """
+        tree = object.__new__(cls)
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise InvalidParameterError("points must be an (n, d) array")
+        tree.points = points
+        tree.metric = resolve_metric(metric)
+        tree.backend = resolve_backend(backend)
+        tree.scoring_points = tree.backend.lower_points(points)
+        tree.leaf_size = int(leaf_size)
+        dtype = tree.backend.scoring_dtype
+        tree.perm = np.ascontiguousarray(arrays["perm"], dtype=np.int64)
+        tree.node_lower = np.ascontiguousarray(arrays["node_lower"], dtype=dtype)
+        tree.node_upper = np.ascontiguousarray(arrays["node_upper"], dtype=dtype)
+        tree.node_start = np.ascontiguousarray(arrays["node_start"], dtype=np.int64)
+        tree.node_end = np.ascontiguousarray(arrays["node_end"], dtype=np.int64)
+        tree.left_child = np.ascontiguousarray(arrays["left_child"], dtype=np.int64)
+        tree.right_child = np.ascontiguousarray(arrays["right_child"], dtype=np.int64)
+        tree.num_nodes = int(tree.left_child.shape[0])
+        if tree.perm.shape[0] != points.shape[0]:
+            raise InvalidParameterError(
+                "tree state does not match the point set: "
+                f"perm has {tree.perm.shape[0]} entries for {points.shape[0]} points"
+            )
+        extent = tree.node_upper - tree.node_lower
+        tree.node_center = (tree.node_lower + tree.node_upper) * 0.5
+        tree.node_radius = tree.metric.box_radii(extent)
+        if "cd_min" in arrays:
+            tree.cd_min = np.ascontiguousarray(arrays["cd_min"], dtype=dtype)
+            tree.cd_max = np.ascontiguousarray(arrays["cd_max"], dtype=dtype)
+        else:
+            tree.cd_min = None
+            tree.cd_max = None
+
+        levels: List[np.ndarray] = []
+        active = np.array([0], dtype=np.int64)
+        while active.size:
+            levels.append(active)
+            internal = active[tree.left_child[active] >= 0]
+            if internal.size == 0:
+                break
+            nxt = np.empty(2 * internal.size, dtype=np.int64)
+            nxt[0::2] = tree.left_child[internal]
+            nxt[1::2] = tree.right_child[internal]
+            active = nxt
+        tree.levels = levels
+        return tree
+
     # -- structural accessors -------------------------------------------------
 
     @property

@@ -167,6 +167,27 @@ class KDTree:
         self._views: dict = {}
         self._core_distances: Optional[np.ndarray] = None
 
+    @classmethod
+    def from_flat(cls, flat: FlatKDTree) -> "KDTree":
+        """Wrap an already-built :class:`FlatKDTree` without rebuilding it.
+
+        Used by the serving layer to restore a fitted tree from
+        :meth:`FlatKDTree.state_arrays` storage: construction parameters and
+        the point set are taken from the flat engine, and if the flat tree
+        carries core-distance annotations they are surfaced through
+        :attr:`core_distances` (reconstructed from the per-point values is not
+        possible, so callers re-annotate; the node extrema survive as-is).
+        """
+        tree = object.__new__(cls)
+        tree.points = flat.points
+        tree.leaf_size = flat.leaf_size
+        tree.metric = flat.metric
+        tree.backend = flat.backend
+        tree.flat = flat
+        tree._views = {}
+        tree._core_distances = None
+        return tree
+
     @property
     def sphere_metric(self) -> Optional[Metric]:
         """Metric handed to node-view spheres.

@@ -124,3 +124,39 @@ class TestFormatting:
         stats = {"time_wspd": 1.0, "time_kruskal": 2.0, "rounds": 3}
         breakdown = phase_breakdown(stats)
         assert breakdown == {"wspd": 1.0, "kruskal": 2.0}
+
+
+class TestLatencyStats:
+    def test_keys_and_percentiles(self):
+        from repro.bench.harness import latency_stats
+
+        # 100 samples: 1ms..100ms; nearest-rank p50 = 50ms, p99 = 99ms.
+        stats = latency_stats([i / 1000 for i in range(1, 101)])
+        assert stats["requests"] == 100
+        assert stats["latency_p50_s"] == pytest.approx(0.050)
+        assert stats["latency_p99_s"] == pytest.approx(0.099)
+        assert stats["requests_per_second"] == pytest.approx(
+            100 / stats["total_seconds"]
+        )
+
+    def test_single_sample(self):
+        from repro.bench.harness import latency_stats
+
+        stats = latency_stats([0.25])
+        assert stats["latency_p50_s"] == 0.25
+        assert stats["latency_p99_s"] == 0.25
+        assert stats["requests_per_second"] == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        from repro.bench.harness import latency_stats
+
+        with pytest.raises(ValueError):
+            latency_stats([])
+
+    def test_timed_requests_round_trip(self):
+        from repro.bench.harness import timed_requests
+
+        responses, stats = timed_requests(lambda x: x * 2, [1, 2, 3])
+        assert responses == [2, 4, 6]
+        assert stats["requests"] == 3
+        assert stats["latency_p99_s"] >= stats["latency_p50_s"] >= 0.0

@@ -268,3 +268,141 @@ class TestResilienceCli:
                 code = main(["emst", str(path), "--memory-budget", "8K"])
         assert code == 5
         assert "spill I/O error:" in capsys.readouterr().err
+
+
+class TestServeCli:
+    """The long-lived serve mode: fit/save, load, request loops, exit codes."""
+
+    def _save_state(self, csv_points, tmp_path):
+        path, _ = csv_points
+        state_file = tmp_path / "fit.npz"
+        assert main(["serve", str(path), "--save", str(state_file)]) == 0
+        return state_file
+
+    def test_fit_and_save_then_load_and_answer(self, csv_points, tmp_path):
+        import json
+
+        state_file = self._save_state(csv_points, tmp_path)
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "\n".join(
+                json.dumps(request)
+                for request in (
+                    {"op": "recut", "epsilon": 0.3},
+                    {"op": "recut", "epsilon": 0.3},
+                    {"op": "labels"},
+                    {"op": "stats"},
+                )
+            )
+            + "\n"
+        )
+        responses_file = tmp_path / "responses.jsonl"
+        code = main(
+            [
+                "serve",
+                "--load",
+                str(state_file),
+                "--requests",
+                str(requests),
+                "--output",
+                str(responses_file),
+            ]
+        )
+        assert code == 0
+        responses = [
+            json.loads(line)
+            for line in responses_file.read_text().splitlines()
+        ]
+        assert len(responses) == 4
+        assert all(response["ok"] for response in responses)
+        assert not responses[0]["cached"] and responses[1]["cached"]
+
+    def test_fit_serve_without_save(self, csv_points, tmp_path):
+        import json
+
+        path, points = csv_points
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(json.dumps({"op": "labels"}) + "\n")
+        responses_file = tmp_path / "responses.jsonl"
+        code = main(
+            [
+                "serve",
+                str(path),
+                "--min-pts",
+                "5",
+                "--requests",
+                str(requests),
+                "--output",
+                str(responses_file),
+            ]
+        )
+        assert code == 0
+        response = json.loads(responses_file.read_text())
+        assert response["ok"] and len(response["labels"]) == len(points)
+
+    def test_served_labels_match_cold_fit(self, csv_points, tmp_path):
+        import json
+
+        from repro.estimators import HDBSCAN
+
+        path, points = csv_points
+        state_file = tmp_path / "fit.npz"
+        assert main(
+            ["serve", str(path), "--min-pts", "5", "--save", str(state_file)]
+        ) == 0
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(json.dumps({"op": "recut", "epsilon": 0.2}) + "\n")
+        responses_file = tmp_path / "responses.jsonl"
+        assert main(
+            [
+                "serve",
+                "--load",
+                str(state_file),
+                "--requests",
+                str(requests),
+                "--output",
+                str(responses_file),
+            ]
+        ) == 0
+        response = json.loads(responses_file.read_text())
+        cold = HDBSCAN(min_pts=5, epsilon=0.2).fit_predict(points)
+        assert response["labels"] == cold.tolist()
+
+    def test_corrupt_state_exits_2(self, csv_points, tmp_path, capsys):
+        state_file = self._save_state(csv_points, tmp_path)
+        state_file.write_bytes(
+            state_file.read_bytes()[: state_file.stat().st_size // 2]
+        )
+        assert main(["serve", "--load", str(state_file)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_mismatched_metric_exits_2(self, csv_points, tmp_path, capsys):
+        state_file = self._save_state(csv_points, tmp_path)
+        code = main(
+            ["serve", "--load", str(state_file), "--metric", "manhattan"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_requires_input_or_load(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve"])
+        assert excinfo.value.code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_input_and_load_conflict(self, csv_points, tmp_path, capsys):
+        path, _ = csv_points
+        state_file = self._save_state(csv_points, tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", str(path), "--load", str(state_file)])
+        assert excinfo.value.code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_help_epilog_documents_environment(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        text = capsys.readouterr().out
+        for name in ("REPRO_BACKEND", "REPRO_MEMORY_BUDGET", "REPRO_FAULTS"):
+            assert name in text
+        assert "exit codes" in text.lower()

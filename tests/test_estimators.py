@@ -193,3 +193,79 @@ class TestHDBSCANEstimator:
     def test_repr_shows_params(self):
         text = repr(HDBSCAN(min_pts=12, metric="manhattan"))
         assert "HDBSCAN" in text and "min_pts=12" in text and "manhattan" in text
+
+
+class TestParamsAndRepr:
+    """get_params/set_params round-trip and the non-default-only repr."""
+
+    def test_hdbscan_round_trips_every_knob(self):
+        model = HDBSCAN(
+            min_pts=7,
+            min_cluster_size=9,
+            epsilon=0.4,
+            allow_single_cluster=True,
+            method="gantao",
+            metric="minkowski:3",
+            backend="numpy-f32",
+            approx_epsilon=0.25,
+            num_threads=3,
+            memory_budget="256M",
+            checkpoint_dir="/tmp/ckpt",
+            resume=False,
+            max_retries=5,
+            task_timeout=30.0,
+        )
+        params = model.get_params()
+        clone = HDBSCAN().set_params(**params)
+        assert clone.get_params() == params
+        # Every constructor knob must be covered by get_params.
+        import inspect
+
+        signature_names = {
+            name
+            for name in inspect.signature(HDBSCAN.__init__).parameters
+            if name != "self"
+        }
+        assert set(params) == signature_names
+
+    def test_emst_round_trips_every_knob(self):
+        import inspect
+
+        model = EMST(
+            method="gfk",
+            metric="chebyshev",
+            backend="numpy",
+            epsilon=0.1,
+            n_clusters=4,
+            num_threads=2,
+            memory_budget=1 << 20,
+            checkpoint_dir="/tmp/ckpt",
+            resume=False,
+            max_retries=1,
+            task_timeout=5.0,
+        )
+        params = model.get_params()
+        clone = EMST().set_params(**params)
+        assert clone.get_params() == params
+        signature_names = {
+            name
+            for name in inspect.signature(EMST.__init__).parameters
+            if name != "self"
+        }
+        assert set(params) == signature_names
+
+    def test_set_params_rejects_unknown_names(self):
+        with pytest.raises((InvalidParameterError, ValueError)):
+            HDBSCAN().set_params(bogus=1)
+
+    def test_repr_shows_only_non_defaults(self):
+        assert repr(HDBSCAN()) == "HDBSCAN()"
+        assert repr(EMST()) == "EMST()"
+        text = repr(HDBSCAN(min_pts=20, method="gantao"))
+        assert text == "HDBSCAN(min_pts=20, method='gantao')"
+        assert "min_cluster_size" not in text
+
+    def test_repr_round_trips_through_eval(self):
+        model = EMST(method="gfk", num_threads=2)
+        clone = eval(repr(model))
+        assert clone.get_params() == model.get_params()
