@@ -10,9 +10,12 @@ used without writing Python::
     python -m repro serve --load fit.npz --requests queries.jsonl
 
 ``serve`` is the long-lived mode: fit once (or ``--load`` a state saved with
-``--save``), then answer any number of JSON-lines re-cut / label / predict
-requests off the read-only fitted arrays with zero refitting.  A corrupt or
-fingerprint-mismatched ``--load`` file is refused with exit code 2.
+``--save``), then answer any number of JSON-lines re-cut / label / predict /
+update requests off the fitted arrays with zero refitting (``update``
+mutates the served point set through the incremental :mod:`repro.dynamic`
+engine).  A corrupt or fingerprint-mismatched ``--load`` file is refused
+with exit code 2, as is ``--load`` combined with fit-shaping flags the
+saved state already fixes.
 
 Input files may be ``.csv`` / ``.txt`` (one point per row, comma or whitespace
 separated, optional header) or ``.npy``.  Outputs are written as CSV: MST
@@ -302,9 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
         "load a saved fit-state) and answer any number of JSON-lines "
         "requests off the read-only fitted arrays — no refitting.  One "
         "request object per input line (e.g. {\"op\": \"recut\", "
-        "\"epsilon\": 0.5} or {\"op\": \"predict\", \"points\": [[...]]}); "
-        "one JSON response per output line.  With --save and no --requests "
-        "the command fits, saves the state and exits.",
+        "\"epsilon\": 0.5}, {\"op\": \"predict\", \"points\": [[...]]} or "
+        "{\"op\": \"update\", \"insert\": [[...]], \"delete\": [0]} for an "
+        "incremental point-set change with no refit); one JSON response "
+        "per output line.  With --save and no --requests the command fits, "
+        "saves the state and exits.",
     )
     serve_parser.add_argument(
         "input", nargs="?", help="points file (.csv/.txt/.npy) to fit"
@@ -321,14 +326,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="STATE",
         help="save the fitted state to this .npz (single checksummed file)",
     )
-    serve_parser.add_argument("--min-pts", type=int, default=10)
-    serve_parser.add_argument("--min-cluster-size", type=int, default=5)
+    # Fit-affecting flags use None sentinels (not their effective defaults)
+    # so _run_serve can tell "explicitly passed" from "absent" even when the
+    # passed value equals the default — required for the --load conflict
+    # check below.
     serve_parser.add_argument(
-        "--allow-single-cluster", action="store_true",
+        "--min-pts", type=int, default=None, help="(default: 10)"
+    )
+    serve_parser.add_argument(
+        "--min-cluster-size", type=int, default=None, help="(default: 5)"
+    )
+    serve_parser.add_argument(
+        "--allow-single-cluster", action="store_true", default=None,
         help="let excess-of-mass selection return the root as one cluster",
     )
     serve_parser.add_argument(
-        "--method", default="memogfk", choices=sorted(HDBSCAN_METHODS)
+        "--method",
+        default=None,
+        choices=sorted(HDBSCAN_METHODS),
+        help="(default: memogfk)",
     )
     serve_parser.add_argument(
         "--requests",
@@ -346,6 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="capacity of the re-cut LRU cache (default: 128)",
     )
     add_num_threads(serve_parser)
+    # The shared --metric flag defaults to euclidean on the fitting
+    # subcommands; on serve the default must be a None sentinel too, so a
+    # --load of a state saved under another metric is not spuriously
+    # rejected (and an explicit --metric is asserted against it).
+    serve_parser.set_defaults(metric=None)
 
     linkage_parser = subparsers.add_parser(
         "single-linkage", help="single-linkage clustering via the EMST"
@@ -369,24 +390,38 @@ def _approx_method_kwargs(args) -> dict:
     return {"method": method, **kwargs}
 
 
-def _run_serve(args, parser, argv, resilience_kwargs) -> None:
+def _run_serve(args, parser, resilience_kwargs) -> None:
     """The ``serve`` subcommand body (fit or load, optionally save, answer)."""
     from repro.serve import ServingEngine, fit_state, load_state
 
     if (args.input is None) == (args.load is None):
         parser.error("serve takes a points file or --load STATE (exactly one)")
     if args.load is not None:
-        # Only assert the metric against the saved state when the user
-        # explicitly asked for one — the flag's default must not mask a
-        # state saved under a different metric.
-        tokens = sys.argv[1:] if argv is None else list(argv)
-        metric_given = any(
-            token == "--metric" or token.startswith("--metric=")
-            for token in tokens
-        )
+        # Fit-shaping flags are fixed by the saved state; all of them carry
+        # None-sentinel defaults, so an explicitly-passed flag is detected
+        # even when its value equals the fitting default (--min-pts 10 is a
+        # conflict too — the saved state, not the flag, decides).  --metric
+        # and --backend are allowed through as assertions: load_state
+        # refuses a state saved under different geometry or kernels.
+        conflicts = [
+            flag
+            for flag, value in (
+                ("--min-pts", args.min_pts),
+                ("--min-cluster-size", args.min_cluster_size),
+                ("--allow-single-cluster", args.allow_single_cluster),
+                ("--method", args.method),
+            )
+            if value is not None
+        ]
+        if conflicts:
+            parser.error(
+                "--load serves a saved fit-state; the fit parameters "
+                f"{', '.join(conflicts)} are fixed by it and cannot be "
+                "passed (refit without --load to change them)"
+            )
         state = load_state(
             args.load,
-            metric=args.metric if metric_given else None,
+            metric=args.metric,
             backend=args.backend,
             cut_cache_size=args.cache_size,
         )
@@ -394,10 +429,12 @@ def _run_serve(args, parser, argv, resilience_kwargs) -> None:
         points = load_points(args.input, memory_budget=args.memory_budget)
         state = fit_state(
             points,
-            min_pts=args.min_pts,
-            min_cluster_size=args.min_cluster_size,
+            min_pts=10 if args.min_pts is None else args.min_pts,
+            min_cluster_size=(
+                5 if args.min_cluster_size is None else args.min_cluster_size
+            ),
             allow_single_cluster=bool(args.allow_single_cluster),
-            method=args.method,
+            method="memogfk" if args.method is None else args.method,
             metric=args.metric,
             backend=args.backend,
             memory_budget=args.memory_budget,
@@ -443,7 +480,7 @@ def main(argv: Optional[list] = None) -> int:
     }
     try:
         if args.command == "serve":
-            _run_serve(args, parser, argv, resilience_kwargs)
+            _run_serve(args, parser, resilience_kwargs)
             return 0
         points = load_points(args.input, memory_budget=args.memory_budget)
         metric = resolve_metric(getattr(args, "metric", None))

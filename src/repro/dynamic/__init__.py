@@ -1,0 +1,25 @@
+"""Incremental insert/delete engine with cold-refit byte-conformance.
+
+``fit_dynamic`` produces an updatable :class:`~repro.serve.state.FitState`;
+``insert_batch`` / ``delete_batch`` return an updated state that is
+byte-identical to a cold ``fit_dynamic`` of the surviving points.  See
+:mod:`repro.dynamic.engine` for the repair model.
+"""
+
+from repro.dynamic.engine import (
+    SUPPORT_ATTR,
+    DynamicSupport,
+    delete_batch,
+    fit_dynamic,
+    insert_batch,
+)
+from repro.mst.canonical import canonical_mst_arrays
+
+__all__ = [
+    "SUPPORT_ATTR",
+    "DynamicSupport",
+    "canonical_mst_arrays",
+    "delete_batch",
+    "fit_dynamic",
+    "insert_batch",
+]

@@ -1,0 +1,975 @@
+"""Incremental insert/delete engine over a fitted serving state.
+
+A cold HDBSCAN*/EMST fit is dominated by two global computations — the
+all-points core distances and the BCCPs of the full well-separated pair
+decomposition.  Under a small batched update almost all of that work is
+provably unchanged: a core distance can only move when the update lands
+inside the point's current core radius, and a WSPD pair's minimum
+mutual-reachability edge can only move when a member dies, a member's core
+distance changes, or a certified lower bound says a changed point could
+undercut the cached winner.  :func:`insert_batch` / :func:`delete_batch`
+exploit exactly that:
+
+* the *base* tree (a leaf-size-1 kd-tree over the points present at the
+  last cold fit) is tombstoned, never restructured: deletions flip an
+  ``alive`` bit and the live core-distance extrema are re-annotated in one
+  sweep.  Its WSPD pair decomposition is cached with per-pair BCCP winners
+  and repaired locally per update;
+* inserted points go to a side *buffer* paired against the base tree by a
+  per-point separation descent and against each other by a tiny WSPD of
+  their own; a log-scheduled full rebuild folds the buffer in (or drops
+  the tombstones) before either side grows past a fixed fraction of n;
+* every update re-assembles the state through one shared path — exact
+  candidate edge weights via :meth:`Metric.exact_edge_weights`, the
+  canonical MST normal form of :func:`repro.mst.canonical_mst_arrays`, a
+  fresh top-down dendrogram and condensed tree — the same path a cold
+  :func:`fit_dynamic` takes.  Conformance therefore reduces to both sides
+  presenting candidate sets with the same weight-class filtration, which
+  the WSPD coverage argument guarantees; the result is **byte-identical**
+  to a cold refit of the surviving points, across metrics, thread counts
+  and memory budgets.
+
+The cut cache of the returned state starts empty: an update changes ``n``,
+so every cached labelling of the previous state is invalid by construction —
+full invalidation is exact, not conservative.
+
+States made by :func:`fit_dynamic` carry their repair support with them;
+states from :func:`repro.serve.state.fit_state` (or a ``load_state``) are
+adopted by running one cold :func:`fit_dynamic` over their points first
+(their bruteforce-path core distances are not subset-recomputable, so the
+adopting fit re-derives them through the kd-tree path).  A state that has
+been updated *from* hands its support to the successor state and reverts to
+plain read-only serving.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.backend import BackendLike, resolve_backend
+from repro.core.budget import BudgetLike, use_memory_budget
+from repro.core.errors import InvalidParameterError, InvalidPointSetError
+from repro.core.metric import MetricLike, resolve_metric
+from repro.core.points import as_points
+from repro.dendrogram.condensed import condense_dendrogram
+from repro.dendrogram.topdown import dendrogram_topdown
+from repro.dynamic.spatial import (
+    alive_members,
+    descend_singleton_pairs,
+    live_cd_extrema,
+    masked_pair_winners,
+    node_any_flags,
+    segmented_min_mr,
+    winner_beat_mask,
+)
+from repro.hdbscan.core_distance import core_distances
+from repro.mst.canonical import canonical_mst_arrays
+from repro.mst.kruskal import parallel_argsort
+from repro.serve.state import (
+    DEFAULT_CUT_CACHE,
+    SERVING_LEAF_SIZE,
+    FitState,
+    _state_fingerprint,
+)
+from repro.spatial.kdtree import KDTree
+from repro.spatial.knn import knn
+from repro.wspd.separation import hdbscan_well_separated_mask
+from repro.wspd.wspd import compute_wspd_ids, frontier_step
+
+#: Attribute under which a state's repair support travels.
+SUPPORT_ATTR = "_dynamic"
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
+
+
+class DynamicSupport:
+    """Mutable repair state riding along with a dynamically-fitted state.
+
+    Point identity is *stable ids*: slots ``0..n_base-1`` are the base
+    tree's points, later slots are buffered inserts; ``order`` maps each
+    current row to its stable id (deletes compact it, inserts append).
+    ``pair_u`` / ``pair_v`` hold the cached BCCP winner (as stable ids) of
+    every live base WSPD pair ``(pair_a, pair_b)``.
+    """
+
+    def __init__(
+        self,
+        *,
+        metric,
+        backend,
+        min_pts: int,
+        min_cluster_size: int,
+        allow_single_cluster: bool,
+        base_tree: Optional[KDTree],
+        base_alive: np.ndarray,
+        stable_points: np.ndarray,
+        stable_cd: np.ndarray,
+        order: np.ndarray,
+        buffer: np.ndarray,
+        pair_a: np.ndarray,
+        pair_b: np.ndarray,
+        pair_u: np.ndarray,
+        pair_v: np.ndarray,
+        pair_w: np.ndarray,
+    ) -> None:
+        self.metric = metric
+        self.backend = backend
+        self.min_pts = int(min_pts)
+        self.min_cluster_size = int(min_cluster_size)
+        self.allow_single_cluster = bool(allow_single_cluster)
+        self.base_tree = base_tree
+        self.base_alive = base_alive
+        self.stable_points = stable_points
+        self.stable_cd = stable_cd
+        self.order = order
+        self.buffer = buffer
+        self.pair_a = pair_a
+        self.pair_b = pair_b
+        self.pair_u = pair_u
+        self.pair_v = pair_v
+        self.pair_w = pair_w
+        self.node_alive: Optional[np.ndarray] = None
+        # Cached ascending-by-weight permutation of ``pair_w``; repaired
+        # incrementally so updates merge instead of re-sorting all pairs.
+        self.pair_wsort: Optional[np.ndarray] = None
+
+    @property
+    def n_base(self) -> int:
+        return int(self.base_alive.shape[0])
+
+
+def _require_exact_backend(backend: BackendLike):
+    resolved = resolve_backend(backend)
+    if resolved.lowered:
+        raise InvalidParameterError(
+            "the dynamic engine requires an exact float64 backend; lowered "
+            "backends cannot guarantee cold-refit byte-conformance under "
+            "subset recomputation"
+        )
+    return resolved
+
+
+def _coerce_points(points, dimension: Optional[int] = None) -> np.ndarray:
+    raw = np.asarray(points, dtype=np.float64)
+    if raw.ndim == 2 and raw.shape[0] == 0:
+        if raw.shape[1] < 1:
+            raise InvalidPointSetError("points must have at least one column")
+        data = np.ascontiguousarray(raw)
+    else:
+        data = as_points(points)
+    if dimension is not None and data.shape[1] != dimension:
+        raise InvalidParameterError(
+            f"update points have dimension {data.shape[1]}, the fitted state "
+            f"has dimension {dimension}"
+        )
+    return data
+
+
+def _kth_distances(
+    tree: KDTree,
+    data: np.ndarray,
+    rows: np.ndarray,
+    k: int,
+    num_threads: Optional[int],
+) -> np.ndarray:
+    """k-th k-NN distance of the selected rows, bitwise the cold value.
+
+    Mirrors the final line of :func:`repro.hdbscan.core_distance.core_distances`
+    (``kdtree`` method, including the ``minPts == 1`` zero shortcut): the
+    per-query top-k fold depends only on the query row and the stored point
+    multiset, so querying a subset of rows reproduces the all-rows values.
+    """
+    if rows.size == 0:
+        return _EMPTY_F
+    if k == 1:
+        return np.zeros(rows.size, dtype=np.float64)
+    _, distances = knn(tree, k, queries=data[rows], num_threads=num_threads)
+    return np.ascontiguousarray(distances[:, -1], dtype=np.float64)
+
+
+def fit_dynamic(
+    points,
+    *,
+    min_pts: int = 10,
+    min_cluster_size: int = 5,
+    allow_single_cluster: bool = False,
+    metric: MetricLike = None,
+    backend: BackendLike = None,
+    num_threads: Optional[int] = None,
+    memory_budget: BudgetLike = None,
+    cut_cache_size: int = DEFAULT_CUT_CACHE,
+) -> FitState:
+    """Cold fit producing an updatable :class:`FitState` (``method="dynamic"``).
+
+    This is the refit that :func:`insert_batch` / :func:`delete_batch` are
+    byte-conformant against.  It differs from
+    :func:`repro.serve.state.fit_state` in two deliberate ways: core
+    distances go through the kd-tree path (tree-structure independent, hence
+    recomputable for an arbitrary subset of points after an update), and the
+    MST is emitted in the canonical normal form of
+    :func:`repro.mst.canonical_mst_arrays` (a pure function of the
+    weight-class filtration, hence reachable by local repair).  Accepts any
+    ``n >= 0``, clamping ``minPts`` to ``min(min_pts, n)`` like the HDBSCAN
+    drivers do.
+    """
+    if int(min_pts) < 1:
+        raise InvalidParameterError("min_pts must be >= 1")
+    if int(min_cluster_size) < 1:
+        raise InvalidParameterError("min_cluster_size must be >= 1")
+    resolved_metric = resolve_metric(metric)
+    resolved_backend = _require_exact_backend(backend)
+    data = _coerce_points(points)
+    with use_memory_budget(memory_budget):
+        return _cold_fit(
+            data,
+            metric=resolved_metric,
+            backend=resolved_backend,
+            min_pts=int(min_pts),
+            min_cluster_size=int(min_cluster_size),
+            allow_single_cluster=bool(allow_single_cluster),
+            num_threads=num_threads,
+            cut_cache_size=cut_cache_size,
+        )
+
+
+def _cold_fit(
+    data: np.ndarray,
+    *,
+    metric,
+    backend,
+    min_pts: int,
+    min_cluster_size: int,
+    allow_single_cluster: bool,
+    num_threads: Optional[int],
+    cut_cache_size: int,
+) -> FitState:
+    n = int(data.shape[0])
+    if n == 0:
+        support = DynamicSupport(
+            metric=metric,
+            backend=backend,
+            min_pts=min_pts,
+            min_cluster_size=min_cluster_size,
+            allow_single_cluster=allow_single_cluster,
+            base_tree=None,
+            base_alive=np.zeros(0, dtype=bool),
+            stable_points=data,
+            stable_cd=_EMPTY_F.copy(),
+            order=_EMPTY_I.copy(),
+            buffer=_EMPTY_I.copy(),
+            pair_a=_EMPTY_I.copy(),
+            pair_b=_EMPTY_I.copy(),
+            pair_u=_EMPTY_I.copy(),
+            pair_v=_EMPTY_I.copy(),
+            pair_w=_EMPTY_F.copy(),
+        )
+        state = FitState(
+            points=data,
+            tree=None,
+            core_distances=_EMPTY_F.copy(),
+            mst_u=_EMPTY_I.copy(),
+            mst_v=_EMPTY_I.copy(),
+            mst_w=_EMPTY_F.copy(),
+            dendrogram=None,
+            condensed=None,
+            min_pts=min_pts,
+            min_cluster_size=min_cluster_size,
+            allow_single_cluster=allow_single_cluster,
+            method="dynamic",
+            fingerprint=_state_fingerprint(
+                data,
+                method="dynamic",
+                metric=metric,
+                backend=backend,
+                memory_budget=None,
+                num_threads=num_threads,
+                min_pts=min_pts,
+                min_cluster_size=min_cluster_size,
+                allow_single_cluster=allow_single_cluster,
+                leaf_size=SERVING_LEAF_SIZE,
+            ),
+            cut_cache_size=cut_cache_size,
+            metric=metric,
+            backend=backend,
+        )
+        setattr(state, SUPPORT_ATTR, support)
+        return state
+
+    serving = KDTree(
+        data, leaf_size=SERVING_LEAF_SIZE, metric=metric, backend=backend
+    )
+    effective = min(min_pts, n)
+    cds = core_distances(
+        data,
+        effective,
+        method="kdtree",
+        tree=serving,
+        num_threads=num_threads,
+        metric=metric,
+        backend=backend,
+    )
+    serving.annotate_core_distances(cds)
+
+    base = KDTree(data, leaf_size=1, metric=metric, backend=backend)
+    base.annotate_core_distances(cds)
+    if n >= 2:
+        pair_a, pair_b = compute_wspd_ids(
+            base, separation="hdbscan", num_threads=num_threads
+        )
+    else:
+        pair_a, pair_b = _EMPTY_I.copy(), _EMPTY_I.copy()
+    if pair_a.size:
+        # Exact-min winners (not the expansion-scored BCCP argmin): every
+        # dynamic candidate carries its pair's exact minimum, which makes
+        # the canonical filtration independent of the decomposition and is
+        # what lets a repaired pair set reproduce a cold refit bitwise.
+        pair_u, pair_v, pair_w = masked_pair_winners(
+            base.flat, pair_a, pair_b, np.ones(n, dtype=bool), cds,
+            base.metric, num_threads,
+        )
+    else:
+        pair_u, pair_v = _EMPTY_I.copy(), _EMPTY_I.copy()
+        pair_w = _EMPTY_F.copy()
+
+    support = DynamicSupport(
+        metric=metric,
+        backend=backend,
+        min_pts=min_pts,
+        min_cluster_size=min_cluster_size,
+        allow_single_cluster=allow_single_cluster,
+        base_tree=base,
+        base_alive=np.ones(n, dtype=bool),
+        stable_points=data,
+        stable_cd=np.ascontiguousarray(cds, dtype=np.float64).copy(),
+        order=np.arange(n, dtype=np.int64),
+        buffer=_EMPTY_I.copy(),
+        pair_a=np.asarray(pair_a, dtype=np.int64),
+        pair_b=np.asarray(pair_b, dtype=np.int64),
+        pair_u=pair_u,
+        pair_v=pair_v,
+        pair_w=pair_w,
+    )
+    support.node_alive = node_any_flags(base.flat, support.base_alive)
+    return _assemble(
+        support,
+        data,
+        serving,
+        _EMPTY_I,
+        _EMPTY_I,
+        _EMPTY_F,
+        num_threads=num_threads,
+        cut_cache_size=cut_cache_size,
+    )
+
+
+def _merge_by_value(
+    values: np.ndarray, sorted_pos: np.ndarray, fresh_pos: np.ndarray
+) -> np.ndarray:
+    """Merge two position lists into one ascending-by-``values`` permutation.
+
+    ``sorted_pos`` must already be ascending by ``values``; ``fresh_pos`` is
+    sorted here.  On ties the fresh positions land before the equal-valued
+    sorted ones, which is irrelevant to every consumer (the canonical MST
+    sweep partitions by weight class, not by within-class order).
+    """
+    if fresh_pos.size == 0:
+        return sorted_pos
+    f_ord = fresh_pos[np.argsort(values[fresh_pos], kind="stable")]
+    ins = np.searchsorted(values[sorted_pos], values[f_ord], side="left")
+    total = sorted_pos.size + f_ord.size
+    out = np.empty(total, dtype=np.int64)
+    pos_fresh = ins + np.arange(f_ord.size, dtype=np.int64)
+    remaining = np.ones(total, dtype=bool)
+    remaining[pos_fresh] = False
+    out[pos_fresh] = f_ord
+    out[remaining] = sorted_pos
+    return out
+
+
+def _assemble(
+    support: DynamicSupport,
+    data: np.ndarray,
+    serving: KDTree,
+    extra_u: np.ndarray,
+    extra_v: np.ndarray,
+    extra_w: np.ndarray,
+    *,
+    num_threads: Optional[int],
+    cut_cache_size: int,
+) -> FitState:
+    """Shared state assembly for cold fits and incremental updates.
+
+    Candidates are the cached base-pair winners plus the update's buffer
+    winners; every value is an exact per-pair minimum from
+    :func:`repro.dynamic.spatial.segmented_min_mr` (row-wise kernel, so a
+    value is bitwise independent of when and in which batch it was
+    evaluated).  The union is canonicalized into the normal-form MST and
+    rolled into a fresh dendrogram, condensed tree and serving state.
+    """
+    n = int(data.shape[0])
+    cds_current = np.ascontiguousarray(
+        support.stable_cd[support.order], dtype=np.float64
+    )
+    if n >= 2:
+        cand_u = np.concatenate([support.pair_u, extra_u])
+        cand_v = np.concatenate([support.pair_v, extra_v])
+        weights = np.concatenate([support.pair_w, extra_w])
+        current_of = np.empty(support.stable_points.shape[0], dtype=np.int64)
+        current_of[support.order] = np.arange(n, dtype=np.int64)
+        # The cached ascending order over pair_w (repaired incrementally
+        # alongside the pairs) only needs the handful of buffer winners
+        # merged in — re-sorting all candidates every update would dwarf
+        # the actual repair work.
+        if support.pair_wsort is None:
+            support.pair_wsort = parallel_argsort(
+                support.pair_w, num_threads=num_threads
+            )
+        order = _merge_by_value(
+            weights,
+            support.pair_wsort,
+            np.arange(
+                support.pair_w.size, weights.size, dtype=np.int64
+            ),
+        )
+        mst_u, mst_v, mst_w = canonical_mst_arrays(
+            current_of[cand_u],
+            current_of[cand_v],
+            weights,
+            n,
+            num_threads=num_threads,
+            order=order,
+        )
+    else:
+        mst_u, mst_v = _EMPTY_I.copy(), _EMPTY_I.copy()
+        mst_w = _EMPTY_F.copy()
+    dendrogram = dendrogram_topdown((mst_u, mst_v, mst_w), n)
+    condensed = condense_dendrogram(dendrogram, support.min_cluster_size)
+    state = FitState(
+        points=data,
+        tree=serving,
+        core_distances=cds_current,
+        mst_u=mst_u,
+        mst_v=mst_v,
+        mst_w=mst_w,
+        dendrogram=dendrogram,
+        condensed=condensed,
+        min_pts=support.min_pts,
+        min_cluster_size=support.min_cluster_size,
+        allow_single_cluster=support.allow_single_cluster,
+        method="dynamic",
+        fingerprint=_state_fingerprint(
+            data,
+            method="dynamic",
+            metric=support.metric,
+            backend=support.backend,
+            memory_budget=None,
+            num_threads=num_threads,
+            min_pts=support.min_pts,
+            min_cluster_size=support.min_cluster_size,
+            allow_single_cluster=support.allow_single_cluster,
+            leaf_size=SERVING_LEAF_SIZE,
+        ),
+        cut_cache_size=cut_cache_size,
+    )
+    setattr(state, SUPPORT_ATTR, support)
+    return state
+
+
+def _detach_support(state: FitState) -> DynamicSupport:
+    """Take ownership of a state's repair support (it moves, never shares).
+
+    The repair mutates the base tree's annotations and the tombstone mask in
+    place, so the support cannot be shared between the predecessor and
+    successor states; the predecessor reverts to plain read-only serving
+    (updating it again costs one cold adoption fit).
+    """
+    support = getattr(state, SUPPORT_ATTR)
+    delattr(state, SUPPORT_ATTR)
+    return support
+
+
+def _adopt(state: FitState, num_threads: Optional[int]) -> FitState:
+    """Return a dynamically-fitted equivalent of ``state``.
+
+    States without repair support (built by :func:`fit_state`, restored by
+    ``load_state``, or previously updated *from*) get one cold
+    :func:`fit_dynamic` over their current points with their fitted
+    parameters.
+    """
+    if getattr(state, SUPPORT_ATTR, None) is not None:
+        return state
+    return fit_dynamic(
+        state.points,
+        min_pts=state.min_pts,
+        min_cluster_size=state.min_cluster_size,
+        allow_single_cluster=state.allow_single_cluster,
+        metric=state.metric,
+        backend=state.backend,
+        num_threads=num_threads,
+        cut_cache_size=state._cut_capacity,
+    )
+
+
+def insert_batch(
+    state: FitState,
+    new_points,
+    *,
+    num_threads: Optional[int] = None,
+    memory_budget: BudgetLike = None,
+) -> FitState:
+    """Insert a batch of points into a fitted state without a cold refit.
+
+    Returns a new :class:`FitState` over the old points (same order) with
+    the batch appended, byte-identical to
+    ``fit_dynamic(np.concatenate([state.points, batch]))`` with the state's
+    parameters.  The input state stays valid for reading but hands its
+    repair support to the result.
+    """
+    state = _adopt(state, num_threads)
+    batch = _coerce_points(new_points, dimension=state.dimension)
+    if batch.shape[0] == 0:
+        return state
+    with use_memory_budget(memory_budget):
+        return _insert(state, batch, num_threads)
+
+
+def _insert(state: FitState, batch: np.ndarray, num_threads) -> FitState:
+    support = getattr(state, SUPPORT_ATTR)
+    params = dict(
+        metric=support.metric,
+        backend=support.backend,
+        min_pts=support.min_pts,
+        min_cluster_size=support.min_cluster_size,
+        allow_single_cluster=support.allow_single_cluster,
+        num_threads=num_threads,
+        cut_cache_size=state._cut_capacity,
+    )
+    n_old = state.num_points
+    m = int(batch.shape[0])
+    n_new = n_old + m
+    if n_old == 0:
+        return _cold_fit(batch, **params)
+    if support.buffer.size + m > max(32, n_new // 8) or support.base_tree is None:
+        # Log-scheduled merge: fold the buffer (and tombstones) into a fresh
+        # base before the side structures dominate the update cost.
+        data = np.ascontiguousarray(np.concatenate([state.points, batch]))
+        _detach_support(state)
+        return _cold_fit(data, **params)
+
+    support = _detach_support(state)
+    eff_old = min(support.min_pts, n_old)
+    eff_new = min(support.min_pts, n_new)
+    if eff_new != eff_old:
+        changed_rows = np.arange(n_old, dtype=np.int64)
+    else:
+        # An insert can only shrink a core distance, and only if some new
+        # point lands strictly inside the old core radius.
+        changed_rows = np.flatnonzero(
+            state.tree.flat.mask_within_radii(
+                batch, state.core_distances, strict=True
+            )
+        )
+
+    next_slot = support.stable_points.shape[0]
+    new_stable = np.arange(next_slot, next_slot + m, dtype=np.int64)
+    support.stable_points = np.ascontiguousarray(
+        np.concatenate([support.stable_points, batch])
+    )
+    support.stable_cd = np.concatenate([support.stable_cd, np.zeros(m)])
+    support.order = np.concatenate([support.order, new_stable])
+    support.buffer = np.concatenate([support.buffer, new_stable])
+
+    data = np.ascontiguousarray(support.stable_points[support.order])
+    serving = KDTree(
+        data,
+        leaf_size=SERVING_LEAF_SIZE,
+        metric=support.metric,
+        backend=support.backend,
+    )
+    rows = np.concatenate(
+        [changed_rows, np.arange(n_old, n_new, dtype=np.int64)]
+    )
+    kth = _kth_distances(serving, data, rows, eff_new, num_threads)
+    touched_stable = support.order[rows]
+    previous = support.stable_cd[touched_stable].copy()
+    support.stable_cd[touched_stable] = kth
+    changed = kth != previous
+    changed[changed_rows.size:] = True  # new points are always "changed"
+    changed_stable = touched_stable[changed]
+    decreased_stable = touched_stable[kth < previous]
+    serving.annotate_core_distances(support.stable_cd[support.order])
+
+    base_changed = changed_stable[changed_stable < support.n_base]
+    base_decreased = decreased_stable[decreased_stable < support.n_base]
+    _repair_base_pairs(
+        support,
+        died=_EMPTY_I,
+        changed=base_changed,
+        decreased=base_decreased,
+        num_threads=num_threads,
+    )
+    extra_u, extra_v, extra_w = _buffer_winners(support, num_threads)
+    return _assemble(
+        support,
+        data,
+        serving,
+        extra_u,
+        extra_v,
+        extra_w,
+        num_threads=num_threads,
+        cut_cache_size=state._cut_capacity,
+    )
+
+
+def delete_batch(
+    state: FitState,
+    indices,
+    *,
+    num_threads: Optional[int] = None,
+    memory_budget: BudgetLike = None,
+) -> FitState:
+    """Delete points (by current row index) without a cold refit.
+
+    Surviving points keep their relative order.  Returns a new
+    :class:`FitState` byte-identical to ``fit_dynamic`` over the survivors
+    with the state's parameters; deleting every point yields a valid empty
+    state that :func:`insert_batch` can repopulate.
+    """
+    state = _adopt(state, num_threads)
+    idx = np.atleast_1d(np.asarray(indices))
+    if idx.size == 0:
+        return state
+    if idx.ndim != 1 or not np.issubdtype(idx.dtype, np.integer):
+        raise InvalidParameterError("indices must be a 1-d integer array")
+    idx = idx.astype(np.int64)
+    n_old = state.num_points
+    if idx.size and (idx.min() < 0 or idx.max() >= n_old):
+        raise InvalidParameterError(
+            f"indices must be in [0, {n_old}); got values outside that range"
+        )
+    if np.unique(idx).size != idx.size:
+        raise InvalidParameterError("indices must not contain duplicates")
+    with use_memory_budget(memory_budget):
+        return _delete(state, idx, num_threads)
+
+
+def _delete(state: FitState, idx: np.ndarray, num_threads) -> FitState:
+    support = getattr(state, SUPPORT_ATTR)
+    params = dict(
+        metric=support.metric,
+        backend=support.backend,
+        min_pts=support.min_pts,
+        min_cluster_size=support.min_cluster_size,
+        allow_single_cluster=support.allow_single_cluster,
+        num_threads=num_threads,
+        cut_cache_size=state._cut_capacity,
+    )
+    n_old = state.num_points
+    m = int(idx.size)
+    n_new = n_old - m
+    keep = np.ones(n_old, dtype=bool)
+    keep[idx] = False
+    if n_new == 0:
+        _detach_support(state)
+        return _cold_fit(state.points[:0], **params)
+
+    dying_stable = support.order[idx]
+    dying_base = dying_stable[dying_stable < support.n_base]
+    dead_after = int((~support.base_alive).sum()) + int(dying_base.size)
+    if dead_after > max(32, support.n_base // 4):
+        data = np.ascontiguousarray(state.points[keep])
+        _detach_support(state)
+        return _cold_fit(data, **params)
+
+    support = _detach_support(state)
+    eff_old = min(support.min_pts, n_old)
+    eff_new = min(support.min_pts, n_new)
+    if eff_new != eff_old:
+        changed_rows_old = np.flatnonzero(keep)
+    else:
+        # A delete can only grow a core distance, and only for survivors
+        # holding a dying point within their old core radius (ties at the
+        # radius included — recomputing an unchanged value is harmless).
+        hit = state.tree.flat.mask_within_radii(
+            state.points[idx], state.core_distances, strict=False
+        )
+        changed_rows_old = np.flatnonzero(hit & keep)
+    shift = np.cumsum(~keep)
+    new_rows = (changed_rows_old - shift[changed_rows_old]).astype(np.int64)
+    recompute_stable = support.order[changed_rows_old]
+
+    support.order = support.order[keep]
+    support.base_alive[dying_base] = False
+    dying_buffer = dying_stable[dying_stable >= support.n_base]
+    if dying_buffer.size:
+        support.buffer = support.buffer[
+            ~np.isin(support.buffer, dying_buffer)
+        ]
+
+    data = np.ascontiguousarray(support.stable_points[support.order])
+    serving = KDTree(
+        data,
+        leaf_size=SERVING_LEAF_SIZE,
+        metric=support.metric,
+        backend=support.backend,
+    )
+    kth = _kth_distances(serving, data, new_rows, eff_new, num_threads)
+    previous = support.stable_cd[recompute_stable].copy()
+    changed_stable = recompute_stable[kth != previous]
+    decreased_stable = recompute_stable[kth < previous]
+    support.stable_cd[recompute_stable] = kth
+    serving.annotate_core_distances(support.stable_cd[support.order])
+
+    base_changed = changed_stable[changed_stable < support.n_base]
+    base_decreased = decreased_stable[decreased_stable < support.n_base]
+    _repair_base_pairs(
+        support,
+        died=dying_base,
+        changed=base_changed,
+        decreased=base_decreased,
+        num_threads=num_threads,
+    )
+    extra_u, extra_v, extra_w = _buffer_winners(support, num_threads)
+    return _assemble(
+        support,
+        data,
+        serving,
+        extra_u,
+        extra_v,
+        extra_w,
+        num_threads=num_threads,
+        cut_cache_size=state._cut_capacity,
+    )
+
+
+def _resplit(
+    flat, a: np.ndarray, b: np.ndarray, node_alive: np.ndarray, num_threads
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Re-split pairs that lost separation, skipping all-dead subtrees."""
+
+    def predicate(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return hdbscan_well_separated_mask(flat, x, y)
+
+    out_a = []
+    out_b = []
+    while a.size:
+        keep = node_alive[a] & node_alive[b]
+        a = a[keep]
+        b = b[keep]
+        if a.size == 0:
+            break
+        _, sep_a, sep_b, dup_a, dup_b, a, b = frontier_step(
+            flat, a, b, predicate, num_threads=num_threads
+        )
+        out_a.append(sep_a)
+        out_a.append(dup_a)
+        out_b.append(sep_b)
+        out_b.append(dup_b)
+    if not out_a:
+        return _EMPTY_I.copy(), _EMPTY_I.copy()
+    return np.concatenate(out_a), np.concatenate(out_b)
+
+
+def _repair_base_pairs(
+    support: DynamicSupport,
+    *,
+    died: np.ndarray,
+    changed: np.ndarray,
+    decreased: np.ndarray,
+    num_threads,
+) -> None:
+    """Repair the cached base WSPD decomposition after one update.
+
+    Refreshes the live annotations, drops pairs with an all-dead side,
+    re-tests (and re-splits, alive-filtered) pairs containing touched
+    points, and recomputes winners only where the cached one is invalidated:
+    the winner died, its cached value *grew* under the refreshed core
+    distances (every other cached candidate was already ≥ the old value, so
+    a non-growing winner stays minimal over the unchanged candidates), or
+    the certified :func:`winner_beat_mask` bound admits a *decreased* point
+    undercutting the (refreshed) value.  Only points whose core distance
+    shrank (``decreased``) can undercut a stable winner — every candidate
+    value is monotone in its endpoints' core distances, so a pure-growth
+    update (deletion) skips the beat test entirely.  Both-leaf pairs are
+    singletons whose winner is fixed by membership; only their value is
+    refreshed.
+    """
+    tree = support.base_tree
+    if tree is None or support.n_base == 0:
+        return
+    flat = tree.flat
+    alive = support.base_alive
+    n_base = support.n_base
+    flat.cd_min, flat.cd_max = live_cd_extrema(
+        flat, support.stable_cd[:n_base], alive
+    )
+    node_alive = node_any_flags(flat, alive)
+    support.node_alive = node_alive
+
+    pa, pb = support.pair_a, support.pair_b
+    wu, wv = support.pair_u, support.pair_v
+    ww = support.pair_w
+    if pa.size == 0:
+        return
+    touched = np.zeros(n_base, dtype=bool)
+    touched[died] = True
+    touched[changed] = True
+    alive_pair = node_alive[pa] & node_alive[pb]
+    if touched.any():
+        node_touched = node_any_flags(flat, touched)
+        flagged = alive_pair & (node_touched[pa] | node_touched[pb])
+    else:
+        flagged = np.zeros(pa.size, dtype=bool)
+    if not flagged.any() and alive_pair.all():
+        return
+    both_leaf = flat.is_leaf(pa) & flat.is_leaf(pb)
+    keep_static = np.flatnonzero(alive_pair & (~flagged | both_leaf))
+    refresh = np.flatnonzero(flagged & both_leaf)
+    if refresh.size:
+        ww[refresh] = support.metric.exact_edge_weights(
+            support.stable_points, wu[refresh], wv[refresh],
+            support.stable_cd,
+        )
+
+    test_idx = np.flatnonzero(flagged & ~both_leaf)
+    if test_idx.size:
+        still = hdbscan_well_separated_mask(flat, pa[test_idx], pb[test_idx])
+        ok_idx = test_idx[still]
+        new_a, new_b = _resplit(
+            flat, pa[test_idx[~still]], pb[test_idx[~still]],
+            node_alive, num_threads,
+        )
+    else:
+        ok_idx = _EMPTY_I
+        new_a, new_b = _EMPTY_I.copy(), _EMPTY_I.copy()
+
+    changed_mask = np.zeros(n_base, dtype=bool)
+    changed_mask[changed] = True
+    dead_winner = ~alive[wu[ok_idx]] | ~alive[wv[ok_idx]]
+    cd_changed = (
+        changed_mask[wu[ok_idx]] | changed_mask[wv[ok_idx]]
+    ) & ~dead_winner
+    grew = np.zeros(ok_idx.size, dtype=bool)
+    chg = np.flatnonzero(cd_changed)
+    if chg.size:
+        chg_idx = ok_idx[chg]
+        v_new = support.metric.exact_edge_weights(
+            support.stable_points, wu[chg_idx], wv[chg_idx],
+            support.stable_cd,
+        )
+        grew[chg] = v_new > ww[chg_idx]
+        ww[chg_idx] = v_new
+    winner_invalid = dead_winner | grew
+    stable_idx = ok_idx[~winner_invalid]
+    beat = np.zeros(stable_idx.size, dtype=bool)
+    decreased_mask = np.zeros(n_base, dtype=bool)
+    decreased_mask[decreased] = True
+    beat_sources = np.flatnonzero(decreased_mask & alive)
+    if stable_idx.size and beat_sources.size:
+        inverse = np.empty(n_base, dtype=np.int64)
+        inverse[flat.perm] = np.arange(n_base, dtype=np.int64)
+        touched_positions = np.sort(inverse[beat_sources])
+        values = ww[stable_idx]
+        beat = winner_beat_mask(
+            flat, pa[stable_idx], pb[stable_idx], touched_positions,
+            support.stable_points, support.stable_cd, values,
+        ) | winner_beat_mask(
+            flat, pb[stable_idx], pa[stable_idx], touched_positions,
+            support.stable_points, support.stable_cd, values,
+        )
+
+    recompute_idx = np.concatenate([ok_idx[winner_invalid], stable_idx[beat]])
+    redo_a = np.concatenate([pa[recompute_idx], new_a])
+    redo_b = np.concatenate([pb[recompute_idx], new_b])
+    if redo_a.size:
+        redo_u, redo_v, redo_w = masked_pair_winners(
+            flat, redo_a, redo_b, alive,
+            support.stable_cd[:n_base], support.metric, num_threads,
+        )
+    else:
+        redo_u, redo_v = _EMPTY_I.copy(), _EMPTY_I.copy()
+        redo_w = _EMPTY_F.copy()
+
+    kept = np.concatenate([keep_static, stable_idx[~beat]])
+    support.pair_a = np.concatenate([pa[kept], redo_a])
+    support.pair_b = np.concatenate([pb[kept], redo_b])
+    support.pair_u = np.concatenate([wu[kept], redo_u])
+    support.pair_v = np.concatenate([wv[kept], redo_v])
+    support.pair_w = np.concatenate([ww[kept], redo_w])
+
+    # Repair the cached ascending-by-weight permutation: kept pairs with
+    # untouched values stay in their old relative order, so only the
+    # refreshed/recomputed few need sorting and merging back in.
+    ws = support.pair_wsort
+    if ws is not None:
+        m_old = pa.shape[0]
+        dirty = np.zeros(m_old, dtype=bool)
+        dirty[refresh] = True
+        if chg.size:
+            dirty[ok_idx[chg]] = True
+        old_to_new = np.full(m_old, -1, dtype=np.int64)
+        old_to_new[kept] = np.arange(kept.size, dtype=np.int64)
+        clean = ws[(old_to_new[ws] >= 0) & ~dirty[ws]]
+        fresh = np.concatenate([
+            old_to_new[np.flatnonzero(dirty & (old_to_new >= 0))],
+            np.arange(
+                kept.size, kept.size + redo_a.size, dtype=np.int64
+            ),
+        ])
+        support.pair_wsort = _merge_by_value(
+            support.pair_w, old_to_new[clean], fresh
+        )
+
+
+def _buffer_winners(
+    support: DynamicSupport, num_threads
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Candidate winners covering buffer×base and buffer×buffer pairs."""
+    buffer = support.buffer
+    if buffer.size == 0:
+        return _EMPTY_I, _EMPTY_I, _EMPTY_F
+    points = np.ascontiguousarray(support.stable_points[buffer])
+    cds = np.ascontiguousarray(support.stable_cd[buffer])
+    out_u = []
+    out_v = []
+    out_w = []
+    if support.base_tree is not None and support.node_alive is not None:
+        flat = support.base_tree.flat
+        q_idx, node_ids = descend_singleton_pairs(
+            flat, points, cds, support.node_alive
+        )
+        if q_idx.size:
+            b_counts, b_members = alive_members(
+                flat, node_ids, support.base_alive
+            )
+            win_u, win_v, win_w = segmented_min_mr(
+                support.stable_points, support.stable_cd, support.metric,
+                np.ones(q_idx.size, dtype=np.int64), buffer[q_idx],
+                b_counts, b_members,
+            )
+            out_u.append(win_u)
+            out_v.append(win_v)
+            out_w.append(win_w)
+    if buffer.size >= 2:
+        side = KDTree(
+            points, leaf_size=1, metric=support.metric, backend=support.backend
+        )
+        side.annotate_core_distances(cds)
+        pair_a, pair_b = compute_wspd_ids(
+            side, separation="hdbscan", num_threads=num_threads
+        )
+        if pair_a.size:
+            win_u, win_v, win_w = masked_pair_winners(
+                side.flat, pair_a, pair_b,
+                np.ones(buffer.size, dtype=bool), cds,
+                support.metric, num_threads,
+            )
+            out_u.append(buffer[win_u])
+            out_v.append(buffer[win_v])
+            out_w.append(win_w)
+    if not out_u:
+        return _EMPTY_I, _EMPTY_I, _EMPTY_F
+    return np.concatenate(out_u), np.concatenate(out_v), np.concatenate(out_w)

@@ -20,6 +20,7 @@ from repro.mst.kruskal import (
     kruskal_filtered_arrays,
 )
 from repro.mst.boruvka import boruvka
+from repro.mst.canonical import canonical_mst_arrays
 from repro.mst.prim import prim, prim_order
 from repro.mst.validation import is_spanning_tree
 
@@ -34,6 +35,7 @@ __all__ = [
     "kruskal_batch_arrays",
     "kruskal_filtered_arrays",
     "boruvka",
+    "canonical_mst_arrays",
     "prim",
     "prim_order",
     "is_spanning_tree",

@@ -23,9 +23,10 @@ For each query ``q``:
 Training points always pass the birth gate: ``lambda_q = 1 / cd(q)`` is at
 least the density at which the point left its cluster, which is at least the
 cluster's birth density.  So predicting the training set reproduces the
-fitted labels (up to exact-duplicate points, whose nearest neighbour is an
-arbitrary zero-distance twin) — the property the serving benchmark gates
-with ARI >= 0.95.
+fitted labels — the property the serving benchmark gates with ARI >= 0.95.
+Neighbour ties (exact-duplicate query points included) are broken toward the
+lowest fitted index, so predictions are byte-deterministic across thread
+counts and backends.
 """
 
 from __future__ import annotations
@@ -113,17 +114,27 @@ def approximate_predict(
             f"query dimensionality {queries.shape[1]} does not match the "
             f"fitted dimensionality {state.dimension}"
         )
-    tables = state.predict_tables()
     n_queries = queries.shape[0]
     labels = np.full(n_queries, -1, dtype=np.int64)
     probabilities = np.zeros(n_queries, dtype=np.float64)
-    if n_queries == 0:
+    if n_queries == 0 or state.num_points == 0:
+        # No fitted points: every query is noise.  Checked before touching
+        # the predict tables — an empty state (reachable through the dynamic
+        # delete path) has no condensed tree to build them from.
         return labels, probabilities
+    tables = state.predict_tables()
 
     k = min(int(state.min_pts), state.num_points)
     neighbor_idx, neighbor_dist = knn(
         state.tree, k, queries=queries, num_threads=num_threads
     )
+    # Equal-distance neighbours (exact duplicates in particular) come back
+    # in traversal order, which varies with thread count and backend; break
+    # ties toward the lowest fitted index so the prediction is a pure
+    # function of the fitted state and the query.
+    tie_break = np.lexsort((neighbor_idx, neighbor_dist), axis=-1)
+    neighbor_idx = np.take_along_axis(neighbor_idx, tie_break, axis=-1)
+    neighbor_dist = np.take_along_axis(neighbor_dist, tie_break, axis=-1)
     nearest = neighbor_idx[:, 0]
     nearest_dist = neighbor_dist[:, 0]
     query_core = neighbor_dist[:, k - 1]

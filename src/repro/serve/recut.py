@@ -83,6 +83,14 @@ def cut_key(
             "pass at most one of epsilon and n_clusters to recut"
         )
     if epsilon is not None:
+        value = float(epsilon)
+        if not np.isfinite(value):
+            raise InvalidParameterError(
+                f"epsilon must be finite, got {value!r}"
+            )
+        # -0.0 == 0.0 but hashes into a distinct bytes pattern in some
+        # container paths; normalize so both sign variants share one entry.
+        value += 0.0
         mcs = (
             state.min_cluster_size
             if min_cluster_size is None
@@ -90,7 +98,7 @@ def cut_key(
         )
         if mcs < 1:
             raise InvalidParameterError("min_cluster_size must be >= 1")
-        return ("epsilon", float(epsilon), mcs)
+        return ("epsilon", value, mcs)
     if n_clusters is not None:
         if min_cluster_size is not None or allow_single_cluster is not None:
             raise InvalidParameterError(

@@ -15,19 +15,30 @@ with an ``op`` field:
 ``{"op": "predict", "points": [[...], ...]}``
     Approximate membership of new points (see
     :func:`repro.serve.predict.approximate_predict`).
+``{"op": "update", "insert": [[...], ...], "delete": [i, ...]}``
+    Mutate the served point set in place: deletions (current row indices)
+    apply first, then insertions append, through the incremental
+    :mod:`repro.dynamic` engine — no cold refit.  The resulting state is
+    byte-identical to a dynamic fit of the surviving points; the cut cache
+    restarts empty and core distances of perturbed neighbourhoods are
+    refreshed.  The swap is atomic: reads served concurrently see either
+    the old state or the new one, never a partial update.
 ``{"op": "info"}`` / ``{"op": "stats"}``
     Model card / request counters and cache statistics.
 
 Every response carries ``"ok"``; failures come back as
 ``{"ok": false, "error": ...}`` instead of taking the server down.  Batches
 dispatch onto the persistent :mod:`repro.parallel.pool` worker pool —
-handlers only read the shared state (cut-cache inserts are lock-guarded),
-so one FitState serves concurrent requests without copies.
+read handlers only read the shared state (cut-cache inserts are
+lock-guarded), so one FitState serves concurrent requests without copies;
+``update`` ops serialize behind a per-engine lock so concurrent updates in
+one batch compose instead of overwriting each other.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -48,6 +59,11 @@ class ServingEngine:
         self.num_threads = num_threads
         self.requests_served = 0
         self.requests_failed = 0
+        # Updates are read-modify-write on self.state; the lock serializes
+        # them so two updates in one concurrent batch cannot both start from
+        # the same snapshot and silently drop one another's work.  Readers
+        # never take it — they see whichever state reference is current.
+        self._update_lock = threading.Lock()
 
     # -- request handling ----------------------------------------------------
 
@@ -56,7 +72,13 @@ class ServingEngine:
         try:
             response = self._dispatch(request)
             response["ok"] = True
-        except (ReproError, KeyError, TypeError, ValueError) as error:
+        except (
+            ReproError,
+            AttributeError,
+            KeyError,
+            TypeError,
+            ValueError,
+        ) as error:
             self.requests_failed += 1
             return {"ok": False, "error": f"{type(error).__name__}: {error}"}
         self.requests_served += 1
@@ -105,6 +127,8 @@ class ServingEngine:
                 "labels": labels.tolist(),
                 "probabilities": probabilities.tolist(),
             }
+        if op == "update":
+            return self._update(request)
         if op == "info":
             state = self.state
             return {
@@ -127,8 +151,49 @@ class ServingEngine:
                 "cut_cache": self.state.cache_info(),
             }
         raise ValueError(
-            f"unknown op {op!r}; expected recut, labels, predict, info or stats"
+            f"unknown op {op!r}; expected recut, labels, predict, update, "
+            f"info or stats"
         )
+
+    def _update(self, request: Dict) -> Dict:
+        # Lazy import: read-only deployments never pay for the dynamic
+        # engine, and the circular serve <-> dynamic dependency stays soft.
+        from repro.dynamic import delete_batch, insert_batch
+
+        delete = request.get("delete")
+        insert = request.get("insert")
+        if delete is None and insert is None:
+            raise ValueError("update requires at least one of insert, delete")
+        with self._update_lock:
+            state = self.state
+            deleted = 0
+            if delete is not None:
+                # No dtype coercion: delete_batch rejects non-integer
+                # indices, and casting here would silently truncate 0.9 -> 0.
+                indices = np.asarray(delete)
+                state = delete_batch(
+                    state, indices, num_threads=self.num_threads
+                )
+                deleted = int(indices.size)
+            inserted = 0
+            if insert is not None:
+                batch = np.asarray(insert, dtype=np.float64)
+                if batch.ndim == 1:
+                    batch = batch.reshape(1, -1)
+                if batch.size:
+                    state = insert_batch(
+                        state, batch, num_threads=self.num_threads
+                    )
+                    inserted = int(batch.shape[0])
+            # Single reference assignment — concurrent readers observe
+            # either the old fully-consistent state or the new one.
+            self.state = state
+        return {
+            "op": "update",
+            "deleted": deleted,
+            "inserted": inserted,
+            "num_points": state.num_points,
+        }
 
     # -- stream serving (the CLI loop) ---------------------------------------
 

@@ -114,6 +114,8 @@ class FitState:
         method: str,
         fingerprint: Dict[str, object],
         cut_cache_size: int = DEFAULT_CUT_CACHE,
+        metric: MetricLike = None,
+        backend: BackendLike = None,
     ) -> None:
         self.points = points
         self.tree = tree
@@ -128,6 +130,11 @@ class FitState:
         self.allow_single_cluster = bool(allow_single_cluster)
         self.method = str(method)
         self.fingerprint = dict(fingerprint)
+        # The empty state (n == 0, produced by the dynamic engine when every
+        # point has been deleted) has no tree to borrow the resolved metric
+        # and backend from, so they are carried explicitly.
+        self._metric = resolve_metric(metric) if tree is None else None
+        self._backend = resolve_backend(backend) if tree is None else None
         self._lock = threading.Lock()
         self._cuts: "OrderedDict[tuple, object]" = OrderedDict()
         self._cut_capacity = max(int(cut_cache_size), 1)
@@ -147,11 +154,11 @@ class FitState:
 
     @property
     def metric(self):
-        return self.tree.metric
+        return self.tree.metric if self.tree is not None else self._metric
 
     @property
     def backend(self):
-        return self.tree.backend
+        return self.tree.backend if self.tree is not None else self._backend
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -269,12 +276,15 @@ class FitState:
             "mst_v": np.asarray(self.mst_v, dtype=np.int64),
             "mst_w": np.asarray(self.mst_w, dtype=np.float64),
         }
-        for name, value in self.dendrogram.state_arrays().items():
-            arrays[f"dendrogram_{name}"] = value
-        for name, value in self.condensed.state_arrays().items():
-            arrays[f"condensed_{name}"] = value
-        for name, value in self.tree.flat.state_arrays().items():
-            arrays[f"tree_{name}"] = value
+        if self.dendrogram is not None:
+            for name, value in self.dendrogram.state_arrays().items():
+                arrays[f"dendrogram_{name}"] = value
+        if self.condensed is not None:
+            for name, value in self.condensed.state_arrays().items():
+                arrays[f"condensed_{name}"] = value
+        if self.tree is not None:
+            for name, value in self.tree.flat.state_arrays().items():
+                arrays[f"tree_{name}"] = value
         return arrays
 
     def save(self, path) -> Path:
@@ -287,6 +297,11 @@ class FitState:
         half-written state under the final name.
         """
         path = Path(path)
+        if self.tree is None:
+            raise FitStateError(
+                "an empty state (0 points) cannot be saved; insert points "
+                "first"
+            )
         arrays = self.state_arrays()
         meta = {
             "format": STATE_FORMAT,

@@ -443,6 +443,96 @@ class FlatKDTree:
         )
         return self.metric.diff_norms(gap)
 
+    def mask_within_radii(
+        self,
+        batch: np.ndarray,
+        radii: np.ndarray,
+        *,
+        strict: bool = False,
+    ) -> np.ndarray:
+        """Which stored points lie within their *own* radius of any batch row.
+
+        Returns a boolean mask over the tree's points: entry ``x`` is set when
+        ``min_s d(x, s) <= radii[x]`` over the rows ``s`` of ``batch``
+        (``<`` with ``strict=True``).  This is the touched-region query of the
+        incremental engine — with ``radii`` set to the fitted core distances
+        it returns exactly the points whose core distance a batched
+        insert/delete can perturb.  The traversal prunes a subtree as soon as
+        its box-to-batch gap exceeds the subtree's maximum radius (one
+        :meth:`node_value_ranges` sweep), and surviving leaf members are
+        verified with the exact per-pair metric kernel, so the mask is exact.
+
+        Requires an exact backend: a lowered tree's node boxes bound the
+        float32-rounded points, so a box gap could overstate the distance to
+        the true float64 points and prune a subtree holding real hits.
+        """
+        if not self.backend.exact:
+            raise InvalidParameterError(
+                "mask_within_radii requires an exact backend; the lowered "
+                f"backend {self.backend.name!r} rounds node bounds to "
+                "float32, which could over-prune true within-radius points"
+            )
+        out = np.zeros(self.size, dtype=bool)
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim != 2 or batch.shape[0] == 0 or self.size == 0:
+            return out
+        radii = np.asarray(radii, dtype=np.float64)
+        if radii.shape != (self.size,):
+            raise InvalidParameterError("radii must have one value per point")
+        # Pruning gaps stay in float64: rounding the batch through a scoring
+        # dtype could overstate a box gap and prune a subtree holding true
+        # within-radius points, breaking exactness.
+        pruning_batch = np.ascontiguousarray(batch, dtype=np.float64)
+        node_rmax = self.node_value_ranges(radii)[1]
+        chunk = 256
+
+        frontier = np.zeros(1, dtype=np.int64)
+        candidates: List[np.ndarray] = []
+        while frontier.size:
+            gaps = np.full(frontier.size, np.inf, dtype=np.float64)
+            for lo in range(0, pruning_batch.shape[0], chunk):
+                rows = pruning_batch[lo : lo + chunk]
+                rep_nodes = np.repeat(frontier, rows.shape[0])
+                tiled = np.tile(rows, (frontier.size, 1))
+                gap = self.min_distances_to_points(tiled, rep_nodes)
+                np.minimum(
+                    gaps, gap.reshape(frontier.size, rows.shape[0]).min(axis=1),
+                    out=gaps,
+                )
+            reach = node_rmax[frontier]
+            keep = gaps < reach if strict else gaps <= reach
+            frontier = frontier[keep]
+            if frontier.size == 0:
+                break
+            leaf = self.left_child[frontier] < 0
+            leaves = frontier[leaf]
+            if leaves.size:
+                counts = self.node_end[leaves] - self.node_start[leaves]
+                candidates.append(
+                    self.perm[_segment_ranges(self.node_start[leaves], counts)]
+                )
+            internal = frontier[~leaf]
+            frontier = np.concatenate(
+                [self.left_child[internal], self.right_child[internal]]
+            )
+
+        if not candidates:
+            return out
+        cand = np.concatenate(candidates)
+        for lo in range(0, cand.shape[0], 4096):
+            sub = cand[lo : lo + 4096]
+            diff = (
+                self.points[sub][:, None, :] - batch[None, :, :]
+            ).reshape(-1, batch.shape[1])
+            nearest = (
+                self.metric.diff_norms(diff)
+                .reshape(sub.shape[0], batch.shape[0])
+                .min(axis=1)
+            )
+            hit = nearest < radii[sub] if strict else nearest <= radii[sub]
+            out[sub] = hit
+        return out
+
     # -- batched k-nearest-neighbour traversal ---------------------------------
 
     def query_knn(

@@ -398,6 +398,78 @@ class TestServeCli:
         assert excinfo.value.code == 2
         assert "exactly one" in capsys.readouterr().err
 
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--min-pts", "10"],  # the fitting default, passed explicitly
+            ["--min-pts", "5"],
+            ["--min-cluster-size", "5"],
+            ["--method", "memogfk"],
+            ["--allow-single-cluster"],
+        ],
+    )
+    def test_load_rejects_fit_shaping_flags(
+        self, csv_points, tmp_path, capsys, flags
+    ):
+        # The saved state fixes the fit parameters; an explicitly passed
+        # flag must conflict even when its value equals the fitting default
+        # (the None-sentinel defaults make "passed" detectable at all).
+        state_file = self._save_state(csv_points, tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--load", str(state_file)] + flags)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert flags[0] in err and "fixed" in err
+
+    def test_mismatched_backend_exits_2(self, csv_points, tmp_path, capsys):
+        state_file = self._save_state(csv_points, tmp_path)
+        code = main(
+            ["serve", "--load", str(state_file), "--backend", "numpy-f32"]
+        )
+        assert code == 2
+        assert "backend" in capsys.readouterr().err
+
+    def test_update_op_round_trip(self, csv_points, tmp_path):
+        import json
+
+        path, points = csv_points
+        state_file = self._save_state(csv_points, tmp_path)
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "\n".join(
+                json.dumps(request)
+                for request in (
+                    {
+                        "op": "update",
+                        "insert": points[:3].tolist(),
+                        "delete": [0, 1],
+                    },
+                    {"op": "info"},
+                )
+            )
+            + "\n"
+        )
+        responses_file = tmp_path / "responses.jsonl"
+        code = main(
+            [
+                "serve",
+                "--load",
+                str(state_file),
+                "--requests",
+                str(requests),
+                "--output",
+                str(responses_file),
+            ]
+        )
+        assert code == 0
+        update, info = [
+            json.loads(line)
+            for line in responses_file.read_text().splitlines()
+        ]
+        assert update["ok"] and update["deleted"] == 2 and update["inserted"] == 3
+        assert update["num_points"] == len(points) + 1
+        assert info["ok"] and info["num_points"] == len(points) + 1
+
     def test_help_epilog_documents_environment(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])

@@ -1,0 +1,361 @@
+"""Tests for the incremental insert/delete engine (:mod:`repro.dynamic`).
+
+The engine's entire contract is one sentence: after ANY interleaved
+insert/delete sequence, the updated state is byte-identical to a cold
+``fit_dynamic`` of the surviving points — every saved array, every derived
+label.  The conformance matrix here drives that gate across seeds ×
+pipelines (EMST via ``min_pts=1``, HDBSCAN) × thread counts × metrics ×
+backends × memory budgets, and the degenerate-shape tests push the same
+gate through empty/singleton/duplicate territory where index bookkeeping
+usually dies.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from conformance import (
+    CONFORMANCE_MEMORY_BUDGETS,
+    CONFORMANCE_METRICS,
+    skip_unless_backend_available,
+)
+from repro.core.errors import FitStateError, InvalidParameterError
+from repro.datasets import gaussian_blobs
+from repro.dynamic import delete_batch, fit_dynamic, insert_batch
+from repro.serve import ServingEngine, fit_state
+
+MIN_PTS = 5
+MIN_CLUSTER_SIZE = 5
+
+#: min_pts values selecting the two pipelines the issue gates: 1 makes
+#: mutual reachability collapse to the plain metric (the EMST pipeline),
+#: anything larger exercises the full HDBSCAN core-distance path.
+PIPELINE_MIN_PTS = (1, MIN_PTS)
+
+#: Thread counts for the dynamic matrix (1 = inline, 4 = sharded).
+DYNAMIC_THREAD_COUNTS = (1, 4)
+
+CHURN_SEEDS = (7, 19, 101)
+
+
+def state_bytes(state):
+    """Every persisted array of a state, keyed, as raw bytes."""
+    return {
+        name: (np.asarray(value).dtype.str, np.asarray(value).tobytes())
+        for name, value in state.state_arrays().items()
+    }
+
+
+def assert_states_identical(updated, cold, context=""):
+    """The conformance gate: byte-identity of every array, then labels."""
+    got, want = state_bytes(updated), state_bytes(cold)
+    assert set(got) == set(want), context
+    for name in sorted(want):
+        assert got[name] == want[name], f"{context}: array {name!r} differs"
+    if updated.num_points:
+        assert (
+            updated.recut().labels.tobytes() == cold.recut().labels.tobytes()
+        ), context
+
+
+def churn(state, live, rng, *, rounds=3, num_threads=None):
+    """Apply interleaved insert/delete rounds; returns (state, live points)."""
+    dim = live.shape[1]
+    for _ in range(rounds):
+        batch = rng.standard_normal((rng.integers(5, 20), dim))
+        state = insert_batch(state, batch, num_threads=num_threads)
+        live = np.concatenate([live, batch])
+        removed = rng.choice(
+            live.shape[0], size=min(int(rng.integers(5, 25)), live.shape[0]),
+            replace=False,
+        )
+        state = delete_batch(state, removed, num_threads=num_threads)
+        keep = np.ones(live.shape[0], dtype=bool)
+        keep[removed] = False
+        live = live[keep]
+    return state, live
+
+
+class TestConformanceMatrix:
+    """Interleaved churn must end byte-identical to a cold refit."""
+
+    @pytest.mark.parametrize("seed", CHURN_SEEDS)
+    @pytest.mark.parametrize("min_pts", PIPELINE_MIN_PTS)
+    @pytest.mark.parametrize("threads", DYNAMIC_THREAD_COUNTS)
+    def test_churn_matches_cold_refit(self, seed, min_pts, threads):
+        rng = np.random.default_rng(seed)
+        points = gaussian_blobs(300, 3, num_clusters=4, seed=seed)
+        state = fit_dynamic(
+            points, min_pts=min_pts, min_cluster_size=MIN_CLUSTER_SIZE,
+            num_threads=threads,
+        )
+        state, live = churn(state, points.copy(), rng, num_threads=threads)
+        cold = fit_dynamic(
+            live, min_pts=min_pts, min_cluster_size=MIN_CLUSTER_SIZE,
+            num_threads=threads,
+        )
+        assert_states_identical(
+            state, cold, f"seed={seed} min_pts={min_pts} threads={threads}"
+        )
+
+    @pytest.mark.parametrize("metric", CONFORMANCE_METRICS)
+    def test_churn_across_metrics(self, metric):
+        rng = np.random.default_rng(23)
+        points = gaussian_blobs(250, 3, num_clusters=4, seed=23)
+        state = fit_dynamic(points, min_pts=MIN_PTS, metric=metric)
+        state, live = churn(state, points.copy(), rng)
+        cold = fit_dynamic(live, min_pts=MIN_PTS, metric=metric)
+        assert_states_identical(state, cold, f"metric={metric}")
+
+    @pytest.mark.parametrize("backend", ("numpy", "numba"))
+    def test_churn_across_exact_backends(self, backend):
+        skip_unless_backend_available(backend)
+        rng = np.random.default_rng(31)
+        points = gaussian_blobs(200, 3, num_clusters=3, seed=31)
+        state = fit_dynamic(points, min_pts=MIN_PTS, backend=backend)
+        state, live = churn(state, points.copy(), rng)
+        cold = fit_dynamic(live, min_pts=MIN_PTS, backend=backend)
+        assert_states_identical(state, cold, f"backend={backend}")
+
+    @pytest.mark.parametrize("budget", CONFORMANCE_MEMORY_BUDGETS)
+    def test_churn_under_memory_budget(self, budget):
+        rng = np.random.default_rng(41)
+        points = gaussian_blobs(200, 3, num_clusters=3, seed=41)
+        state = fit_dynamic(points, min_pts=MIN_PTS, memory_budget=budget)
+        state, live = churn(state, points.copy(), rng)
+        # The cold reference runs unbudgeted: budgets may never change bytes.
+        cold = fit_dynamic(live, min_pts=MIN_PTS)
+        assert_states_identical(state, cold, f"budget={budget}")
+
+    def test_update_is_thread_count_invariant(self):
+        rng = np.random.default_rng(53)
+        points = gaussian_blobs(200, 3, num_clusters=3, seed=53)
+        batch = rng.standard_normal((15, 3))
+        results = []
+        for threads in DYNAMIC_THREAD_COUNTS:
+            state = fit_dynamic(points, min_pts=MIN_PTS, num_threads=threads)
+            state = insert_batch(state, batch, num_threads=threads)
+            state = delete_batch(
+                state, np.arange(0, 40, 3), num_threads=threads
+            )
+            results.append(state_bytes(state))
+        assert results[0] == results[1]
+
+
+class TestDegenerateShapes:
+    """The conformance gate through empty / singleton / duplicate territory."""
+
+    @pytest.fixture(scope="class")
+    def cloud(self):
+        return gaussian_blobs(40, 3, num_clusters=2, seed=5)
+
+    def test_insert_into_empty_then_grow(self, cloud):
+        state = fit_dynamic(cloud[:0], min_pts=4)
+        assert state.num_points == 0
+        state = insert_batch(state, cloud[:1])
+        assert_states_identical(state, fit_dynamic(cloud[:1], min_pts=4))
+        state = insert_batch(state, cloud[1:10])
+        assert_states_identical(state, fit_dynamic(cloud[:10], min_pts=4))
+
+    def test_insert_into_singleton(self, cloud):
+        state = fit_dynamic(cloud[:1], min_pts=4)
+        state = insert_batch(state, cloud[1:3])
+        assert_states_identical(state, fit_dynamic(cloud[:3], min_pts=4))
+
+    def test_delete_down_to_two_one_zero(self, cloud):
+        state = fit_dynamic(cloud[:10], min_pts=4)
+        state = delete_batch(state, np.arange(8))
+        assert_states_identical(state, fit_dynamic(cloud[8:10], min_pts=4))
+        state = delete_batch(state, np.array([0]))
+        assert_states_identical(state, fit_dynamic(cloud[9:10], min_pts=4))
+        state = delete_batch(state, np.array([0]))
+        assert state.num_points == 0
+        # An emptied state must be repopulatable.
+        state = insert_batch(state, cloud[:6])
+        assert_states_identical(state, fit_dynamic(cloud[:6], min_pts=4))
+
+    def test_delete_then_reinsert_same_points(self, cloud):
+        state = fit_dynamic(cloud, min_pts=4)
+        state = delete_batch(state, np.arange(5, 15))
+        state = insert_batch(state, cloud[5:15])
+        survivors = np.concatenate(
+            [np.delete(cloud, np.arange(5, 15), axis=0), cloud[5:15]]
+        )
+        assert_states_identical(state, fit_dynamic(survivors, min_pts=4))
+
+    def test_duplicate_point_batches(self, cloud):
+        state = fit_dynamic(cloud, min_pts=4)
+        state = insert_batch(state, cloud[:7])  # exact duplicates
+        assert_states_identical(
+            state, fit_dynamic(np.concatenate([cloud, cloud[:7]]), min_pts=4)
+        )
+        state = insert_batch(state, cloud[:7])  # the same batch again
+        assert_states_identical(
+            state,
+            fit_dynamic(
+                np.concatenate([cloud, cloud[:7], cloud[:7]]), min_pts=4
+            ),
+        )
+
+    def test_large_batch_takes_rebuild_path(self, cloud):
+        rng = np.random.default_rng(11)
+        state = fit_dynamic(cloud, min_pts=4)
+        big = rng.standard_normal((200, 3))
+        state = insert_batch(state, big)
+        assert_states_identical(
+            state, fit_dynamic(np.concatenate([cloud, big]), min_pts=4)
+        )
+        state = delete_batch(state, np.arange(0, 200, 2))
+        survivors = np.delete(
+            np.concatenate([cloud, big]), np.arange(0, 200, 2), axis=0
+        )
+        assert_states_identical(state, fit_dynamic(survivors, min_pts=4))
+
+
+class TestValidationAndAdoption:
+    """Parameter validation, foreign-state adoption, empty-state limits."""
+
+    @pytest.fixture(scope="class")
+    def cloud(self):
+        return gaussian_blobs(80, 3, num_clusters=2, seed=13)
+
+    def test_lowered_backend_rejected(self, cloud):
+        with pytest.raises(InvalidParameterError, match="exact float64"):
+            fit_dynamic(cloud, min_pts=4, backend="numpy-f32")
+
+    def test_delete_validates_indices(self, cloud):
+        state = fit_dynamic(cloud, min_pts=4)
+        with pytest.raises(InvalidParameterError):
+            delete_batch(state, np.array([cloud.shape[0]]))
+        with pytest.raises(InvalidParameterError):
+            delete_batch(state, np.array([-1]))
+        with pytest.raises(InvalidParameterError):
+            delete_batch(state, np.array([3, 3]))
+        with pytest.raises(InvalidParameterError):
+            delete_batch(state, np.array([0.5]))
+
+    def test_insert_validates_dimension(self, cloud):
+        state = fit_dynamic(cloud, min_pts=4)
+        with pytest.raises(InvalidParameterError):
+            insert_batch(state, np.zeros((2, cloud.shape[1] + 1)))
+
+    def test_empty_batches_are_noops(self, cloud):
+        state = fit_dynamic(cloud, min_pts=4)
+        assert insert_batch(state, np.empty((0, 3))) is state
+        assert delete_batch(state, np.empty(0, dtype=np.int64)) is state
+
+    def test_foreign_state_is_adopted(self, cloud):
+        # A state fitted by the static serving path has no repair support;
+        # the first update adopts it with one dynamic refit, after which
+        # the conformance gate applies as usual.
+        foreign = fit_state(
+            cloud, min_pts=4, min_cluster_size=MIN_CLUSTER_SIZE
+        )
+        batch = gaussian_blobs(12, 3, num_clusters=1, seed=17)
+        updated = insert_batch(foreign, batch)
+        cold = fit_dynamic(
+            np.concatenate([cloud, batch]),
+            min_pts=4,
+            min_cluster_size=MIN_CLUSTER_SIZE,
+        )
+        assert_states_identical(updated, cold, "adopted foreign state")
+
+    def test_empty_state_cannot_be_saved(self, tmp_path):
+        state = fit_dynamic(np.empty((0, 3)), min_pts=4)
+        with pytest.raises(FitStateError, match="empty state"):
+            state.save(tmp_path / "empty.npz")
+
+
+class TestServingUpdateOp:
+    """The ``update`` op mutates the served set with cold-refit conformance."""
+
+    def test_update_op_matches_cold_refit(self):
+        points = gaussian_blobs(120, 3, num_clusters=3, seed=29)
+        batch = gaussian_blobs(10, 3, num_clusters=1, seed=30)
+        engine = ServingEngine(
+            fit_dynamic(points, min_pts=4, min_cluster_size=MIN_CLUSTER_SIZE)
+        )
+        response = engine.handle(
+            {
+                "op": "update",
+                "delete": [0, 5, 17],
+                "insert": batch.tolist(),
+            }
+        )
+        assert response["ok"]
+        assert response["deleted"] == 3
+        assert response["inserted"] == 10
+        assert response["num_points"] == 127
+        survivors = np.concatenate(
+            [np.delete(points, [0, 5, 17], axis=0), batch]
+        )
+        cold = fit_dynamic(
+            survivors, min_pts=4, min_cluster_size=MIN_CLUSTER_SIZE
+        )
+        assert_states_identical(engine.state, cold, "serving update op")
+        # Subsequent reads serve the updated state.
+        labels = engine.handle({"op": "labels"})
+        assert labels["ok"]
+        assert labels["labels"] == cold.recut().labels.tolist()
+
+    def test_update_requires_a_mutation(self):
+        engine = ServingEngine(
+            fit_dynamic(gaussian_blobs(50, 2, seed=1), min_pts=4)
+        )
+        response = engine.handle({"op": "update"})
+        assert not response["ok"]
+        assert "insert" in response["error"]
+
+    def test_failed_update_leaves_state_untouched(self):
+        state = fit_dynamic(gaussian_blobs(50, 2, seed=2), min_pts=4)
+        engine = ServingEngine(state)
+        response = engine.handle({"op": "update", "delete": [10**6]})
+        assert not response["ok"]
+        assert engine.state is state
+
+    def test_fractional_delete_indices_are_rejected(self):
+        """0.9 must not silently truncate to row 0 — reject, don't cast."""
+        state = fit_dynamic(gaussian_blobs(50, 2, seed=2), min_pts=4)
+        engine = ServingEngine(state)
+        response = engine.handle({"op": "update", "delete": [0.9]})
+        assert not response["ok"]
+        assert "integer" in response["error"]
+        assert engine.state is state
+
+    def test_concurrent_updates_in_one_batch_compose(self):
+        """Updates serialize: neither of two batched inserts is lost."""
+        points = gaussian_blobs(60, 2, num_clusters=2, seed=5)
+        engine = ServingEngine(fit_dynamic(points, min_pts=4))
+        rng = np.random.default_rng(6)
+        requests = [
+            {"op": "update", "insert": rng.standard_normal((3, 2)).tolist()}
+            for _ in range(4)
+        ]
+        responses = engine.handle_batch(requests, num_threads=4)
+        assert [r["ok"] for r in responses] == [True] * 4
+        assert engine.state.num_points == 60 + 12
+
+    def test_predict_against_emptied_state_is_noise(self):
+        """Deleting every point must not crash the serve loop on predict."""
+        points = gaussian_blobs(30, 2, num_clusters=2, seed=3)
+        engine = ServingEngine(fit_dynamic(points, min_pts=4))
+        wiped = engine.handle({"op": "update", "delete": list(range(30))})
+        assert wiped["ok"] and wiped["num_points"] == 0
+        lines = "\n".join(
+            [
+                json.dumps({"op": "predict", "points": [[0.0, 0.0]]}),
+                json.dumps({"op": "stats"}),
+            ]
+        )
+        output = io.StringIO()
+        answered = engine.serve_stream(io.StringIO(lines), output)
+        responses = [
+            json.loads(line) for line in output.getvalue().splitlines()
+        ]
+        assert answered == 2
+        assert responses[0]["ok"]
+        assert responses[0]["labels"] == [-1]
+        assert responses[0]["probabilities"] == [0.0]
+        assert responses[1]["ok"]

@@ -157,6 +157,36 @@ class TestTreeReductions:
         assert bool(connected.all())
 
 
+class TestMaskWithinRadii:
+    def test_matches_brute_force(self, small_points_3d):
+        flat = FlatKDTree(small_points_3d, leaf_size=4)
+        rng = np.random.default_rng(11)
+        radii = rng.uniform(0.05, 0.4, size=len(small_points_3d))
+        batch = rng.random((7, 3))
+        mask = flat.mask_within_radii(batch, radii)
+        nearest = np.sqrt(
+            ((small_points_3d[:, None, :] - batch[None, :, :]) ** 2).sum(-1)
+        ).min(axis=1)
+        assert np.array_equal(mask, nearest <= radii)
+
+    def test_strict_excludes_the_boundary(self):
+        points = np.array([[0.0, 0.0], [3.0, 0.0]])
+        flat = FlatKDTree(points, leaf_size=1)
+        batch = np.array([[1.0, 0.0]])
+        radii = np.array([1.0, 1.0])
+        assert flat.mask_within_radii(batch, radii).tolist() == [True, False]
+        assert flat.mask_within_radii(
+            batch, radii, strict=True
+        ).tolist() == [False, False]
+
+    def test_lowered_backend_is_rejected(self, small_points_2d):
+        """float32 node bounds could over-prune; the mask must stay exact."""
+        flat = FlatKDTree(small_points_2d, backend="numpy-f32")
+        radii = np.full(len(small_points_2d), 0.1)
+        with pytest.raises(InvalidParameterError, match="exact backend"):
+            flat.mask_within_radii(small_points_2d[:2], radii)
+
+
 class TestWspdIds:
     def test_id_pairs_match_object_pairs(self, small_points_2d):
         tree = KDTree(small_points_2d, leaf_size=1)

@@ -9,6 +9,7 @@ buffer-release behaviours the issue gates are covered alongside.
 
 import io
 import json
+import math
 
 import numpy as np
 import pytest
@@ -113,6 +114,20 @@ class TestCutCache:
         assert cut_key(state, epsilon=0.25) != cut_key(state, epsilon=0.3)
         # The fitted min_cluster_size is the default, spelled or implied.
         assert cut_key(state, min_cluster_size=MIN_CLUSTER_SIZE) == cut_key(state)
+
+    def test_negative_zero_epsilon_shares_an_entry(self, state):
+        plus = cut_key(state, epsilon=0.0)
+        minus = cut_key(state, epsilon=-0.0)
+        assert plus == minus
+        # Not just ==: the stored float must be the canonical +0.0.
+        assert math.copysign(1.0, minus[1]) == 1.0
+
+    def test_non_finite_epsilon_is_rejected(self, state):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(InvalidParameterError, match="finite"):
+                cut_key(state, epsilon=bad)
+            with pytest.raises(InvalidParameterError, match="finite"):
+                state.recut(epsilon=bad)
 
     def test_lru_evicts_oldest(self, points):
         fitted = fit_state(points, min_pts=MIN_PTS, cut_cache_size=2)
@@ -219,6 +234,35 @@ class TestApproximatePredict:
         two = approximate_predict(state, queries, num_threads=2)
         assert one[0].tobytes() == two[0].tobytes()
         assert one[1].tobytes() == two[1].tobytes()
+
+    def test_duplicate_queries_are_byte_deterministic(self, points):
+        # Exact-duplicate fitted points make the k-NN neighbour lists pure
+        # ties; the lexsort tie-break must pin predictions regardless of the
+        # traversal order a thread count or backend happens to produce.
+        doubled = np.concatenate([points, points[:60]])
+        fitted = {
+            backend: fit_state(doubled, min_pts=MIN_PTS, backend=backend)
+            for backend in ("numpy", "numpy-f32")
+        }
+        queries = np.concatenate([points[:60], points[:60]])
+        label_blobs = set()
+        for backend, fit in fitted.items():
+            reference = None
+            for threads in (1, 2, 4):
+                got = approximate_predict(fit, queries, num_threads=threads)
+                blob = got[0].tobytes() + got[1].tobytes()
+                if reference is None:
+                    reference = blob
+                    label_blobs.add(got[0].tobytes())
+                assert blob == reference, f"{backend} threads={threads}"
+        # Across backends only the labels are comparable byte-for-byte: a
+        # lowered backend's *fit* is held to bounded agreement, so its
+        # probabilities may sit an ulp away from the exact engine's.
+        assert len(label_blobs) == 1
+        # Identical queries get identical predictions within one batch too.
+        labels, probabilities = approximate_predict(fitted["numpy"], queries)
+        assert np.array_equal(labels[:60], labels[60:])
+        assert np.array_equal(probabilities[:60], probabilities[60:])
 
 
 class TestServingEngine:
